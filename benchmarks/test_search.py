@@ -1,0 +1,72 @@
+"""E4 — decidability of virtual transformations (§4.6, §5.1).
+
+The greedy checker with the liveness oracle unifies branches in polynomial
+time; the naive fallback is a backtracking search whose state space grows
+exponentially with the number of in-scope variables.  This benchmark pits
+the two against each other on branch-unification instances of growing
+width, reproducing the "common-case polynomial, worst-case exponential"
+shape.
+"""
+
+import pytest
+
+from repro.core.contexts import StaticContext
+from repro.core.regions import RegionSupply
+from repro.core.unify import match_contexts, search_unify
+from repro.lang import ast
+
+NODE = ast.StructType("node")
+
+
+def _branch_pair(width: int):
+    """Two branch outputs over `width` variables: side A focused+explored
+    each variable, side B left everything untracked; unification must
+    dismantle all of A's tracking."""
+    a = StaticContext(RegionSupply())
+    for i in range(width):
+        region = a.fresh_region()
+        a.bind(f"v{i}", NODE, region)
+    b = a.clone()
+    for i in range(width):
+        a.focus(f"v{i}")
+        a.explore(f"v{i}", "f")
+    live = frozenset(f"v{i}" for i in range(width))
+    return a, b, live
+
+
+@pytest.mark.parametrize("width", [2, 4, 8, 16])
+def test_greedy_with_liveness_oracle(benchmark, width):
+    def run():
+        a, b, live = _branch_pair(width)
+        return match_contexts(a, b, live)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_backtracking_search(benchmark, width):
+    # The exponential fallback: already at width 4 the frontier blows up.
+    def run():
+        a, b, live = _branch_pair(width)
+        return search_unify(a, b, live, max_depth=2 * width + 1)
+
+    benchmark(run)
+
+
+def test_search_state_blowup_shape():
+    """The E4 series: states explored by the search vs variables in scope —
+    exponential, versus the linear work of the oracle-guided path."""
+    import time
+
+    print()
+    print(f"{'width':>6s} {'greedy (ms)':>12s} {'search (ms)':>12s}")
+    for width in (1, 2, 3, 4):
+        a, b, live = _branch_pair(width)
+        t0 = time.perf_counter()
+        match_contexts(a.clone(), b.clone(), live)
+        greedy = (time.perf_counter() - t0) * 1000
+
+        t0 = time.perf_counter()
+        search_unify(a, b, live, max_depth=2 * width + 1)
+        search = (time.perf_counter() - t0) * 1000
+        print(f"{width:6d} {greedy:12.2f} {search:12.2f}")

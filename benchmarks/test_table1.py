@@ -1,0 +1,38 @@
+"""E1 — Table 1: comparison with related language designs (§9.5).
+
+Regenerates the capability matrix by running the probe programs under each
+checker profile, prints it, and benchmarks the probe-checking work.
+"""
+
+from repro.baselines import compare_with_paper, render_table
+from repro.baselines.profiles import AFFINE, FEARLESS, GLOBAL_DOMINATION
+from repro.baselines.table1 import DLL_PROBE, SLL_PROBE
+from repro.core.checker import Checker
+from repro.core.errors import TypeError_
+from repro.lang import parse_program
+
+
+def _run_matrix():
+    results = {}
+    for profile in (FEARLESS, AFFINE, GLOBAL_DOMINATION):
+        for probe_name, probe in (("sll", SLL_PROBE), ("dll", DLL_PROBE)):
+            try:
+                Checker(parse_program(probe), profile).check_program()
+                verdict = True
+            except TypeError_:
+                verdict = False
+            results[(profile.name, probe_name)] = verdict
+    return results
+
+
+def test_table1_matches_paper(benchmark):
+    results = benchmark(_run_matrix)
+    # The matrix rows derived from the probes:
+    assert results[("fearless", "sll")] and results[("fearless", "dll")]
+    assert results[("affine", "sll")] and not results[("affine", "dll")]
+    assert not results[("global-domination", "sll")]
+    assert results[("global-domination", "dll")]
+    comparison = compare_with_paper()
+    assert all(comparison.values()), comparison
+    print()
+    print(render_table())

@@ -1,0 +1,61 @@
+"""E6 — heap writes for remove_tail: fearless vs destructive reads (§1, §9.1).
+
+"[I]n these systems removing the tail of a recursively linear singly linked
+list incurs a write to each list node traversed" — while fig 2's version
+performs exactly one heap mutation.  Regenerates the write-count series and
+benchmarks both.
+"""
+
+import pytest
+
+from repro.baselines import destructive_remove_tail, fearless_remove_tail
+from repro.corpus import load_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import run_function
+
+SIZES = [4, 16, 64, 256, 1024]
+
+
+def _fresh_list(n):
+    program = load_program("sll")
+    heap = Heap()
+    lst, _ = run_function(program, "make_list", [n], heap=heap)
+    head = heap.obj(lst).fields["hd"]
+    return program, heap, head
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fearless_writes(benchmark, n):
+    def run():
+        program, heap, head = _fresh_list(n)
+        return fearless_remove_tail(heap, program, head)
+
+    result = benchmark(run)
+    assert result.writes == 1  # O(1) mutations regardless of n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_destructive_writes(benchmark, n):
+    def run():
+        program, heap, head = _fresh_list(n)
+        return destructive_remove_tail(heap, head)
+
+    result = benchmark(run)
+    assert result.writes >= 2 * (n - 2)  # a write per node, both directions
+
+
+def test_write_count_series():
+    """The E6 table: writes vs list size, both systems."""
+    print()
+    print(f"{'n':>6s} {'fearless':>9s} {'destructive':>12s} {'ratio':>7s}")
+    for n in SIZES:
+        program, heap, head = _fresh_list(n)
+        fearless = fearless_remove_tail(heap, program, head)
+        program, heap, head = _fresh_list(n)
+        destructive = destructive_remove_tail(heap, head)
+        ratio = destructive.writes / max(fearless.writes, 1)
+        print(
+            f"{n:6d} {fearless.writes:9d} {destructive.writes:12d} {ratio:7.0f}"
+        )
+        assert fearless.writes == 1
+        assert destructive.writes >= 2 * (n - 2)

@@ -1,0 +1,11 @@
+"""Repo-wide pytest configuration.
+
+The FCL interpreter is a recursive generator: each recursive FCL call
+suspends a chain of Python generator frames, so deeply recursive corpus
+functions (remove_tail on long lists) need a roomier recursion limit than
+CPython's default 1000.
+"""
+
+import sys
+
+sys.setrecursionlimit(100_000)

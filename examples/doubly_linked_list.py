@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The tale of two remove_tails (figs 3–5).
+
+* fig 4's version is subtly broken: on a size-1 circular list, ``hd`` and
+  ``hd.prev`` alias, so the "detached" payload is still reachable from the
+  list.  The type system rejects it.
+* fig 5's version adds the ``if disconnected`` dynamic check; it
+  type-checks, works on every size, and the run-time check visits only a
+  couple of objects (§5.2) — we print the traversal statistics.
+
+Also draws the dynamic region graph of a list (fig 8).
+"""
+
+from repro import Checker, TypeError_, parse_program, run_function
+from repro.analysis import build_region_graph, check_iso_domination, check_refcounts
+from repro.corpus import load_program, load_source
+from repro.runtime.heap import Heap
+
+FIG4 = """
+struct data { v : int; }
+struct dll_node { iso payload : data; next : dll_node; prev : dll_node; }
+struct dll { iso hd : dll_node?; }
+
+def remove_tail(l : dll) : data? {
+  let some(hd) = l.hd in {
+    let tail = hd.prev;
+    tail.prev.next = hd;
+    hd.prev = tail.prev;
+    some(tail.payload)
+  } else { none }
+}
+"""
+
+
+def main() -> None:
+    print("fig 4 (broken removal):")
+    try:
+        Checker(parse_program(FIG4)).check_program()
+        raise AssertionError("fig 4 must be rejected")
+    except TypeError_ as exc:
+        print(f"  rejected: {type(exc).__name__}")
+        print(f"  ({str(exc).splitlines()[0][:100]}...)")
+
+    print("\nfig 5 (fixed removal, from the corpus dll.fcl): type-checks.")
+    program = load_program("dll")
+    Checker(program).check_program()
+
+    heap = Heap()
+    lst, _ = run_function(program, "make_dll", [6], heap=heap)
+    print(f"  built a circular dll of 6 nodes ({len(heap)} heap objects)")
+
+    graph = build_region_graph(heap, [lst])
+    spine = max(len(r) for r in graph.regions)
+    print(
+        f"  dynamic region graph (fig 8): {len(graph.regions)} regions, "
+        f"spine region has {spine} nodes, iso edges form a tree: "
+        f"{graph.is_tree()}"
+    )
+
+    for size_left in range(6, 0, -1):
+        payload, interp = run_function(program, "remove_tail", [lst], heap=heap)
+        stats = interp.stats.disconnect_checks[-1] if interp.stats.disconnect_checks else None
+        value = heap.obj(payload).fields["v"] if payload is not None else None
+        visited = stats.objects_visited if stats else "-"
+        print(
+            f"  remove_tail on size {size_left}: payload v={value}, "
+            f"if-disconnected visited {visited} objects"
+        )
+        check_refcounts(heap)
+        check_iso_domination(heap, [lst])
+
+    print("  all removals done; refcounts and iso-domination audits passed")
+
+
+if __name__ == "__main__":
+    main()

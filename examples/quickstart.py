@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: parse, type-check, verify, and run an FCL program.
+
+Walks through the full pipeline of the reproduction:
+
+1. parse FCL source (the fig 1/fig 2 singly linked list);
+2. type-check it with the tempered-domination checker (the prover);
+3. independently verify the emitted typing derivation (the verifier);
+4. execute it on the reservation-checked runtime.
+"""
+
+from repro import Checker, Verifier, parse_program, run_function
+from repro.runtime.heap import Heap
+
+SOURCE = """
+struct data { v : int; }
+
+struct sll_node {
+  iso payload : data;       // fig 1: iso payloads ...
+  iso next : sll_node?;     // ... and a recursively linear spine
+}
+
+struct sll { iso hd : sll_node?; }
+
+def make_list(n : int) : sll {
+  let l = new sll();
+  while (n > 0) {
+    let d = new data(v = n);
+    let node = new sll_node(payload = d, next = l.hd);
+    l.hd = some(node);
+    n = n - 1
+  };
+  l
+}
+
+// fig 2: remove the final element.  The returned payload is a dominating
+// reference, fully detached from the list — the caller could send it to
+// another thread immediately.
+def remove_tail(n : sll_node) : data? {
+  let some(next) = n.next in {
+    if (is_none(next.next)) {
+      n.next = none;
+      some(next.payload)
+    } else { remove_tail(next) }
+  } else { none }
+}
+
+def demo() : int {
+  let l = make_list(5);
+  let some(h) = l.hd in {
+    let some(d) = remove_tail(h) in { d.v } else { 0 - 1 }
+  } else { 0 - 2 }
+}
+"""
+
+
+def main() -> None:
+    print("1. parsing ...")
+    program = parse_program(SOURCE)
+    print(f"   structs: {sorted(program.structs)}")
+    print(f"   functions: {sorted(program.funcs)}")
+
+    print("2. type checking (the prover) ...")
+    derivation = Checker(program).check_program()
+    print(f"   accepted; derivation has {derivation.node_count()} nodes")
+
+    print("3. verifying the derivation (the independent verifier) ...")
+    nodes = Verifier(program).verify_program(derivation)
+    print(f"   verified {nodes} nodes")
+
+    print("4. running on the reservation-checked machine ...")
+    heap = Heap()
+    result, interp = run_function(program, "demo", heap=heap)
+    print(f"   demo() = {result}   (the detached tail payload; expected 5)")
+    print(
+        f"   heap traffic: {heap.reads} reads, {heap.writes} writes; "
+        f"0 reservation violations by construction"
+    )
+
+    print("\nA peek at the remove_tail derivation:")
+    print(derivation.funcs["remove_tail"].body.render()[:1200])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""A guided tour of the type system's moving parts, on the core API.
+
+Walks the machinery of §4 directly — no surface language — showing how the
+tracking contexts evolve under the virtual transformations V1–V5, why the
+focus invariant ("one tracked variable per region") matters, how ⊥ fields
+arise and are repaired, and what branch unification does.  Then replays
+the same story at the surface level with the checker's derivation output.
+"""
+
+from repro.core.checker import Checker
+from repro.core.contexts import ContextError, StaticContext
+from repro.core.regions import RegionSupply
+from repro.core.unify import match_contexts
+from repro.lang import ast, parse_program
+
+
+def show(title: str, ctx: StaticContext) -> None:
+    print(f"  {title:42s} {ctx}")
+
+
+def main() -> None:
+    node = ast.StructType("node")
+
+    print("1. Regions and the virtual transformations (fig 11)")
+    ctx = StaticContext(RegionSupply())
+    r = ctx.fresh_region()
+    ctx.bind("x", node, r)
+    show("bind x in a fresh region:", ctx)
+
+    ctx.focus("x")  # V1
+    show("V1 Focus x:", ctx)
+
+    target = ctx.explore("x", "next")  # V3
+    show("V3 Explore x.next (fresh target region):", ctx)
+
+    ctx.bind("y", node, target)
+    show("bind y into the explored region:", ctx)
+
+    print("\n2. The focus invariant (§4.2): aliases cannot both be tracked")
+    ctx.bind("x2", node, r)  # an alias of x (same region)
+    try:
+        ctx.focus("x2")
+    except ContextError as exc:
+        print(f"  focus x2 rejected: {exc}")
+
+    print("\n3. Retract (V4) invalidates everything in the dropped region")
+    ctx.drop_var("y")
+    ctx.retract("x", "next")
+    show("V4 Retract x.next (region gone, y dead):", ctx)
+    ctx.unfocus("x")  # V2
+    show("V2 Unfocus x:", ctx)
+
+    print("\n4. Attach (V5) merges regions and substitutes everywhere")
+    other = ctx.fresh_region()
+    ctx.bind("z", node, other)
+    show("z in its own region:", ctx)
+    ctx.attach(other, r)
+    show("V5 Attach z's region into x's:", ctx)
+
+    print("\n5. ⊥ — invalidated tracked fields (fig 5's l.hd)")
+    ctx2 = StaticContext(RegionSupply(10))
+    r2 = ctx2.fresh_region()
+    ctx2.bind("l", node, r2)
+    ctx2.focus("l")
+    spine = ctx2.explore("l", "hd")
+    show("l focused with hd tracked:", ctx2)
+    ctx2.invalidate_field("l", "hd")
+    show("hd invalidated (⊥) by a region split:", ctx2)
+    try:
+        ctx2.retract("l", "hd")
+    except ContextError as exc:
+        print(f"  retract of a ⊥ field rejected: {exc}")
+    fresh = ctx2.fresh_region()
+    ctx2.set_field_target("l", "hd", fresh)
+    show("repaired by assignment (T7):", ctx2)
+
+    print("\n6. Branch unification (the §5.1 oracle at work)")
+    a = StaticContext(RegionSupply(100))
+    ra = a.fresh_region()
+    a.bind("v", node, ra)
+    b = a.clone()
+    a.focus("v")
+    a.explore("v", "next")
+    print(f"  then-branch: {a}")
+    print(f"  else-branch: {b}")
+    _renaming, steps_a, steps_b = match_contexts(a, b, frozenset({"v"}))
+    print(f"  unified    : {a}")
+    print(f"  steps applied to the richer side: "
+          f"{', '.join(str(s) for s in steps_a) or '(none)'}")
+
+    print("\n7. The same story at the surface: a derivation with TS1 steps")
+    program = parse_program(
+        """
+struct data { v : int; }
+struct box { iso inner : data?; }
+
+def peek(b : box) : int {
+  let some(d) = b.inner in { d.v } else { 0 }
+}
+"""
+    )
+    derivation = Checker(program).check_program()
+    print(derivation.funcs["peek"].body.render())
+
+
+if __name__ == "__main__":
+    main()

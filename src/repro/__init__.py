@@ -1,0 +1,49 @@
+"""repro — a reproduction of "A Flexible Type System for Fearless
+Concurrency" (Milano, Turcotti, Myers; PLDI 2022).
+
+The package implements the paper's language (FCL), its tempered-domination
+region type system with the focus mechanism and virtual transformations,
+the prover–verifier checking architecture, the dynamic reservation-safe
+runtime with the efficient ``if disconnected`` primitive, message-passing
+concurrency, and the Table 1 baseline models.
+
+Quickstart::
+
+    from repro import check_source, parse_program, run_function
+
+    src = open("examples/list.fcl").read()
+    program = parse_program(src)
+    check_source(src)                       # raises on type errors
+    result, interp = run_function(program, "main")
+"""
+
+from .core.checker import CheckProfile, Checker, check_source
+from .core.errors import TypeError_
+from .lang import ParseError, parse_program, pretty_program
+from .runtime.machine import (
+    DeadlockError,
+    Machine,
+    ReservationViolation,
+    run_function,
+)
+from .verifier.verifier import VerificationError, Verifier, verify_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Checker",
+    "CheckProfile",
+    "check_source",
+    "TypeError_",
+    "ParseError",
+    "parse_program",
+    "pretty_program",
+    "Machine",
+    "run_function",
+    "ReservationViolation",
+    "DeadlockError",
+    "Verifier",
+    "VerificationError",
+    "verify_source",
+    "__version__",
+]

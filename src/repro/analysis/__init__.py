@@ -1,0 +1,30 @@
+"""Run-time invariant audits (I1/I2 of §6) and dynamic region graphs."""
+
+from .invariants import (
+    InvariantViolation,
+    check_iso_domination,
+    check_refcounts,
+    check_reservation_closed,
+    check_reservations_disjoint,
+)
+from .gc import GcStats, collect, garbage, reachable_from
+from .schedules import ExplorationReport, explore_all_schedules
+from .regiongraph import RegionGraph, build_region_graph, to_dot, to_networkx
+
+__all__ = [
+    "InvariantViolation",
+    "check_refcounts",
+    "check_reservations_disjoint",
+    "check_reservation_closed",
+    "check_iso_domination",
+    "GcStats",
+    "collect",
+    "garbage",
+    "reachable_from",
+    "ExplorationReport",
+    "explore_all_schedules",
+    "RegionGraph",
+    "build_region_graph",
+    "to_dot",
+    "to_networkx",
+]

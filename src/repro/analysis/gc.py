@@ -1,0 +1,73 @@
+"""Reachability analysis and garbage collection for the runtime heap.
+
+The paper's semantics never reclaim memory: detached spine nodes (e.g. the
+excised node in fig 2's ``remove_tail``) simply become unreachable.  A real
+implementation would collect them — and doing so matters for more than
+space: stored reference counts (§5.2) count *all* non-iso heap references,
+including those held by garbage, so stale garbage pointing into a live
+region makes ``if disconnected`` conservatively answer "connected".
+Collecting the garbage (and dropping its contribution to the counts)
+restores precision.  ``tests/test_gc.py`` demonstrates exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+from ..runtime.heap import Heap
+from ..runtime.values import Loc, is_loc
+
+
+@dataclass
+class GcStats:
+    live: int
+    collected: int
+    refcount_corrections: int
+
+
+def reachable_from(heap: Heap, roots: Iterable[Loc]) -> Set[Loc]:
+    """All locations reachable from the roots (crossing every field)."""
+    seen: Set[Loc] = set()
+    stack = [r for r in roots if r in heap]
+    while stack:
+        loc = stack.pop()
+        if loc in seen:
+            continue
+        seen.add(loc)
+        for value in heap.obj(loc).fields.values():
+            if is_loc(value) and value not in seen and value in heap:
+                stack.append(value)
+    return seen
+
+
+def garbage(heap: Heap, roots: Iterable[Loc]) -> Set[Loc]:
+    """Locations unreachable from the roots."""
+    live = reachable_from(heap, roots)
+    return {loc for loc in heap.locations() if loc not in live}
+
+
+def collect(heap: Heap, roots: Iterable[Loc]) -> GcStats:
+    """Delete unreachable objects, maintaining stored reference counts.
+
+    Non-iso references *from* garbage *into* live objects are exactly the
+    stale counts that blunt the §5.2 disconnection check; each one removed
+    is counted as a correction.
+    """
+    live = reachable_from(heap, roots)
+    dead = [loc for loc in heap.locations() if loc not in live]
+    corrections = 0
+    for loc in dead:
+        obj = heap.obj(loc)
+        for decl in obj.struct.fields:
+            if decl.is_iso:
+                continue
+            value = obj.fields[decl.name]
+            if is_loc(value) and value in live:
+                heap.obj(value).stored_refcount -= 1
+                corrections += 1
+    for loc in dead:
+        del heap._objects[loc]  # noqa: SLF001 — the collector is a heap friend
+    return GcStats(
+        live=len(live), collected=len(dead), refcount_corrections=corrections
+    )

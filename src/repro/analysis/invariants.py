@@ -1,0 +1,120 @@
+"""Executable run-time invariants (§6).
+
+The paper's soundness proof hinges on two run-time invariants; here they
+are implemented as heap audits that tests run after (and during) execution:
+
+* **I1 Reservation-Sufficiency** — every location a thread's evaluation can
+  touch is inside its reservation.  Operationally we check the stronger,
+  easily-audited property that reservations are pairwise disjoint and that
+  everything reachable from a reservation stays inside it (reachability
+  closure), which is what makes every dynamic check of fig 7 succeed.
+
+* **I2 Tree-Of-Untracked-Regions** — any two heap paths from live roots
+  reaching the same location traverse the same sequence of untracked
+  isolated references.  With no static tracking information at hand (audits
+  run between statements, where the corpus programs hold no tracked state),
+  this specializes to: within the reachable heap, every iso field *dominates*
+  its reachable subgraph — i.e. removing the iso edge makes its whole
+  subgraph unreachable from the roots.
+
+Also audited: the §5.2 stored reference counts match a from-scratch recount
+(their accuracy is what makes ``if disconnected`` sound).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from ..runtime.heap import Heap
+from ..runtime.values import Loc, is_loc
+
+
+class InvariantViolation(Exception):
+    """A run-time invariant audit failed."""
+
+
+def check_reservations_disjoint(reservations: Iterable[Set[Loc]]) -> None:
+    seen: Set[Loc] = set()
+    for index, reservation in enumerate(reservations):
+        overlap = seen & reservation
+        if overlap:
+            raise InvariantViolation(
+                f"reservations overlap on {sorted(overlap)} (thread {index})"
+            )
+        seen |= reservation
+
+
+def check_reservation_closed(heap: Heap, reservation: Set[Loc], roots: Iterable[Loc]) -> None:
+    """I1: everything reachable from the roots lies inside the reservation."""
+    for root in roots:
+        missing = heap.live_set(root) - reservation
+        if missing:
+            raise InvariantViolation(
+                f"locations {sorted(missing)} reachable from {root} escape "
+                "the reservation"
+            )
+
+
+def check_refcounts(heap: Heap) -> None:
+    """§5.2: incrementally-maintained stored counts equal a full recount."""
+    expected = heap.recompute_refcounts()
+    for loc, count in expected.items():
+        actual = heap.obj(loc).stored_refcount
+        if actual != count:
+            raise InvariantViolation(
+                f"stored refcount of {loc} is {actual}, recount says {count}"
+            )
+
+
+def _reachable(heap: Heap, roots: Iterable[Loc]) -> Set[Loc]:
+    seen: Set[Loc] = set()
+    stack = [r for r in roots]
+    while stack:
+        loc = stack.pop()
+        if loc in seen or loc not in heap:
+            continue
+        seen.add(loc)
+        for value in heap.obj(loc).fields.values():
+            if is_loc(value):
+                stack.append(value)
+    return seen
+
+
+def check_iso_domination(heap: Heap, roots: Iterable[Loc]) -> None:
+    """I2 (untracked specialization): every iso edge in the *reachable* heap
+    dominates its target's subgraph — cutting the edge must make the entire
+    subgraph reachable through it unreachable from the roots."""
+    roots = list(roots)
+    reachable = _reachable(heap, roots)
+    iso_edges: List[Tuple[Loc, str, Loc]] = []
+    for loc in reachable:
+        obj = heap.obj(loc)
+        for decl in obj.struct.fields:
+            if decl.is_iso:
+                value = obj.fields[decl.name]
+                if is_loc(value):
+                    iso_edges.append((loc, decl.name, value))
+    for owner, fieldname, target in iso_edges:
+        # Reachability with the edge cut.
+        seen: Set[Loc] = set()
+        stack = list(roots)
+        while stack:
+            loc = stack.pop()
+            if loc in seen or loc not in heap:
+                continue
+            seen.add(loc)
+            obj = heap.obj(loc)
+            for decl in obj.struct.fields:
+                value = obj.fields[decl.name]
+                if not is_loc(value):
+                    continue
+                if loc == owner and decl.name == fieldname:
+                    continue  # the cut edge
+                stack.append(value)
+        target_subgraph = _reachable(heap, [target])
+        leaked = seen & target_subgraph
+        if leaked:
+            raise InvariantViolation(
+                f"iso field {owner}.{fieldname} does not dominate its "
+                f"subgraph: {sorted(leaked)} reachable around it"
+            )

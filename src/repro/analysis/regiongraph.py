@@ -1,0 +1,163 @@
+"""Dynamic region-graph discovery (the "detailed region graphs" of the
+introduction's contribution list).
+
+Given a heap and a set of roots, partition the reachable object graph into
+*dynamic regions*: maximal groups of objects connected by non-iso
+references, with iso references forming the edges of a region DAG/tree.
+This is the run-time counterpart of the static region structure drawn in
+fig 8 and is exposed to examples/tests for visualization and auditing.
+
+Uses :mod:`networkx` for the condensation when available (it is listed as
+an environment dependency), with a pure-Python fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..runtime.heap import Heap
+from ..runtime.values import Loc, is_loc
+
+
+@dataclass
+class RegionGraph:
+    """Objects partitioned into dynamic regions, plus iso edges between
+    regions."""
+
+    regions: List[FrozenSet[Loc]]
+    #: iso edges: (owner region index, owner loc, field, target region index)
+    edges: List[Tuple[int, Loc, str, int]]
+    region_of: Dict[Loc, int] = field(default_factory=dict)
+
+    def region_index(self, loc: Loc) -> int:
+        return self.region_of[loc]
+
+    def same_region(self, a: Loc, b: Loc) -> bool:
+        return self.region_of[a] == self.region_of[b]
+
+    def is_tree(self) -> bool:
+        """Whether the region graph forms a forest (each region has at most
+        one inbound iso edge) — the tempered-domination shape when no
+        tracking is active."""
+        inbound: Dict[int, int] = {}
+        for _owner_region, _loc, _fieldname, target in self.edges:
+            inbound[target] = inbound.get(target, 0) + 1
+            if inbound[target] > 1:
+                return False
+        return True
+
+
+def build_region_graph(heap: Heap, roots: Iterable[Loc]) -> RegionGraph:
+    """Discover the dynamic region structure reachable from ``roots``."""
+    # Reachable set (crossing all references).
+    reachable: Set[Loc] = set()
+    stack = list(roots)
+    while stack:
+        loc = stack.pop()
+        if loc in reachable or loc not in heap:
+            continue
+        reachable.add(loc)
+        for value in heap.obj(loc).fields.values():
+            if is_loc(value):
+                stack.append(value)
+
+    # Union-find over non-iso connectivity (undirected: a non-iso reference
+    # places both endpoints in one region).
+    parent: Dict[Loc, Loc] = {loc: loc for loc in reachable}
+
+    def find(x: Loc) -> Loc:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: Loc, y: Loc) -> None:
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[rx] = ry
+
+    iso_refs: List[Tuple[Loc, str, Loc]] = []
+    for loc in reachable:
+        obj = heap.obj(loc)
+        for decl in obj.struct.fields:
+            value = obj.fields[decl.name]
+            if not is_loc(value) or value not in reachable:
+                continue
+            if decl.is_iso:
+                iso_refs.append((loc, decl.name, value))
+            else:
+                union(loc, value)
+
+    groups: Dict[Loc, Set[Loc]] = {}
+    for loc in reachable:
+        groups.setdefault(find(loc), set()).add(loc)
+    regions = [frozenset(group) for _root, group in sorted(groups.items())]
+    region_of: Dict[Loc, int] = {}
+    for index, region in enumerate(regions):
+        for loc in region:
+            region_of[loc] = index
+
+    edges = [
+        (region_of[owner], owner, fieldname, region_of[target])
+        for owner, fieldname, target in iso_refs
+    ]
+    return RegionGraph(regions=regions, edges=edges, region_of=region_of)
+
+
+def to_dot(graph: RegionGraph, heap: Optional["Heap"] = None) -> str:
+    """Graphviz DOT rendering of the region graph (the fig 8 picture).
+
+    Each region is a cluster of its objects; iso references are the
+    inter-cluster edges.  Pass the heap to label objects with their struct
+    names.
+    """
+    lines = ["digraph regions {", "  compound=true;", "  node [shape=box];"]
+    anchor: Dict[int, str] = {}
+    for index, region in enumerate(graph.regions):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="region {index}";')
+        for loc in sorted(region):
+            label = str(loc)
+            if heap is not None and loc in heap:
+                label = f"{heap.obj(loc).struct.name} {loc}"
+            node = f"n{loc.ident}"
+            anchor.setdefault(index, node)
+            lines.append(f'    {node} [label="{label}"];')
+        lines.append("  }")
+    for owner_region, owner, fieldname, target in graph.edges:
+        src = f"n{owner.ident}"
+        dest = anchor[target]
+        lines.append(
+            f'  {src} -> {dest} [label="{fieldname}", lhead=cluster_{target}];'
+        )
+    # Intra-region (non-iso) edges, when the heap is available.
+    if heap is not None:
+        for index, region in enumerate(graph.regions):
+            for loc in sorted(region):
+                obj = heap.obj(loc)
+                for decl in obj.struct.fields:
+                    if decl.is_iso:
+                        continue
+                    value = obj.fields[decl.name]
+                    from ..runtime.values import is_loc
+
+                    if is_loc(value) and value in region:
+                        lines.append(
+                            f"  n{loc.ident} -> n{value.ident} "
+                            f'[label="{decl.name}", style=dashed];'
+                        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_networkx(graph: RegionGraph):
+    """The region graph as a networkx DiGraph (regions as nodes)."""
+    import networkx as nx
+
+    g = nx.MultiDiGraph()
+    for index, region in enumerate(graph.regions):
+        g.add_node(index, size=len(region))
+    for owner_region, owner, fieldname, target in graph.edges:
+        g.add_edge(owner_region, target, owner=owner.ident, field=fieldname)
+    return g

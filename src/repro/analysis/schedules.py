@@ -1,0 +1,159 @@
+"""Exhaustive schedule exploration for small concurrent configurations.
+
+Random schedules (experiment E7) sample the interleaving space; this module
+*enumerates* it.  Computation between communication events is deterministic
+— a thread's behaviour can only depend on the interleaving through the
+``send``/``recv`` pairings it participates in — so it suffices to explore
+every sequence of rendezvous decisions.  Each thread is run to its next
+blocking point, the set of enabled (sender, receiver) pairings forms the
+branching, and a depth-first replay visits every branch.
+
+For each complete schedule the explorer records thread results and checks
+reservation disjointness and stored-refcount exactness; any
+:class:`~repro.runtime.machine.ReservationViolation`, deadlock, or invariant
+failure is reported with the offending decision sequence.  On small
+instances of the corpus pipelines this *proves* schedule-independence
+(within the explored scope) rather than sampling it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lang import ast
+from ..runtime.heap import Heap
+from ..runtime.machine import ReservationViolation
+from ..runtime.smallstep import (
+    BLOCKED_RECV,
+    BLOCKED_SEND,
+    DONE,
+    RUNNING,
+    Config,
+)
+from .invariants import InvariantViolation, check_refcounts
+
+#: A schedule is a sequence of (sender index, receiver index) decisions.
+Decision = Tuple[int, int]
+
+
+@dataclass
+class ScheduleOutcome:
+    decisions: Tuple[Decision, ...]
+    results: Tuple[object, ...]
+    deadlocked: bool = False
+
+
+@dataclass
+class ExplorationReport:
+    outcomes: List[ScheduleOutcome] = field(default_factory=list)
+    violations: List[Tuple[Tuple[Decision, ...], str]] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def schedules_explored(self) -> int:
+        return len(self.outcomes)
+
+    def distinct_results(self) -> Set[Tuple[object, ...]]:
+        return {o.results for o in self.outcomes if not o.deadlocked}
+
+    def all_agree(self) -> bool:
+        return not self.violations and len(self.distinct_results()) <= 1
+
+
+def _run_until_blocked(configs: Sequence[Config]) -> None:
+    for config in configs:
+        while config.status == RUNNING:
+            config.step()
+
+
+def _enabled_pairings(configs: Sequence[Config]) -> List[Decision]:
+    out = []
+    for si, sender in enumerate(configs):
+        if sender.status != BLOCKED_SEND:
+            continue
+        struct = sender.pending_send[0]
+        for ri, receiver in enumerate(configs):
+            if (
+                receiver.status == BLOCKED_RECV
+                and receiver.pending_recv_struct == struct
+            ):
+                out.append((si, ri))
+    return out
+
+
+def _replay(
+    program: ast.Program,
+    spawns: Sequence[Tuple[str, Sequence[object]]],
+    decisions: Sequence[Decision],
+) -> Tuple[List[Config], Heap]:
+    """Deterministically re-execute a prefix of rendezvous decisions."""
+    heap = Heap()
+    configs = [
+        Config(program, heap, set(), func, list(args)) for func, args in spawns
+    ]
+    _run_until_blocked(configs)
+    for sender_index, receiver_index in decisions:
+        sender = configs[sender_index]
+        receiver = configs[receiver_index]
+        assert sender.status == BLOCKED_SEND
+        assert receiver.status == BLOCKED_RECV
+        _struct, root, live = sender.pending_send
+        sender.complete_send()
+        receiver.complete_recv(root, live)
+        _run_until_blocked(configs)
+    return configs, heap
+
+
+def _audit(configs: Sequence[Config], heap: Heap) -> None:
+    seen: Set = set()
+    for config in configs:
+        if seen & config.reservation:
+            raise InvariantViolation("reservations overlap")
+        seen |= config.reservation
+    check_refcounts(heap)
+
+
+def explore_all_schedules(
+    program: ast.Program,
+    spawns: Sequence[Tuple[str, Sequence[object]]],
+    max_schedules: int = 10_000,
+) -> ExplorationReport:
+    """Depth-first enumeration of every rendezvous ordering.
+
+    ``spawns`` is a list of (function name, args) for the thread tuple.
+    Returns a report of every complete schedule's results plus any
+    violations found.
+    """
+    report = ExplorationReport()
+
+    def dfs(decisions: Tuple[Decision, ...]) -> None:
+        if report.truncated:
+            return
+        if len(report.outcomes) + len(report.violations) >= max_schedules:
+            report.truncated = True
+            return
+        try:
+            configs, heap = _replay(program, spawns, decisions)
+            _audit(configs, heap)
+        except (ReservationViolation, InvariantViolation) as exc:
+            report.violations.append((decisions, str(exc)))
+            return
+        options = _enabled_pairings(configs)
+        if not options:
+            blocked = any(
+                c.status in (BLOCKED_SEND, BLOCKED_RECV) for c in configs
+            )
+            report.outcomes.append(
+                ScheduleOutcome(
+                    decisions=decisions,
+                    results=tuple(c.result for c in configs),
+                    deadlocked=blocked,
+                )
+            )
+            return
+        for option in options:
+            dfs(decisions + (option,))
+
+    dfs(())
+    return report

@@ -1,0 +1,18 @@
+"""Baseline models for the Table 1 comparison and the E6 write-count study."""
+
+from .destructive import destructive_remove_tail, fearless_remove_tail
+from .profiles import AFFINE, ALL_PROFILES, FEARLESS, GLOBAL_DOMINATION, SEARCH_ONLY
+from .table1 import build_table, compare_with_paper, render_table
+
+__all__ = [
+    "AFFINE",
+    "FEARLESS",
+    "GLOBAL_DOMINATION",
+    "SEARCH_ONLY",
+    "ALL_PROFILES",
+    "build_table",
+    "compare_with_paper",
+    "render_table",
+    "destructive_remove_tail",
+    "fearless_remove_tail",
+]

@@ -1,0 +1,60 @@
+"""Checker profiles modelling the related language designs of Table 1 (§9.5).
+
+Table 1 is a capability matrix.  Each related system's *distinguishing
+restriction* — the reason it earns an ✗ in some column — is expressible as
+a restriction of our checker:
+
+* **Affine / tree-of-objects systems** (Rust without unsafe, Wadler-style
+  uniqueness): every object reference is an owning edge; there are no
+  intra-region references, so the circular doubly linked list is not even
+  representable (`allow_intra_region_refs=False`).
+
+* **Global-domination systems** (LaCasa, OwnerJ-style ownership systems,
+  M#): iso/unique fields must dominate *at all times* and there is no focus
+  mechanism; reading an iso field requires a destructive read or swap, so
+  the non-destructive singly-linked-list traversal of fig 2 is untypable
+  (`allow_focus=False`).
+
+* Neither family has an ``if disconnected`` primitive
+  (`allow_if_disconnected=False`), so fig 5 is out of reach for all of them
+  — matching the paper's claim that *no* previous system expresses
+  ``remove_tail`` on the doubly linked list.
+
+Rows the paper marks "~" (Vault, Mezzo, Pony) mix these restrictions with
+system-specific mechanisms we do not model mechanically; their verdicts are
+recorded as documented (non-mechanical) entries in
+:mod:`repro.baselines.table1`.
+"""
+
+from __future__ import annotations
+
+from ..core.checker import CheckProfile
+
+#: This paper's system (the default profile).
+FEARLESS = CheckProfile(name="fearless")
+
+#: Affine/tree-of-objects model: no intra-region references, no focus
+#: needed for the sll (unique chains are this model's bread and butter),
+#: no region-splitting primitive.
+AFFINE = CheckProfile(
+    name="affine",
+    allow_intra_region_refs=False,
+    allow_if_disconnected=False,
+)
+
+#: Global-domination model: intra-region aliases are fine (that is the
+#: whole point of LaCasa-style boxes) but there is no focus, so iso fields
+#: may never be observed in a non-dominating state.
+GLOBAL_DOMINATION = CheckProfile(
+    name="global-domination",
+    allow_focus=False,
+    allow_if_disconnected=False,
+)
+
+#: Search-only profile (no liveness oracle) for the §4.6/§5.1 experiments.
+SEARCH_ONLY = CheckProfile(name="search-only", use_liveness_oracle=False)
+
+ALL_PROFILES = {
+    profile.name: profile
+    for profile in (FEARLESS, AFFINE, GLOBAL_DOMINATION, SEARCH_ONLY)
+}

@@ -1,0 +1,365 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``check FILE``            — type-check an FCL program (the prover).
+* ``verify FILE``           — check, then independently verify the derivation.
+* ``run FILE FN [ARGS...]`` — run a function single-threaded (int/bool args).
+* ``derivation FILE FN``    — print the typing derivation of one function.
+* ``regions FILE FN [N]``   — run FN(N) and draw the dynamic region graph.
+* ``table1``                — regenerate the Table 1 comparison matrix.
+* ``corpus``                — list, check, and verify the bundled corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.checker import Checker
+from .core.errors import TypeError_
+from .lang import ParseError, parse_program
+from .lang.lexer import LexError
+from .runtime.heap import Heap
+from .runtime.machine import run_function
+from .runtime.values import NONE, UNIT, Loc
+from .verifier import VerificationError, Verifier
+
+
+_SOURCES: dict = {}
+
+
+def _load(path: str):
+    try:
+        source = Path(path).read_text()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    _SOURCES[path] = source
+    try:
+        return parse_program(source)
+    except ParseError as exc:
+        from .lang.diagnostics import render_diagnostic, strip_location_prefix
+
+        raise SystemExit(
+            render_diagnostic(
+                source,
+                exc.span,
+                strip_location_prefix(str(exc)),
+                filename=path,
+                kind="syntax error",
+            )
+        )
+    except LexError as exc:
+        raise SystemExit(f"{path}: syntax error: {exc}")
+
+
+def _report_type_error(path: str, exc: TypeError_) -> None:
+    from .lang.diagnostics import render_diagnostic
+
+    source = _SOURCES.get(path, "")
+    print(
+        render_diagnostic(
+            source, exc.span, exc.message, filename=path, kind="type error"
+        ),
+        file=sys.stderr,
+    )
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    try:
+        derivation = Checker(program).check_program()
+    except TypeError_ as exc:
+        _report_type_error(args.file, exc)
+        return 1
+    print(
+        f"{args.file}: OK — {len(program.funcs)} functions, "
+        f"{derivation.node_count()} derivation nodes"
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    try:
+        derivation = Checker(program).check_program()
+    except TypeError_ as exc:
+        print(f"{args.file}: type error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        nodes = Verifier(program).verify_program(derivation)
+    except VerificationError as exc:
+        print(f"{args.file}: VERIFICATION FAILED: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.file}: verified ({nodes} nodes)")
+    return 0
+
+
+def _parse_args(raw: List[str]):
+    values = []
+    for text in raw:
+        if text == "true":
+            values.append(True)
+        elif text == "false":
+            values.append(False)
+        else:
+            try:
+                values.append(int(text))
+            except ValueError:
+                raise SystemExit(
+                    f"error: arguments must be ints or true/false, got {text!r}"
+                )
+    return values
+
+
+def _show(value, heap: Heap) -> str:
+    if value is UNIT:
+        return "()"
+    if value is NONE:
+        return "none"
+    if isinstance(value, Loc):
+        obj = heap.obj(value)
+        fields = ", ".join(
+            f"{name} = {_brief(v)}" for name, v in obj.fields.items()
+        )
+        return f"{obj.struct.name}{{{fields}}} @ {value}"
+    return repr(value)
+
+
+def _brief(value) -> str:
+    if value is NONE:
+        return "none"
+    if isinstance(value, Loc):
+        return str(value)
+    return repr(value)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    if not args.unchecked:
+        try:
+            Checker(program).check_program()
+        except TypeError_ as exc:
+            _report_type_error(args.file, exc)
+            return 1
+    tracer = None
+    if args.trace:
+        from .runtime.trace import Tracer
+
+        tracer = Tracer()
+    heap = Heap(tracer=tracer)
+    try:
+        result, interp = run_function(
+            program,
+            args.function,
+            _parse_args(args.args),
+            heap=heap,
+            check_reservations=not args.no_reservation_checks,
+        )
+    except Exception as exc:  # surfaced verbatim: runtime failures matter
+        print(f"runtime error: {exc}", file=sys.stderr)
+        return 3
+    print(_show(result, heap))
+    if tracer is not None:
+        print(tracer.render(last=args.trace), file=sys.stderr)
+    if args.stats:
+        print(
+            f"steps={interp.stats.steps} heap_reads={heap.reads} "
+            f"heap_writes={heap.writes} objects={len(heap)}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_derivation(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    try:
+        derivation = Checker(program).check_program()
+    except TypeError_ as exc:
+        print(f"{args.file}: type error: {exc}", file=sys.stderr)
+        return 1
+    if args.function not in derivation.funcs:
+        print(f"error: no function {args.function!r}", file=sys.stderr)
+        return 1
+    print(derivation.funcs[args.function].body.render())
+    return 0
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    """Emit a JSON derivation certificate (the prover half of §5)."""
+    from .core.serialize import program_derivation_to_json
+
+    program = _load(args.file)
+    try:
+        derivation = Checker(program).check_program()
+    except TypeError_ as exc:
+        print(f"{args.file}: type error: {exc}", file=sys.stderr)
+        return 1
+    text = program_derivation_to_json(derivation, indent=1)
+    if args.out == "-":
+        print(text)
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote certificate to {args.out}")
+    return 0
+
+
+def cmd_verify_cert(args: argparse.Namespace) -> int:
+    """Verify a JSON certificate against a program (the verifier half)."""
+    from .core.serialize import program_derivation_from_json
+
+    program = _load(args.file)
+    try:
+        derivation = program_derivation_from_json(Path(args.cert).read_text())
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load certificate {args.cert}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        nodes = Verifier(program).verify_program(derivation)
+    except VerificationError as exc:
+        print(f"CERTIFICATE REJECTED: {exc}", file=sys.stderr)
+        return 2
+    print(f"certificate verified ({nodes} nodes)")
+    return 0
+
+
+def cmd_regions(args: argparse.Namespace) -> int:
+    from .analysis import build_region_graph, to_dot
+
+    program = _load(args.file)
+    heap = Heap()
+    call_args = _parse_args(args.args)
+    result, _ = run_function(program, args.function, call_args, heap=heap)
+    roots = [result] if isinstance(result, Loc) else list(heap.locations())
+    graph = build_region_graph(heap, roots)
+    if args.dot:
+        print(to_dot(graph, heap))
+        return 0
+    print(f"{len(graph.regions)} dynamic regions, {len(graph.edges)} iso edges")
+    for index, region in enumerate(graph.regions):
+        members = ", ".join(str(loc) for loc in sorted(region))
+        print(f"  region {index}: {{{members}}}")
+    for owner_region, owner, fieldname, target in graph.edges:
+        print(f"  region {owner_region} --{owner}.{fieldname}--> region {target}")
+    print(f"region graph is a tree: {graph.is_tree()}")
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    from .baselines import render_table
+
+    print(render_table())
+    return 0
+
+
+def cmd_corpus(_args: argparse.Namespace) -> int:
+    from .corpus import corpus_names, load_program
+
+    for name in corpus_names():
+        program = load_program(name)
+        derivation = Checker(program).check_program()
+        nodes = Verifier(program).verify_program(derivation)
+        print(
+            f"{name:8s} {len(program.funcs):3d} functions  "
+            f"checked + verified ({nodes} nodes)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fearless-concurrency language tools (PLDI 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="type-check an FCL program")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("verify", help="check and independently verify")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("run", help="run a function single-threaded")
+    p.add_argument("file")
+    p.add_argument("function")
+    p.add_argument("args", nargs="*")
+    p.add_argument("--stats", action="store_true", help="print execution stats")
+    p.add_argument(
+        "--trace",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help="print the last N heap events (default 25)",
+    )
+    p.add_argument(
+        "--unchecked",
+        action="store_true",
+        help="skip the type checker (reservation checks will protect you)",
+    )
+    p.add_argument(
+        "--no-reservation-checks",
+        action="store_true",
+        help="also erase the dynamic reservation checks",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("derivation", help="print a typing derivation")
+    p.add_argument("file")
+    p.add_argument("function")
+    p.set_defaults(func=cmd_derivation)
+
+    p = sub.add_parser("prove", help="emit a JSON derivation certificate")
+    p.add_argument("file")
+    p.add_argument("--out", default="-", help="output path (default stdout)")
+    p.set_defaults(func=cmd_prove)
+
+    p = sub.add_parser(
+        "verify-cert", help="verify a JSON certificate against a program"
+    )
+    p.add_argument("file")
+    p.add_argument("cert")
+    p.set_defaults(func=cmd_verify_cert)
+
+    p = sub.add_parser("regions", help="run and draw the dynamic region graph")
+    p.add_argument("file")
+    p.add_argument("function")
+    p.add_argument("args", nargs="*")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.set_defaults(func=cmd_regions)
+
+    p = sub.add_parser("table1", help="regenerate the Table 1 matrix")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("corpus", help="check + verify the bundled corpus")
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("repl", help="interactive FCL session")
+    p.set_defaults(func=lambda _args: __import__(
+        "repro.repl", fromlist=["run_repl"]
+    ).run_repl())
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    sys.setrecursionlimit(100_000)
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

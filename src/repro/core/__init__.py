@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the tempered-domination type system."""
+
+from .checker import CheckProfile, Checker, check_source
+from .contexts import StaticContext
+from .framing import Frame, frame_away, restore
+from .derivation import Derivation, FuncDerivation, ProgramDerivation
+from .regions import Region, RegionSupply
+
+__all__ = [
+    "Checker",
+    "CheckProfile",
+    "check_source",
+    "StaticContext",
+    "Frame",
+    "frame_away",
+    "restore",
+    "Derivation",
+    "FuncDerivation",
+    "ProgramDerivation",
+    "Region",
+    "RegionSupply",
+]

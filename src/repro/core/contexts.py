@@ -1,0 +1,475 @@
+"""Static contexts of the type system (§4.3–§4.5, figs 9 & 11).
+
+The heap context ``H`` is a set of *tracking contexts* ``r°⟨x°[f ↦ r, …], …⟩``:
+each region capability ``r`` carries the variables currently *focused* in it
+and, per focused variable, the iso fields currently *tracked* with their
+target regions.  Pinning (the ``°`` annotation) marks partial information
+introduced by framing: pinned regions/variables admit no new tracking.
+
+The variable context ``Γ`` maps in-scope variables to a type and region.
+
+Virtual transformations V1–V5 (fig 11) are methods on :class:`StaticContext`:
+
+* V1 Focus      — begin tracking a variable in an empty, unpinned region.
+* V2 Unfocus    — stop tracking a variable with no tracked fields.
+* V3 Explore    — track an iso field, introducing a fresh target region.
+* V4 Retract    — untrack an iso field whose target region is empty,
+                  dropping that region (and invalidating other refs to it).
+* V5 Attach     — merge one region into another, substituting everywhere.
+
+Two admissible weakenings used at block/function boundaries (see DESIGN.md):
+dropping dead variable bindings, and dropping whole regions (which ⊥-invalidates
+inbound tracked references).
+
+An *invalidated* tracked field (⊥, stored as ``None``) arises from region
+splits (``if disconnected``) and consumed frame targets; it must be
+reassigned before its owner can be unfocused — exactly the "l.hd invalid at
+branch start" behaviour of fig 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast
+from .errors import PinnedViolation, TypeError_
+from .regions import Region, RegionRenaming, RegionSupply
+
+#: Snapshot types (canonical, hashable forms used by derivations/verifier).
+FieldsSnap = Tuple[Tuple[str, int], ...]  # field -> region id (-1 for ⊥)
+VarSnap = Tuple[str, bool, FieldsSnap]
+RegionSnap = Tuple[int, bool, Tuple[VarSnap, ...]]
+HeapSnap = Tuple[RegionSnap, ...]
+GammaSnap = Tuple[Tuple[str, str, int], ...]  # name, type, region id (-1 = prim)
+ContextSnap = Tuple[HeapSnap, GammaSnap]
+
+
+class ContextError(TypeError_):
+    """A virtual transformation's precondition failed."""
+
+
+@dataclass
+class TrackedVar:
+    """``x°[f ↦ r, …]`` — a focused variable and its tracked iso fields.
+
+    A field mapped to ``None`` is invalidated (⊥): the static target is
+    unknown, so the field must be reassigned before use or unfocus.
+    """
+
+    pinned: bool = False
+    fields: Dict[str, Optional[Region]] = field(default_factory=dict)
+
+    def clone(self) -> "TrackedVar":
+        return TrackedVar(self.pinned, dict(self.fields))
+
+    def snapshot(self, name: str) -> VarSnap:
+        fields = tuple(
+            sorted(
+                (f, -1 if r is None else r.ident) for f, r in self.fields.items()
+            )
+        )
+        return (name, self.pinned, fields)
+
+
+@dataclass
+class TrackingContext:
+    """``r°⟨X⟩`` — the set of variables currently focused in region r."""
+
+    pinned: bool = False
+    vars: Dict[str, TrackedVar] = field(default_factory=dict)
+
+    def clone(self) -> "TrackingContext":
+        return TrackingContext(
+            self.pinned, {name: tv.clone() for name, tv in self.vars.items()}
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.vars
+
+    def snapshot(self, region: Region) -> RegionSnap:
+        vars_snap = tuple(
+            sorted(tv.snapshot(name) for name, tv in self.vars.items())
+        )
+        return (region.ident, self.pinned, vars_snap)
+
+
+@dataclass
+class Binding:
+    """A Γ entry: the variable's type and region (None for primitives)."""
+
+    ty: ast.Type
+    region: Optional[Region]
+
+    def clone(self) -> "Binding":
+        return Binding(self.ty, self.region)
+
+
+class StaticContext:
+    """The pair (H; Γ) plus the fresh-region supply.
+
+    All mutating operations work in place; use :meth:`clone` before
+    branching.  Operations raise :class:`ContextError` when a virtual
+    transformation's side conditions fail.
+    """
+
+    def __init__(self, supply: Optional[RegionSupply] = None):
+        self.heap: Dict[Region, TrackingContext] = {}
+        self.gamma: Dict[str, Binding] = {}
+        self.supply = supply if supply is not None else RegionSupply()
+
+    # -- basics ------------------------------------------------------------
+
+    def clone(self) -> "StaticContext":
+        other = StaticContext(self.supply)  # supply is shared: freshness is global
+        other.heap = {r: tc.clone() for r, tc in self.heap.items()}
+        other.gamma = {x: b.clone() for x, b in self.gamma.items()}
+        return other
+
+    def snapshot(self) -> ContextSnap:
+        heap = tuple(
+            sorted(tc.snapshot(r) for r, tc in self.heap.items())
+        )
+        gamma = tuple(
+            sorted(
+                (
+                    name,
+                    str(b.ty),
+                    -1 if b.region is None else b.region.ident,
+                )
+                for name, b in self.gamma.items()
+            )
+        )
+        return (heap, gamma)
+
+    def __str__(self) -> str:
+        regions = []
+        for r, tc in sorted(self.heap.items()):
+            pin = "^" if tc.pinned else ""
+            inner = ", ".join(
+                f"{x}{'^' if tv.pinned else ''}["
+                + ", ".join(
+                    f"{f}↦{'⊥' if t is None else t}" for f, t in sorted(tv.fields.items())
+                )
+                + "]"
+                for x, tv in sorted(tc.vars.items())
+            )
+            regions.append(f"{r}{pin}⟨{inner}⟩")
+        gamma = ", ".join(
+            f"{x}: {b.region or '·'} {b.ty}" for x, b in sorted(self.gamma.items())
+        )
+        return "H = {" + "; ".join(regions) + "} | Γ = {" + gamma + "}"
+
+    # -- region management ---------------------------------------------------
+
+    def fresh_region(self) -> Region:
+        """Create a fresh, empty, unpinned region and add it to H."""
+        region = self.supply.fresh()
+        self.heap[region] = TrackingContext()
+        return region
+
+    def add_region(self, region: Region, pinned: bool = False) -> None:
+        if region in self.heap:
+            raise ContextError(f"region {region} already present")
+        self.heap[region] = TrackingContext(pinned=pinned)
+
+    def has_region(self, region: Region) -> bool:
+        return region in self.heap
+
+    def tracking(self, region: Region) -> TrackingContext:
+        try:
+            return self.heap[region]
+        except KeyError:
+            raise ContextError(f"region {region} not in heap context") from None
+
+    # -- Γ management --------------------------------------------------------
+
+    def bind(self, name: str, ty: ast.Type, region: Optional[Region]) -> None:
+        if region is not None and region not in self.heap:
+            raise ContextError(f"cannot bind {name} in absent region {region}")
+        self.gamma[name] = Binding(ty, region)
+
+    def lookup(self, name: str) -> Binding:
+        try:
+            return self.gamma[name]
+        except KeyError:
+            raise ContextError(f"variable {name!r} is not bound") from None
+
+    def has_var(self, name: str) -> bool:
+        return name in self.gamma
+
+    def drop_var(self, name: str) -> None:
+        """Weakening: remove a Γ binding.  Any tracking entry for the
+        variable remains as a ghost until unfocused or its region dropped."""
+        self.gamma.pop(name, None)
+
+    def vars_in_region(self, region: Region) -> List[str]:
+        return [x for x, b in self.gamma.items() if b.region == region]
+
+    # -- queries ---------------------------------------------------------------
+
+    def tracked_region_of(self, name: str) -> Optional[Region]:
+        """The region in whose tracking context ``name`` appears, if any."""
+        for region, tc in self.heap.items():
+            if name in tc.vars:
+                return region
+        return None
+
+    def tracked_var(self, name: str) -> Optional[TrackedVar]:
+        region = self.tracked_region_of(name)
+        if region is None:
+            return None
+        return self.heap[region].vars[name]
+
+    def inbound_refs(self, region: Region) -> List[Tuple[Region, str, str]]:
+        """Tracked fields (owner region, owner var, field) targeting ``region``."""
+        refs = []
+        for r, tc in self.heap.items():
+            for x, tv in tc.vars.items():
+                for f, target in tv.fields.items():
+                    if target == region:
+                        refs.append((r, x, f))
+        return refs
+
+    # -- virtual transformations (fig 11) --------------------------------------
+
+    def focus(self, name: str) -> Region:
+        """V1 Focus: begin tracking ``name`` in its (empty, unpinned) region."""
+        binding = self.lookup(name)
+        if binding.region is None:
+            raise ContextError(f"cannot focus {name!r}: primitive value")
+        tc = self.tracking(binding.region)
+        if tc.pinned:
+            raise PinnedViolation(f"cannot focus {name!r}: region {binding.region} is pinned")
+        if not tc.is_empty:
+            raise ContextError(
+                f"cannot focus {name!r}: region {binding.region} tracking context "
+                f"is not empty (tracked: {sorted(tc.vars)})"
+            )
+        tc.vars[name] = TrackedVar()
+        return binding.region
+
+    def unfocus(self, name: str) -> Region:
+        """V2 Unfocus: stop tracking ``name``; requires no tracked fields."""
+        region = self.tracked_region_of(name)
+        if region is None:
+            raise ContextError(f"cannot unfocus {name!r}: not tracked")
+        tv = self.heap[region].vars[name]
+        if tv.pinned:
+            raise PinnedViolation(f"cannot unfocus pinned variable {name!r}")
+        if tv.fields:
+            raise ContextError(
+                f"cannot unfocus {name!r}: fields still tracked "
+                f"({sorted(tv.fields)})"
+            )
+        del self.heap[region].vars[name]
+        return region
+
+    def explore(self, name: str, fieldname: str) -> Region:
+        """V3 Explore: track iso field ``name.fieldname`` into a fresh region.
+
+        Sound because an untracked iso field dominates its target subgraph,
+        so that subgraph is a region of its own.
+        """
+        region = self.tracked_region_of(name)
+        if region is None:
+            raise ContextError(f"cannot explore {name}.{fieldname}: {name!r} not focused")
+        tv = self.heap[region].vars[name]
+        if tv.pinned:
+            raise PinnedViolation(
+                f"cannot explore {name}.{fieldname}: variable is pinned"
+            )
+        if fieldname in tv.fields:
+            raise ContextError(f"field {name}.{fieldname} is already tracked")
+        target = self.fresh_region()
+        tv.fields[fieldname] = target
+        return target
+
+    def retract(self, name: str, fieldname: str) -> Region:
+        """V4 Retract: untrack ``name.fieldname``; its target region must be
+        empty and unpinned.  Drops the target region, invalidating any other
+        references into it (Γ bindings die; other tracked fields become ⊥)."""
+        region = self.tracked_region_of(name)
+        if region is None:
+            raise ContextError(f"cannot retract {name}.{fieldname}: {name!r} not focused")
+        tv = self.heap[region].vars[name]
+        if fieldname not in tv.fields:
+            raise ContextError(f"field {name}.{fieldname} is not tracked")
+        target = tv.fields[fieldname]
+        if target is None:
+            raise ContextError(
+                f"cannot retract invalidated field {name}.{fieldname}; reassign it first"
+            )
+        target_tc = self.tracking(target)
+        if target_tc.pinned:
+            raise PinnedViolation(
+                f"cannot retract {name}.{fieldname}: target region {target} is pinned"
+            )
+        if not target_tc.is_empty:
+            raise ContextError(
+                f"cannot retract {name}.{fieldname}: target region {target} "
+                f"still tracks {sorted(target_tc.vars)}"
+            )
+        del tv.fields[fieldname]
+        del self.heap[target]
+        # "invalidating any other references to the retracted target's
+        # region" (§4.5): Γ bindings die, other tracked fields become ⊥.
+        for other in self.vars_in_region(target):
+            del self.gamma[other]
+        self._invalidate_refs_to(target)
+        return target
+
+    def attach(self, source: Region, dest: Region) -> None:
+        """V5 Attach: merge ``source`` into ``dest``; substitute everywhere."""
+        if source == dest:
+            return
+        source_tc = self.tracking(source)
+        dest_tc = self.tracking(dest)
+        if source_tc.pinned or dest_tc.pinned:
+            raise PinnedViolation(
+                f"cannot attach {source} to {dest}: pinned region"
+            )
+        overlap = set(source_tc.vars) & set(dest_tc.vars)
+        if overlap:
+            raise ContextError(
+                f"cannot attach {source} to {dest}: duplicate tracked vars {sorted(overlap)}"
+            )
+        dest_tc.vars.update(source_tc.vars)
+        del self.heap[source]
+        self._substitute_region(source, dest)
+
+    # -- weakenings ----------------------------------------------------------
+
+    def drop_region(self, region: Region) -> None:
+        """Weakening: discard a region capability entirely.
+
+        Γ bindings in the region are dropped; tracked fields elsewhere that
+        target the region are invalidated (⊥); the region's own tracking
+        context (including outbound field info) is discarded.  Sound because
+        the region's objects become permanently unreachable.
+        """
+        self.tracking(region)  # existence check
+        del self.heap[region]
+        for name in self.vars_in_region(region):
+            del self.gamma[name]
+        self._invalidate_refs_to(region)
+
+    def consume_region_for_send(self, region: Region) -> None:
+        """Remove a region for T16 Send.  Caller must have established the
+        side conditions (empty tracking, no inbound tracked refs)."""
+        tc = self.tracking(region)
+        if not tc.is_empty:
+            raise ContextError(f"send: region {region} tracking context not empty")
+        if tc.pinned:
+            raise PinnedViolation(f"send: region {region} is pinned")
+        if self.inbound_refs(region):
+            raise ContextError(f"send: region {region} is the target of tracked fields")
+        del self.heap[region]
+        for name in self.vars_in_region(region):
+            del self.gamma[name]
+
+    def invalidate_field(self, name: str, fieldname: str) -> None:
+        """Mark a tracked field ⊥ (used by if-disconnected splits and frames)."""
+        tv = self.tracked_var(name)
+        if tv is None or fieldname not in tv.fields:
+            raise ContextError(f"{name}.{fieldname} is not tracked")
+        tv.fields[fieldname] = None
+
+    def set_field_target(self, name: str, fieldname: str, target: Region) -> None:
+        """T7 Isolated-Field-Assignment: update the tracked target region."""
+        region = self.tracked_region_of(name)
+        if region is None:
+            raise ContextError(f"{name!r} is not focused")
+        tv = self.heap[region].vars[name]
+        if tv.pinned:
+            raise PinnedViolation(f"cannot assign field of pinned variable {name!r}")
+        if fieldname not in tv.fields:
+            raise ContextError(f"field {name}.{fieldname} is not tracked")
+        if target not in self.heap:
+            raise ContextError(f"target region {target} not in heap context")
+        tv.fields[fieldname] = target
+
+    # -- renaming ---------------------------------------------------------------
+
+    def rename_region(self, old: Region, new: Region) -> None:
+        """Alpha-rename a region (used to align contexts during unification).
+
+        ``new`` must not already be present.
+        """
+        if old == new:
+            return
+        if new in self.heap:
+            raise ContextError(f"rename target {new} already present")
+        tc = self.heap.pop(old)
+        self.heap[new] = tc
+        self._substitute_region(old, new)
+
+    def apply_renaming(self, renaming: RegionRenaming) -> None:
+        """Apply a simultaneous injective renaming to the whole context."""
+        new_heap: Dict[Region, TrackingContext] = {}
+        for region, tc in self.heap.items():
+            new_heap[renaming.apply(region)] = tc
+        if len(new_heap) != len(self.heap):
+            raise ContextError("renaming is not injective on this context")
+        self.heap = new_heap
+        for tc in self.heap.values():
+            for tv in tc.vars.values():
+                tv.fields = {
+                    f: (None if t is None else renaming.apply(t))
+                    for f, t in tv.fields.items()
+                }
+        for binding in self.gamma.values():
+            if binding.region is not None:
+                binding.region = renaming.apply(binding.region)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _substitute_region(self, old: Region, new: Region) -> None:
+        for tc in self.heap.values():
+            for tv in tc.vars.values():
+                for f, target in list(tv.fields.items()):
+                    if target == old:
+                        tv.fields[f] = new
+        for binding in self.gamma.values():
+            if binding.region == old:
+                binding.region = new
+
+    def _invalidate_refs_to(self, region: Region) -> None:
+        for tc in self.heap.values():
+            for tv in tc.vars.values():
+                for f, target in list(tv.fields.items()):
+                    if target == region:
+                        tv.fields[f] = None
+
+    # -- well-formedness ---------------------------------------------------------
+
+    def check_well_formed(self) -> None:
+        """Raise ContextError when the context violates well-formedness:
+        duplicate tracked variables across regions, Γ/tracking region
+        disagreement, or dangling region references."""
+        seen: Set[str] = set()
+        for region, tc in self.heap.items():
+            for x, tv in tc.vars.items():
+                if x in seen:
+                    raise ContextError(f"variable {x!r} tracked in two regions")
+                seen.add(x)
+                if x in self.gamma and self.gamma[x].region != region:
+                    raise ContextError(
+                        f"{x!r} tracked in {region} but bound in {self.gamma[x].region}"
+                    )
+                for f, target in tv.fields.items():
+                    if target is not None and target not in self.heap:
+                        raise ContextError(
+                            f"tracked field {x}.{f} targets absent region {target}"
+                        )
+        for name, binding in self.gamma.items():
+            if binding.region is not None and binding.region not in self.heap:
+                raise ContextError(
+                    f"{name!r} bound in absent region {binding.region}"
+                )
+
+
+def contexts_equal(a: StaticContext, b: StaticContext) -> bool:
+    """Structural equality of snapshots (no renaming)."""
+    return a.snapshot() == b.snapshot()

@@ -1,0 +1,77 @@
+"""Typing derivations — the prover/verifier interface (§5).
+
+The paper implements the type system as a prover–verifier architecture: an
+OCaml prover searches for typing derivations, and a small Coq verifier
+re-checks them.  We mirror this split: :mod:`repro.core.checker` (the
+prover) emits :class:`Derivation` trees whose every node records the rule
+applied and full before/after context snapshots; :mod:`repro.verifier`
+validates each node independently, without trusting the prover's search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .contexts import ContextSnap
+from .unify import Step
+
+
+@dataclass
+class Derivation:
+    """One node of a typing derivation.
+
+    ``rule`` names the typing rule (``T1``–``T17``), a virtual
+    transformation bundle (``TS1``), a framing application (``TS2``), or a
+    weakening (``W``).  ``pre``/``post`` are full (H; Γ) snapshots.  For TS1
+    and W nodes, ``steps`` lists the individual transformations; the
+    verifier replays them.  ``meta`` carries rule-specific data the verifier
+    needs (e.g. the variable/field/region an access touched).
+    """
+
+    rule: str
+    expr: str  # pretty-printed expression (for reporting)
+    pre: ContextSnap
+    post: ContextSnap
+    type_: str = ""
+    region: Optional[int] = None  # region id of the result (None = primitive)
+    steps: Tuple[Step, ...] = ()
+    meta: Dict[str, object] = field(default_factory=dict)
+    children: List["Derivation"] = field(default_factory=list)
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = f"{pad}{self.rule}: {self.expr}"
+        if self.type_:
+            head += f" : {self.region if self.region is not None else '·'} {self.type_}"
+        lines = [head]
+        for step in self.steps:
+            lines.append(f"{pad}  · {step}")
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class FuncDerivation:
+    """Derivation for one function: declared interface + body derivation."""
+
+    name: str
+    input_snap: ContextSnap
+    output_snap: ContextSnap
+    result_type: str
+    result_region: Optional[int]
+    body: Derivation
+
+
+@dataclass
+class ProgramDerivation:
+    """Derivations for every function of a program."""
+
+    funcs: Dict[str, FuncDerivation]
+
+    def node_count(self) -> int:
+        return sum(fd.body.node_count() for fd in self.funcs.values())

@@ -1,0 +1,197 @@
+"""TS2 Framing (§4.7, fig 12) as an explicit, reversible operation.
+
+Framing lets the type checker temporarily ignore irrelevant portions of
+(H; Γ): regions, variables, and parts of tracking contexts are set aside
+in a :class:`Frame`, and *pinning* marks what remains so the visible side
+cannot violate assumptions the hidden side depends on:
+
+* hiding the tracked variables of a region pins the region — nothing new
+  may be focused there (the hidden tracking still "occupies" it);
+* hiding a tracked field (because its target region is being hidden) pins
+  the owning variable — its remaining iso fields cannot be explored or
+  reassigned while the frame is out (partial information, §4.4);
+* a pinned context can only arise by framing, so every pinned context
+  approximates some fully unpinned one — which is what keeps tempered
+  domination intact under framing (§4.7).
+
+:func:`restore` re-attaches the hidden material and removes exactly the
+pins this frame introduced, failing loudly if the visible side was
+manipulated into a state the frame cannot re-enter (name or region
+collisions).
+
+The checker's call rule performs this framing implicitly (leaving
+uninvolved regions untouched); this module gives the structural rule a
+direct, testable form, mirroring how the paper presents TS2 as its own
+judgment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .contexts import Binding, ContextError, StaticContext, TrackedVar, TrackingContext
+from .regions import Region
+
+
+@dataclass
+class Frame:
+    """The hidden portion of a framed context, plus the pins it planted."""
+
+    hidden_regions: Dict[Region, TrackingContext] = field(default_factory=dict)
+    hidden_vars: Dict[str, Binding] = field(default_factory=dict)
+    #: Tracked entries hidden out of *visible* regions: (region, var, entry).
+    hidden_tracked: List[Tuple[Region, str, TrackedVar]] = field(
+        default_factory=list
+    )
+    #: (owner region, owner var, field, target) entries hidden individually.
+    hidden_fields: List[Tuple[Region, str, str, Optional[Region]]] = field(
+        default_factory=list
+    )
+    pinned_regions: Set[Region] = field(default_factory=set)
+    pinned_vars: Set[str] = field(default_factory=set)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.hidden_regions
+            or self.hidden_vars
+            or self.hidden_tracked
+            or self.hidden_fields
+        )
+
+
+def frame_away(
+    ctx: StaticContext,
+    regions: Set[Region] = frozenset(),
+    variables: Set[str] = frozenset(),
+) -> Frame:
+    """Hide ``regions`` (with their tracking contexts and member variables)
+    and the extra ``variables`` from ``ctx``; returns the frame to restore.
+
+    Visible tracked fields that target a hidden region are hidden too, and
+    their owners pinned.  Visible variables inside a hidden region are
+    hidden along with it.
+    """
+    frame = Frame()
+
+    for region in sorted(regions):
+        if region not in ctx.heap:
+            raise ContextError(f"cannot frame absent region {region}")
+
+    # Extra variables: their bindings vanish; if tracked, the region they
+    # are tracked in gets pinned (partial information about that region).
+    for name in sorted(variables):
+        if not ctx.has_var(name):
+            raise ContextError(f"cannot frame unbound variable {name!r}")
+        binding = ctx.lookup(name)
+        if binding.region is not None and binding.region in regions:
+            continue  # hidden together with its region below
+        frame.hidden_vars[name] = binding
+        del ctx.gamma[name]
+        tracked_at = ctx.tracked_region_of(name)
+        if tracked_at is not None and tracked_at not in regions:
+            tc = ctx.heap[tracked_at]
+            frame.hidden_tracked.append((tracked_at, name, tc.vars.pop(name)))
+            if not tc.pinned:
+                tc.pinned = True
+                frame.pinned_regions.add(tracked_at)
+
+    # Regions: detach wholesale.
+    for region in sorted(regions):
+        tc = ctx.heap.pop(region)
+        frame.hidden_regions[region] = tc
+        for name in list(ctx.gamma):
+            if ctx.gamma[name].region == region:
+                frame.hidden_vars[name] = ctx.gamma.pop(name)
+
+    # Visible tracked fields targeting a hidden region: hide the field,
+    # pin the owner.
+    for owner_region in sorted(ctx.heap):
+        tc = ctx.heap[owner_region]
+        for owner in sorted(tc.vars):
+            tv = tc.vars[owner]
+            for fieldname in sorted(tv.fields):
+                target = tv.fields[fieldname]
+                if target is not None and target in regions:
+                    frame.hidden_fields.append(
+                        (owner_region, owner, fieldname, target)
+                    )
+                    del tv.fields[fieldname]
+                    if not tv.pinned:
+                        tv.pinned = True
+                        frame.pinned_vars.add(owner)
+
+    return frame
+
+
+def restore(ctx: StaticContext, frame: Frame) -> None:
+    """Re-attach a frame.  Fails when the visible side evolved into a state
+    the hidden material cannot re-enter."""
+    for region in frame.hidden_regions:
+        if region in ctx.heap:
+            raise ContextError(
+                f"cannot restore frame: region {region} was re-created"
+            )
+    for name in frame.hidden_vars:
+        if ctx.has_var(name):
+            raise ContextError(
+                f"cannot restore frame: variable {name!r} was re-bound"
+            )
+
+    for region, tc in frame.hidden_regions.items():
+        overlap = [
+            x for x in tc.vars if ctx.tracked_region_of(x) is not None
+        ]
+        if overlap:
+            raise ContextError(
+                f"cannot restore frame: {overlap} tracked elsewhere now"
+            )
+        ctx.heap[region] = tc
+    for region, name, entry in frame.hidden_tracked:
+        tc = ctx.heap.get(region)
+        if tc is None:
+            raise ContextError(
+                f"cannot restore frame: region {region} of hidden tracked "
+                f"variable {name!r} disappeared"
+            )
+        if name in tc.vars or ctx.tracked_region_of(name) is not None:
+            raise ContextError(
+                f"cannot restore frame: {name!r} was re-tracked while framed"
+            )
+        tc.vars[name] = entry
+    for name, binding in frame.hidden_vars.items():
+        ctx.gamma[name] = binding
+
+    for owner_region, owner, fieldname, target in frame.hidden_fields:
+        tc = ctx.heap.get(owner_region)
+        tv = tc.vars.get(owner) if tc is not None else None
+        if tv is None:
+            raise ContextError(
+                f"cannot restore frame: owner {owner!r} of hidden field "
+                f"{fieldname!r} disappeared"
+            )
+        if fieldname in tv.fields:
+            raise ContextError(
+                f"cannot restore frame: field {owner}.{fieldname} was "
+                "re-tracked while framed"
+            )
+        # A hidden region that was consumed while framed out cannot happen
+        # (it was hidden); the target is back by construction.
+        tv.fields[fieldname] = target
+
+    # Remove exactly the pins this frame planted.
+    for region in frame.pinned_regions:
+        if region in ctx.heap:
+            ctx.heap[region].pinned = False
+    for name in frame.pinned_vars:
+        tv = ctx.tracked_var(name)
+        if tv is not None:
+            tv.pinned = False
+
+    frame.hidden_regions.clear()
+    frame.hidden_vars.clear()
+    frame.hidden_tracked.clear()
+    frame.hidden_fields.clear()
+    frame.pinned_regions.clear()
+    frame.pinned_vars.clear()

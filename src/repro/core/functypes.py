@@ -1,0 +1,293 @@
+"""Function types ``(H; Γ) ⇒ (H'; Γ'; r, τ)`` (§4.8) and their elaboration
+from the usable surface syntax (§4.9).
+
+Surface defaults for an unannotated function:
+
+* at input, each parameter occupies a distinct, unpinned region with an
+  empty tracking context;
+* at output, each parameter remains in that region, again unpinned/empty;
+* the result occupies its own fresh, unpinned, empty region.
+
+Annotations adjust this:
+
+* ``consumes x`` — x's region is absent from the output;
+* ``before: a ~ b`` — parameters a and b share one input (and output) region;
+* ``after: p ~ q`` — the regions of paths p and q coincide at output.  A
+  path ``x.f`` (one iso field deep) additionally declares that ``x`` is
+  focused with ``f`` tracked in the output context — this is how
+  ``get_nth_node``'s ``after: l.hd ~ result`` exposes the relationship
+  between its argument and result (fig 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast
+from .errors import AnnotationError
+
+#: Region *variables* of a function type are small integers ρ0, ρ1, …
+RegionVar = int
+
+
+@dataclass
+class OutputTracking:
+    """A declared output tracking entry: param ``var`` focused, with iso
+    field ``fieldname`` tracked into region variable ``target``."""
+
+    var: str
+    fieldname: str
+    target: RegionVar
+
+
+@dataclass
+class FuncType:
+    """Elaborated function type, phrased over region variables."""
+
+    name: str
+    params: List[Tuple[str, ast.Type]]
+    return_type: ast.Type
+    consumes: Set[str]
+    pinned: Set[str]
+    input_region: Dict[str, Optional[RegionVar]]
+    output_region: Dict[str, Optional[RegionVar]]  # consumed params absent
+    result_region: Optional[RegionVar]
+    output_tracking: List[OutputTracking]
+    input_region_vars: List[RegionVar] = field(default_factory=list)
+    output_region_vars: List[RegionVar] = field(default_factory=list)
+
+    def param_type(self, name: str) -> ast.Type:
+        for pname, ty in self.params:
+            if pname == name:
+                return ty
+        raise KeyError(name)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[object, object] = {}
+
+    def find(self, x: object) -> object:
+        self._parent.setdefault(x, x)
+        while self._parent[x] != x:
+            self._parent[x] = self._parent[self._parent[x]]
+            x = self._parent[x]
+        return x
+
+    def union(self, x: object, y: object) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self._parent[rx] = ry
+
+
+def _is_regioned(ty: ast.Type) -> bool:
+    """Whether values of this type carry a region (structs and maybes of
+    structs do; primitives and maybes of primitives do not)."""
+    return ast.strip_maybe(ty).is_struct()
+
+
+def elaborate(fdef: ast.FuncDef, program: ast.Program) -> FuncType:
+    """Elaborate a surface function definition into a :class:`FuncType`.
+
+    Raises :class:`AnnotationError` on malformed annotations.
+    """
+    param_names = [p.name for p in fdef.params]
+    param_types = {p.name: p.ty for p in fdef.params}
+    pinned = {p.name for p in fdef.params if p.pinned}
+
+    for name in pinned:
+        if not _is_regioned(param_types[name]):
+            raise AnnotationError(
+                f"{fdef.name}: cannot pin primitive parameter {name!r}",
+                fdef.span,
+            )
+        if name in fdef.consumes:
+            raise AnnotationError(
+                f"{fdef.name}: pinned parameter {name!r} cannot be consumed "
+                "(its region is only partially known)",
+                fdef.span,
+            )
+    for left, right in list(fdef.before) + list(fdef.after):
+        for path in (left, right):
+            if path and path[0] in pinned:
+                raise AnnotationError(
+                    f"{fdef.name}: pinned parameter {path[0]!r} may not "
+                    "appear in before/after relations",
+                    fdef.span,
+                )
+
+    for name in fdef.consumes:
+        if name not in param_types:
+            raise AnnotationError(
+                f"{fdef.name}: consumes unknown parameter {name!r}", fdef.span
+            )
+        if not _is_regioned(param_types[name]):
+            raise AnnotationError(
+                f"{fdef.name}: cannot consume primitive parameter {name!r}",
+                fdef.span,
+            )
+
+    # ------------------------------------------------------------------
+    # Input regions: one slot per regioned parameter, merged by `before`.
+    # ------------------------------------------------------------------
+    uf_in = _UnionFind()
+    for left, right in fdef.before:
+        for path in (left, right):
+            if len(path) != 1 or path[0] not in param_types:
+                raise AnnotationError(
+                    f"{fdef.name}: before-paths must be plain parameters, got "
+                    f"{'.'.join(path)}",
+                    fdef.span,
+                )
+            if not _is_regioned(param_types[path[0]]):
+                raise AnnotationError(
+                    f"{fdef.name}: before on primitive parameter {path[0]!r}",
+                    fdef.span,
+                )
+        uf_in.union(left[0], right[0])
+
+    next_var = 0
+    input_region: Dict[str, Optional[RegionVar]] = {}
+    rep_to_var: Dict[object, RegionVar] = {}
+    for name in param_names:
+        if not _is_regioned(param_types[name]):
+            input_region[name] = None
+            continue
+        rep = uf_in.find(name)
+        if rep not in rep_to_var:
+            rep_to_var[rep] = next_var
+            next_var += 1
+        input_region[name] = rep_to_var[rep]
+    input_region_vars = sorted(set(v for v in input_region.values() if v is not None))
+
+    # ------------------------------------------------------------------
+    # Output slots: non-consumed params keep their input region; `after`
+    # merges output slots (params, the result, and one-field paths).
+    # ------------------------------------------------------------------
+    uf_out = _UnionFind()
+    field_paths: List[Tuple[str, str]] = []
+
+    def out_slot(path: ast.AnnotPath) -> object:
+        if path == ("result",):
+            if not _is_regioned(fdef.return_type):
+                raise AnnotationError(
+                    f"{fdef.name}: 'result' in after but return type is "
+                    f"{fdef.return_type}",
+                    fdef.span,
+                )
+            return ("result",)
+        head = path[0]
+        if head not in param_types:
+            raise AnnotationError(
+                f"{fdef.name}: after-path names unknown parameter {head!r}",
+                fdef.span,
+            )
+        if head in fdef.consumes:
+            raise AnnotationError(
+                f"{fdef.name}: after-path uses consumed parameter {head!r}",
+                fdef.span,
+            )
+        if len(path) == 1:
+            if not _is_regioned(param_types[head]):
+                raise AnnotationError(
+                    f"{fdef.name}: after on primitive parameter {head!r}",
+                    fdef.span,
+                )
+            return ("param", head)
+        if len(path) == 2:
+            base_ty = ast.strip_maybe(param_types[head])
+            if not base_ty.is_struct():
+                raise AnnotationError(
+                    f"{fdef.name}: after-path base {head!r} is not a struct",
+                    fdef.span,
+                )
+            sdef = program.struct(base_ty.name)
+            if not sdef.has_field(path[1]):
+                raise AnnotationError(
+                    f"{fdef.name}: struct {sdef.name} has no field {path[1]!r}",
+                    fdef.span,
+                )
+            decl = sdef.field_decl(path[1])
+            if not decl.is_iso:
+                raise AnnotationError(
+                    f"{fdef.name}: after-path field {head}.{path[1]} is not iso "
+                    "(non-iso fields share their owner's region)",
+                    fdef.span,
+                )
+            if not _is_regioned(decl.ty):
+                raise AnnotationError(
+                    f"{fdef.name}: after-path field {head}.{path[1]} is primitive",
+                    fdef.span,
+                )
+            field_paths.append((head, path[1]))
+            return ("field", head, path[1])
+        raise AnnotationError(
+            f"{fdef.name}: after-paths may be at most one field deep "
+            f"(got {'.'.join(path)})",
+            fdef.span,
+        )
+
+    for left, right in fdef.after:
+        uf_out.union(out_slot(left), out_slot(right))
+
+    # Non-consumed params keep their input region var at output.  Two params
+    # equated by `after` therefore merge their *input* vars' output image.
+    out_var_of: Dict[object, RegionVar] = {}
+    output_region: Dict[str, Optional[RegionVar]] = {}
+
+    def assign_slot(slot: object) -> RegionVar:
+        rep = uf_out.find(slot)
+        if rep not in out_var_of:
+            nonlocal next_var
+            out_var_of[rep] = next_var
+            next_var += 1
+        return out_var_of[rep]
+
+    # Seed param slots with their input vars where possible: a param not
+    # mentioned in `after` stays in its input region.
+    for name in param_names:
+        if name in fdef.consumes or not _is_regioned(param_types[name]):
+            continue
+        rep = uf_out.find(("param", name))
+        if rep not in out_var_of:
+            out_var_of[rep] = input_region[name]  # type: ignore[assignment]
+
+    for name in param_names:
+        if name in fdef.consumes:
+            continue
+        if not _is_regioned(param_types[name]):
+            output_region[name] = None
+            continue
+        output_region[name] = assign_slot(("param", name))
+
+    result_region: Optional[RegionVar]
+    if not _is_regioned(fdef.return_type):
+        result_region = None
+    else:
+        result_region = assign_slot(("result",))
+
+    output_tracking = [
+        OutputTracking(var, fieldname, assign_slot(("field", var, fieldname)))
+        for var, fieldname in field_paths
+    ]
+
+    output_region_vars = sorted(
+        set(v for v in output_region.values() if v is not None)
+        | ({result_region} if result_region is not None else set())
+        | {t.target for t in output_tracking}
+    )
+
+    return FuncType(
+        name=fdef.name,
+        params=[(p.name, p.ty) for p in fdef.params],
+        return_type=fdef.return_type,
+        consumes=set(fdef.consumes),
+        pinned=pinned,
+        input_region=input_region,
+        output_region=output_region,
+        result_region=result_region,
+        output_tracking=output_tracking,
+        input_region_vars=input_region_vars,
+        output_region_vars=output_region_vars,
+    )

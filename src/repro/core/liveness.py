@@ -1,0 +1,155 @@
+"""Liveness analysis of variables — the unification oracle of §5.1.
+
+Branch unification is "the problem of inferring which linear resources must
+be preserved to type-check a given program suffix" (§5.1).  This module
+computes, for every expression node, the set of variables live *after* it;
+the checker uses these sets to prune tracking contexts down to what the
+continuation actually needs before unifying branches, loop bodies, and
+function exits.
+
+Node identity is ``id(node)`` — AST nodes are unique objects per parse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from ..lang import ast
+
+
+def uses(expr: ast.Expr) -> Set[str]:
+    """All variable names read anywhere inside ``expr``."""
+    names: Set[str] = set()
+    bound: Set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.VarRef):
+            names.add(node.name)
+        elif isinstance(node, (ast.LetBind, ast.LetSome)):
+            bound.add(node.name)
+    # Over-approximate: bound names may shadow outer uses; keeping them live
+    # is sound (liveness is used only to *preserve* resources).
+    return names
+
+
+class Liveness:
+    """Backward liveness over a function body.
+
+    ``live_after(node)`` is the set of variables whose values the program
+    may still read after ``node`` finishes evaluating (within the function).
+    """
+
+    def __init__(self, fdef: ast.FuncDef):
+        self._after: Dict[int, FrozenSet[str]] = {}
+        # Non-consumed parameters must survive to the function's output
+        # context (§4.9 defaults), so they are live throughout the body.
+        # Consumed parameters get true liveness so branches may consume them.
+        exit_live = frozenset(
+            p.name for p in fdef.params if p.name not in fdef.consumes
+        )
+        self._analyze(fdef.body, exit_live)
+
+    def live_after(self, node: ast.Expr) -> FrozenSet[str]:
+        """Variables live after ``node``; empty if the node was never seen
+        (synthesized nodes default to nothing-live, which is conservative
+        for pruning since the checker additionally protects its own state)."""
+        return self._after.get(id(node), frozenset())
+
+    # -- backward transfer functions ----------------------------------------
+
+    def _analyze(self, node: ast.Expr, live_out: FrozenSet[str]) -> FrozenSet[str]:
+        """Record live_out for ``node`` and return its live_in."""
+        self._after[id(node)] = live_out
+
+        if isinstance(node, ast.Block):
+            live = live_out
+            # Statements run in order; process backward.
+            for entry in reversed(node.body):
+                live = self._analyze(entry, live)
+            return live
+
+        if isinstance(node, ast.LetBind):
+            body_live = live_out - {node.name}
+            return self._analyze(node.init, body_live)
+
+        if isinstance(node, ast.LetSome):
+            then_in = self._analyze(node.then_block, live_out) - {node.name}
+            else_in = (
+                self._analyze(node.else_block, live_out)
+                if node.else_block is not None
+                else live_out
+            )
+            return self._analyze(node.scrutinee, then_in | else_in)
+
+        if isinstance(node, ast.If):
+            then_in = self._analyze(node.then_block, live_out)
+            else_in = (
+                self._analyze(node.else_block, live_out)
+                if node.else_block is not None
+                else live_out
+            )
+            return self._analyze(node.cond, then_in | else_in)
+
+        if isinstance(node, ast.IfDisconnected):
+            then_in = self._analyze(node.then_block, live_out)
+            else_in = (
+                self._analyze(node.else_block, live_out)
+                if node.else_block is not None
+                else live_out
+            )
+            branch_in = then_in | else_in
+            right_in = self._analyze(node.right, branch_in)
+            return self._analyze(node.left, right_in)
+
+        if isinstance(node, ast.While):
+            # Fixpoint: body may run zero or more times.
+            live = live_out
+            for _ in range(3):
+                body_in = self._analyze(node.body, self._analyze(node.cond, live) | live_out)
+                new_live = live | body_in | uses(node.cond)
+                if new_live == live:
+                    break
+                live = new_live
+            cond_in = self._analyze(node.cond, live | live_out)
+            self._after[id(node)] = live_out
+            return cond_in
+
+        if isinstance(node, ast.Assign):
+            if isinstance(node.target, ast.VarRef):
+                value_out = (live_out - {node.target.name}) | set()
+                value_in = self._analyze(node.value, frozenset(value_out))
+                self._after[id(node.target)] = live_out
+                return value_in
+            # Field assignment: base is read.
+            value_in = self._analyze(node.value, live_out)
+            return self._analyze(node.target, value_in)
+
+        if isinstance(node, ast.FieldRef):
+            return self._analyze(node.base, live_out)
+
+        if isinstance(node, ast.VarRef):
+            return live_out | {node.name}
+
+        if isinstance(node, (ast.SomeExpr, ast.IsNone, ast.IsSome, ast.Unop)):
+            return self._analyze(node.inner, live_out)
+
+        if isinstance(node, ast.Send):
+            return self._analyze(node.value, live_out)
+
+        if isinstance(node, ast.Binop):
+            right_in = self._analyze(node.right, live_out)
+            return self._analyze(node.left, right_in)
+
+        if isinstance(node, ast.Call):
+            live = live_out
+            for arg in reversed(node.args):
+                live = self._analyze(arg, live)
+            return live
+
+        if isinstance(node, ast.New):
+            live = live_out
+            for init in reversed(list(node.inits.values())):
+                live = self._analyze(init, live)
+            return live
+
+        # Leaves: IntLit, BoolLit, UnitLit, NoneLit, Recv.
+        return live_out

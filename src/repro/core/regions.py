@@ -1,0 +1,86 @@
+"""Regions — the compile-time unit of heap separation (§4.1).
+
+A region is a purely static name for a disjoint subgraph of the heap.  The
+type system treats each region as an affine resource: consuming it (send,
+retract, attach) invalidates every reference into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """An opaque region name.  Identity is the integer id."""
+
+    ident: int
+
+    def __str__(self) -> str:
+        return f"r{self.ident}"
+
+    def __repr__(self) -> str:
+        return f"r{self.ident}"
+
+
+class RegionSupply:
+    """Generates fresh regions.  Freshness is global per checker run so
+    derivations can be verified (a "fresh" region must be globally new)."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def fresh(self) -> Region:
+        region = Region(self._next)
+        self._next += 1
+        return region
+
+    @property
+    def next_id(self) -> int:
+        return self._next
+
+
+class RegionRenaming:
+    """A partial injective map between region names, built up during
+    unification and function application matching."""
+
+    def __init__(self) -> None:
+        self._fwd: Dict[Region, Region] = {}
+        self._bwd: Dict[Region, Region] = {}
+
+    def bind(self, source: Region, target: Region) -> bool:
+        """Record source↦target; False if it conflicts with existing pairs."""
+        if source in self._fwd:
+            return self._fwd[source] == target
+        if target in self._bwd:
+            return self._bwd[target] == source
+        self._fwd[source] = target
+        self._bwd[target] = source
+        return True
+
+    def apply(self, region: Region) -> Region:
+        return self._fwd.get(region, region)
+
+    def lookup(self, source: Region) -> Region:
+        """The image of ``source``; KeyError if unbound."""
+        return self._fwd[source]
+
+    def inverse(self, target: Region) -> Region:
+        return self._bwd[target]
+
+    def has_source(self, source: Region) -> bool:
+        return source in self._fwd
+
+    def has_target(self, target: Region) -> bool:
+        return target in self._bwd
+
+    def items(self) -> Iterator[tuple]:
+        return iter(self._fwd.items())
+
+    def __len__(self) -> int:
+        return len(self._fwd)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{s}→{t}" for s, t in sorted(self._fwd.items()))
+        return "{" + pairs + "}"

@@ -1,0 +1,130 @@
+"""Derivation (de)serialization.
+
+The prover–verifier split of §5 is only as strong as the interface between
+them: the OCaml prover *prints* derivations that the Coq verifier parses.
+This module gives our derivations the same property — they round-trip
+through plain JSON, so a derivation can be produced in one process and
+verified in another with no shared in-memory state.
+
+Steps encode region arguments as ``{"r": ident}`` objects to keep them
+distinguishable from strings/ints; ``None`` (⊥ / no region) passes through.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .derivation import Derivation, FuncDerivation, ProgramDerivation
+from .regions import Region
+from .unify import Step
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Region):
+        return {"r": value.ident}
+    if isinstance(value, tuple):
+        return {"t": [_encode_value(v) for v in value]}
+    if isinstance(value, Step):
+        return {"step": _encode_step(value)}
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__} in a derivation")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "r" in value and len(value) == 1:
+            return Region(value["r"])
+        if "t" in value and len(value) == 1:
+            return tuple(_decode_value(v) for v in value["t"])
+        if "step" in value and len(value) == 1:
+            return _decode_step(value["step"])
+    return value
+
+
+def _encode_step(step: Step) -> Dict[str, Any]:
+    return {"rule": step.rule, "args": [_encode_value(a) for a in step.args]}
+
+
+def _decode_step(data: Dict[str, Any]) -> Step:
+    return Step(data["rule"], tuple(_decode_value(a) for a in data["args"]))
+
+
+def _encode_meta(meta: Dict[str, object]) -> Dict[str, Any]:
+    return {key: _encode_value(value) for key, value in meta.items()}
+
+
+def _decode_meta(data: Dict[str, Any]) -> Dict[str, object]:
+    return {key: _decode_value(value) for key, value in data.items()}
+
+
+def _snap_to_lists(snap) -> Any:
+    # Snapshots are nested tuples of primitives: JSON lists round-trip them.
+    return snap
+
+
+def _lists_to_snap(data) -> Any:
+    def fix(node):
+        if isinstance(node, list):
+            return tuple(fix(x) for x in node)
+        return node
+
+    return fix(data)
+
+
+def derivation_to_dict(node: Derivation) -> Dict[str, Any]:
+    return {
+        "rule": node.rule,
+        "expr": node.expr,
+        "pre": _snap_to_lists(node.pre),
+        "post": _snap_to_lists(node.post),
+        "type": node.type_,
+        "region": node.region,
+        "steps": [_encode_step(s) for s in node.steps],
+        "meta": _encode_meta(node.meta),
+        "children": [derivation_to_dict(c) for c in node.children],
+    }
+
+
+def derivation_from_dict(data: Dict[str, Any]) -> Derivation:
+    return Derivation(
+        rule=data["rule"],
+        expr=data["expr"],
+        pre=_lists_to_snap(data["pre"]),
+        post=_lists_to_snap(data["post"]),
+        type_=data["type"],
+        region=data["region"],
+        steps=tuple(_decode_step(s) for s in data["steps"]),
+        meta=_decode_meta(data["meta"]),
+        children=[derivation_from_dict(c) for c in data["children"]],
+    )
+
+
+def program_derivation_to_json(pd: ProgramDerivation, indent: Optional[int] = None) -> str:
+    payload = {
+        name: {
+            "input": _snap_to_lists(fd.input_snap),
+            "output": _snap_to_lists(fd.output_snap),
+            "result_type": fd.result_type,
+            "result_region": fd.result_region,
+            "body": derivation_to_dict(fd.body),
+        }
+        for name, fd in pd.funcs.items()
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def program_derivation_from_json(text: str) -> ProgramDerivation:
+    payload = json.loads(text)
+    funcs = {}
+    for name, data in payload.items():
+        funcs[name] = FuncDerivation(
+            name=name,
+            input_snap=_lists_to_snap(data["input"]),
+            output_snap=_lists_to_snap(data["output"]),
+            result_type=data["result_type"],
+            result_region=data["result_region"],
+            body=derivation_from_dict(data["body"]),
+        )
+    return ProgramDerivation(funcs=funcs)

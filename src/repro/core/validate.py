@@ -1,0 +1,62 @@
+"""Declaration-level validation of FCL programs.
+
+Checked before type checking proper: all struct/field/parameter/return
+types must be declared, iso fields must hold regioned (struct or
+maybe-of-struct) values, and profile restrictions on *representability*
+(used by the Table 1 baselines) are enforced here — e.g. the
+one-object-per-region model cannot declare intra-region references at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..lang import ast
+from .errors import TypeError_, UnknownName
+
+if TYPE_CHECKING:
+    from .checker import CheckProfile
+
+
+class DeclarationError(TypeError_):
+    """A struct or function declaration is malformed."""
+
+
+def _check_type(ty: ast.Type, program: ast.Program, where: str) -> None:
+    base = ast.strip_maybe(ty)
+    if isinstance(base, ast.StructType) and base.name not in program.structs:
+        raise UnknownName(f"{where}: unknown struct type {base.name!r}")
+
+
+def validate_program(program: ast.Program, profile: "CheckProfile") -> None:
+    """Raise a :class:`TypeError_` subclass when declarations are invalid."""
+    for sdef in program.structs.values():
+        for fdecl in sdef.fields:
+            where = f"struct {sdef.name}, field {fdecl.name}"
+            _check_type(fdecl.ty, program, where)
+            regioned = ast.strip_maybe(fdecl.ty).is_struct()
+            if fdecl.is_iso and not regioned:
+                raise DeclarationError(
+                    f"{where}: iso fields must hold struct or maybe-of-struct "
+                    f"values, not {fdecl.ty}"
+                )
+            if (
+                not profile.allow_intra_region_refs
+                and regioned
+                and not fdecl.is_iso
+            ):
+                raise DeclarationError(
+                    f"{where}: profile {profile.name!r} forbids intra-region "
+                    "(non-iso) references between objects; every object "
+                    "reference must be a unique/affine edge"
+                )
+
+    for fdef in program.funcs.values():
+        where = f"function {fdef.name}"
+        seen = set()
+        for param in fdef.params:
+            if param.name in seen:
+                raise DeclarationError(f"{where}: duplicate parameter {param.name!r}")
+            seen.add(param.name)
+            _check_type(param.ty, program, f"{where}, parameter {param.name}")
+        _check_type(fdef.return_type, program, f"{where}, return type")

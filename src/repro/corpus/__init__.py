@@ -1,0 +1,5 @@
+"""The FCL example-program corpus (paper figures and §8 data structures)."""
+
+from .loader import PROGRAMS, corpus_names, load_program, load_source
+
+__all__ = ["PROGRAMS", "corpus_names", "load_program", "load_source"]

@@ -1,0 +1,46 @@
+"""Loader for the corpus of FCL example programs.
+
+Each ``.fcl`` file is a standalone program (structs + functions) from the
+paper's figures and §8 expressiveness study.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+from typing import List
+
+from ..lang import ast, parse_program
+
+_CORPUS_DIR = Path(__file__).parent
+
+#: Name → filename of every corpus program.
+PROGRAMS = {
+    "sll": "sll.fcl",
+    "dll": "dll.fcl",
+    "rbtree": "rbtree.fcl",
+    "queue": "queue.fcl",
+    "algorithms": "algorithms.fcl",
+    "ntree": "ntree.fcl",
+    "signatures": "signatures.fcl",
+}
+
+
+def corpus_names() -> List[str]:
+    return sorted(PROGRAMS)
+
+
+def load_source(name: str) -> str:
+    try:
+        filename = PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown corpus program {name!r}; available: {corpus_names()}"
+        ) from None
+    return (_CORPUS_DIR / filename).read_text()
+
+
+@functools.lru_cache(maxsize=None)
+def load_program(name: str) -> ast.Program:
+    """Parse a corpus program (cached; the AST must not be mutated)."""
+    return parse_program(load_source(name))

@@ -1,0 +1,269 @@
+"""The negative corpus: programs the type system must reject, each with
+the paper-level reason and the expected error class.
+
+Used by tests and by the Table 1 machinery to demonstrate exactly which
+discipline each rejection enforces.  Every entry is a complete program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Type
+
+from ..core import errors
+
+_PRELUDE = """
+struct data { v : int; }
+struct box { iso inner : data?; }
+struct node { iso payload : data; iso next : node?; }
+struct cell { other : cell; tag : int; }
+struct dll_node { iso payload : data; next : dll_node; prev : dll_node; }
+struct dll { iso hd : dll_node?; }
+"""
+
+
+@dataclass(frozen=True)
+class NegativeCase:
+    name: str
+    reason: str
+    error: Type[Exception]
+    source: str
+
+
+NEGATIVE_CASES: List[NegativeCase] = [
+    NegativeCase(
+        "use-after-send",
+        "a sent object's aliases must be invalidated (§2.1)",
+        errors.TypeError_,
+        _PRELUDE + """
+def f() : int {
+  let d = new data(v = 1);
+  send(d);
+  d.v
+}
+""",
+    ),
+    NegativeCase(
+        "alias-survives-send",
+        "every alias of the sent region dies, not just the sent variable",
+        errors.TypeError_,
+        _PRELUDE + """
+def f() : int {
+  let d = new data(v = 1);
+  let alias = d;
+  send(d);
+  alias.v
+}
+""",
+    ),
+    NegativeCase(
+        "send-reachable-interior",
+        "sending a structure takes its reachable subgraph along (fig 15)",
+        errors.TypeError_,
+        _PRELUDE + """
+def f() : int {
+  let b = new box();
+  let d = new data(v = 2);
+  b.inner = some(d);
+  send(b);
+  d.v
+}
+""",
+    ),
+    NegativeCase(
+        "fig4-broken-dll-removal",
+        "the returned payload is not a dominating reference on size-1 lists (fig 4)",
+        errors.UnificationError,
+        _PRELUDE + """
+def remove_tail(l : dll) : data? {
+  let some(hd) = l.hd in {
+    let tail = hd.prev;
+    tail.prev.next = hd;
+    hd.prev = tail.prev;
+    some(tail.payload)
+  } else { none }
+}
+""",
+    ),
+    NegativeCase(
+        "escaping-interior-reference",
+        "returning a tracked iso target needs `after: b.inner ~ result`",
+        errors.TypeError_,
+        _PRELUDE + """
+def leak(b : box) : data? {
+  b.inner
+}
+""",
+    ),
+    NegativeCase(
+        "param-stashed-without-consumes",
+        "retracting a parameter into another structure consumes it (§4.9)",
+        errors.TypeError_,
+        _PRELUDE + """
+def stash(b : box, d : data) : unit {
+  b.inner = some(d)
+}
+""",
+    ),
+    NegativeCase(
+        "aliased-arguments",
+        "distinct parameter regions require provably disjoint arguments (T9)",
+        errors.SeparationError,
+        _PRELUDE + """
+def two(a, b : data) : unit { () }
+def f(d : data) : unit { two(d, d) }
+""",
+    ),
+    NegativeCase(
+        "double-focus-of-aliases",
+        "one tracked variable per region: aliases cannot both be focused (§4.2)",
+        errors.IsoFieldNotTrackable,
+        _PRELUDE + """
+def f(b : box) : unit {
+  let b2 = b;
+  let m1 = b.inner;
+  let m2 = b2.inner;
+  let some(d1) = m1 in {
+    let some(d2) = m2 in { () } else { () }
+  } else { () }
+}
+""",
+    ),
+    NegativeCase(
+        "invalidated-field-read",
+        "a ⊥ field must be reassigned before use (fig 5's l.hd)",
+        errors.TypeError_,
+        _PRELUDE + """
+def eat(m : data?) : unit consumes m { () }
+def f(b : box) : unit {
+  eat(b.inner);
+  let x = b.inner;
+  ()
+}
+""",
+    ),
+    NegativeCase(
+        "if-disconnected-alias-use",
+        "aliases of a split region die in the then branch (T15)",
+        errors.TypeError_,
+        _PRELUDE + """
+def f(c : cell) : int {
+  let a = c.other;
+  let x = c.other;
+  if disconnected(a, c) { x.tag } else { 0 }
+}
+""",
+    ),
+    NegativeCase(
+        "if-disconnected-cross-region",
+        "if disconnected arguments must share one region",
+        errors.SeparationError,
+        _PRELUDE + """
+def f() : unit {
+  let a = new cell();
+  let b = new cell();
+  if disconnected(a, b) { () } else { () }
+}
+""",
+    ),
+    NegativeCase(
+        "branch-asymmetric-consumption",
+        "a region consumed in one branch but live after the join",
+        errors.TypeError_,
+        _PRELUDE + """
+def f(d : data, c : bool) : int {
+  if (c) { send(d); 0 } else { 1 };
+  d.v
+}
+""",
+    ),
+    NegativeCase(
+        "loop-double-send",
+        "a loop body cannot consume a loop-invariant region",
+        errors.TypeError_,
+        _PRELUDE + """
+def f(d : data, n : int) : unit {
+  while (n > 0) { send(d); n = n - 1 }
+}
+""",
+    ),
+    NegativeCase(
+        "iso-chain-without-binding",
+        "iso fields are accessed through declared variables only (§4.6)",
+        errors.IsoFieldNotTrackable,
+        _PRELUDE + """
+struct wrap { iso w : box; }
+def f(o : wrap) : unit {
+  let v = o.w.inner;
+  ()
+}
+""",
+    ),
+    NegativeCase(
+        "iso-of-primitive",
+        "iso fields isolate object graphs, not scalars",
+        errors.TypeError_,
+        "struct s { iso k : int; }",
+    ),
+    NegativeCase(
+        "tracked-cycle-at-boundary",
+        "a tracked self-cycle can never be untracked, so the default interface is unsatisfiable",
+        errors.TypeError_,
+        _PRELUDE + """
+def f(n : node) : unit {
+  let some(n2) = n.next in { n2.next = some(n2) } else { () }
+}
+""",
+    ),
+    NegativeCase(
+        "pinned-iso-access",
+        "a pinned region admits no focusing (§4.7)",
+        errors.TypeError_,
+        _PRELUDE + """
+def f(pinned b : box) : unit {
+  let m = b.inner;
+  ()
+}
+""",
+    ),
+    NegativeCase(
+        "pinned-send",
+        "a pinned region cannot be consumed",
+        errors.TypeError_,
+        _PRELUDE + """
+def f(pinned d : data) : unit {
+  send(d)
+}
+""",
+    ),
+    NegativeCase(
+        "none-without-context",
+        "bare `none` needs an expected maybe type",
+        errors.InferenceError,
+        _PRELUDE + """
+def f() : unit {
+  let x = none;
+  ()
+}
+""",
+    ),
+    NegativeCase(
+        "keep-and-return",
+        "the result region must be separate from the (kept) parameter",
+        errors.TypeError_,
+        _PRELUDE + """
+def identity(d : data) : data { d }
+""",
+    ),
+]
+
+
+def case_names() -> List[str]:
+    return [case.name for case in NEGATIVE_CASES]
+
+
+def get_case(name: str) -> NegativeCase:
+    for case in NEGATIVE_CASES:
+        if case.name == name:
+            return case
+    raise KeyError(name)

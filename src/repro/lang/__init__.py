@@ -1,0 +1,19 @@
+"""The FCL surface language: tokens, lexer, AST, parser, pretty-printer."""
+
+from . import ast
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_expr, parse_program
+from .pretty import pretty_expr, pretty_func, pretty_program, pretty_struct
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "LexError",
+    "ParseError",
+    "parse_expr",
+    "parse_program",
+    "pretty_expr",
+    "pretty_func",
+    "pretty_program",
+    "pretty_struct",
+]

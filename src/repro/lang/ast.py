@@ -1,0 +1,373 @@
+"""Abstract syntax tree for FCL.
+
+Everything at the statement level is an *expression* (blocks yield the value
+of their last entry), mirroring the paper's core expression language (fig 6).
+Top-level declarations are ``struct`` and ``def`` forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .tokens import SYNTHETIC_SPAN, SourceSpan
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for FCL types."""
+
+    def is_maybe(self) -> bool:
+        return isinstance(self, MaybeType)
+
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    def is_prim(self) -> bool:
+        return isinstance(self, PrimType)
+
+
+@dataclass(frozen=True)
+class PrimType(Type):
+    """``int``, ``bool``, or ``unit``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """A named struct type."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MaybeType(Type):
+    """``T?`` — a "maybe" of ``T``.  ``T`` itself may not be a maybe."""
+
+    inner: Type
+
+    def __post_init__(self) -> None:
+        if isinstance(self.inner, MaybeType):
+            raise ValueError("nested maybe types (T??) are not allowed")
+
+    def __str__(self) -> str:
+        return f"{self.inner}?"
+
+
+INT = PrimType("int")
+BOOL = PrimType("bool")
+UNIT = PrimType("unit")
+
+
+def strip_maybe(ty: Type) -> Type:
+    """The payload type of a maybe, or the type itself."""
+    return ty.inner if isinstance(ty, MaybeType) else ty
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class of every expression node."""
+
+    span: SourceSpan = field(default=SYNTHETIC_SPAN, kw_only=True, repr=False, compare=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class UnitLit(Expr):
+    pass
+
+
+@dataclass
+class NoneLit(Expr):
+    """``none`` — the empty maybe.  Its payload type is inferred."""
+
+    pass
+
+
+@dataclass
+class SomeExpr(Expr):
+    """``some(e)`` — wraps a value into a maybe."""
+
+    inner: Expr
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class FieldRef(Expr):
+    """``base.field`` — reads a struct field."""
+
+    base: Expr
+    fieldname: str
+
+
+@dataclass
+class LetBind(Expr):
+    """``let x = e`` — binds ``x`` until the end of the enclosing block."""
+
+    name: str
+    init: Expr
+
+
+@dataclass
+class LetSome(Expr):
+    """``let some(x) = e in B1 else B2`` — maybe pattern match (fig 2)."""
+
+    name: str
+    scrutinee: Expr
+    then_block: "Block"
+    else_block: Optional["Block"]
+
+
+@dataclass
+class Assign(Expr):
+    """``target = e`` where target is a variable or field path."""
+
+    target: Expr  # VarRef or FieldRef
+    value: Expr
+
+
+@dataclass
+class If(Expr):
+    cond: Expr
+    then_block: "Block"
+    else_block: Optional["Block"]
+
+
+@dataclass
+class IfDisconnected(Expr):
+    """``if disconnected(a, b) { ... } else { ... }`` (§2.2, fig 5)."""
+
+    left: Expr
+    right: Expr
+    then_block: "Block"
+    else_block: Optional["Block"]
+
+
+@dataclass
+class While(Expr):
+    cond: Expr
+    body: "Block"
+
+
+@dataclass
+class Call(Expr):
+    func: str
+    args: List[Expr]
+
+
+@dataclass
+class New(Expr):
+    """``new T(f = e, ...)`` — allocate a struct in a fresh region."""
+
+    struct: str
+    inits: Dict[str, Expr]
+
+
+@dataclass
+class Send(Expr):
+    """``send(e)`` — transmit e's reachable subgraph to another thread."""
+
+    value: Expr
+
+
+@dataclass
+class Recv(Expr):
+    """``recv(T)`` — receive a value of struct type T from another thread."""
+
+    ty: Type
+
+
+@dataclass
+class IsNone(Expr):
+    inner: Expr
+
+
+@dataclass
+class IsSome(Expr):
+    inner: Expr
+
+
+@dataclass
+class Unop(Expr):
+    op: str  # "!", "-"
+    inner: Expr
+
+
+@dataclass
+class Binop(Expr):
+    op: str  # + - * / % == != < > <= >= && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Block(Expr):
+    """``{ e1; e2; ... }`` — value is the last expression's value (unit if
+    empty or if the last entry is a binding)."""
+
+    body: List[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+#: A path used in function annotations: ("l", "hd") for l.hd, ("result",).
+AnnotPath = Tuple[str, ...]
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    ty: Type
+    is_iso: bool
+    span: SourceSpan = field(default=SYNTHETIC_SPAN, repr=False, compare=False)
+
+
+@dataclass
+class StructDef:
+    name: str
+    fields: List[FieldDecl]
+    span: SourceSpan = field(default=SYNTHETIC_SPAN, repr=False, compare=False)
+
+    def field_decl(self, name: str) -> FieldDecl:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"struct {self.name} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+
+@dataclass
+class Param:
+    """A function parameter.  ``pinned`` marks parameters whose region
+    carries only *partial* information (§4.7): the callee may read the
+    parameter's non-iso state but may not focus anything in its region,
+    and the call site does not have to empty the region's tracking
+    context first — TS2 framing in surface form."""
+
+    name: str
+    ty: Type
+    pinned: bool = False
+    span: SourceSpan = field(default=SYNTHETIC_SPAN, repr=False, compare=False)
+
+
+@dataclass
+class FuncDef:
+    """``def f(params) : ret consumes xs after: p ~ q { body }``.
+
+    ``consumes`` lists parameters whose region is absent at output (§4.9);
+    ``after`` equates regions of the listed paths at output; ``before``
+    equates regions of parameters at input (an extension the paper's full
+    function types support directly via shared input regions).
+    """
+
+    name: str
+    params: List[Param]
+    return_type: Type
+    body: Block
+    consumes: List[str] = field(default_factory=list)
+    after: List[Tuple[AnnotPath, AnnotPath]] = field(default_factory=list)
+    before: List[Tuple[AnnotPath, AnnotPath]] = field(default_factory=list)
+    span: SourceSpan = field(default=SYNTHETIC_SPAN, repr=False, compare=False)
+
+    def param(self, name: str) -> Param:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"function {self.name} has no parameter {name!r}")
+
+
+@dataclass
+class Program:
+    structs: Dict[str, StructDef]
+    funcs: Dict[str, FuncDef]
+
+    def struct(self, name: str) -> StructDef:
+        try:
+            return self.structs[name]
+        except KeyError:
+            raise KeyError(f"unknown struct {name!r}") from None
+
+    def func(self, name: str) -> FuncDef:
+        try:
+            return self.funcs[name]
+        except KeyError:
+            raise KeyError(f"unknown function {name!r}") from None
+
+
+def walk(expr: Expr) -> Sequence[Expr]:
+    """Yield ``expr`` and all of its descendants, pre-order."""
+    out = [expr]
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        children: List[Expr] = []
+        if isinstance(node, SomeExpr):
+            children = [node.inner]
+        elif isinstance(node, FieldRef):
+            children = [node.base]
+        elif isinstance(node, LetBind):
+            children = [node.init]
+        elif isinstance(node, LetSome):
+            children = [node.scrutinee, node.then_block]
+            if node.else_block is not None:
+                children.append(node.else_block)
+        elif isinstance(node, Assign):
+            children = [node.target, node.value]
+        elif isinstance(node, If):
+            children = [node.cond, node.then_block]
+            if node.else_block is not None:
+                children.append(node.else_block)
+        elif isinstance(node, IfDisconnected):
+            children = [node.left, node.right, node.then_block]
+            if node.else_block is not None:
+                children.append(node.else_block)
+        elif isinstance(node, While):
+            children = [node.cond, node.body]
+        elif isinstance(node, Call):
+            children = list(node.args)
+        elif isinstance(node, New):
+            children = list(node.inits.values())
+        elif isinstance(node, Send):
+            children = [node.value]
+        elif isinstance(node, (IsNone, IsSome, Unop)):
+            children = [node.inner]
+        elif isinstance(node, Binop):
+            children = [node.left, node.right]
+        elif isinstance(node, Block):
+            children = list(node.body)
+        out.extend(children)
+        stack.extend(children)
+    return out

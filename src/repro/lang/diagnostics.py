@@ -1,0 +1,58 @@
+"""Human-friendly diagnostics: source excerpts with caret markers.
+
+Renders checker/parser errors the way a production compiler would::
+
+    prog.fcl:6:3: type error: cannot send: variable 'd' is still used afterwards
+      |
+    6 |   send(d);
+      |   ^^^^
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tokens import SourceSpan
+
+
+def render_diagnostic(
+    source: str,
+    span: Optional[SourceSpan],
+    message: str,
+    filename: str = "<input>",
+    kind: str = "error",
+) -> str:
+    """Format a message with a source excerpt when a span is available."""
+    if span is None or span.line == 0:
+        return f"{filename}: {kind}: {message}"
+    lines = source.splitlines()
+    header = f"{filename}:{span.line}:{span.column}: {kind}: {message}"
+    if not (1 <= span.line <= len(lines)):
+        return header
+    text = lines[span.line - 1]
+    gutter = str(span.line)
+    pad = " " * len(gutter)
+    width = max(span.end - span.start, 1)
+    # Clamp the caret run to the visible line.
+    start_col = max(span.column - 1, 0)
+    width = min(width, max(len(text) - start_col, 1))
+    caret = " " * start_col + "^" * width
+    return "\n".join(
+        [
+            header,
+            f"{pad} |",
+            f"{gutter} | {text}",
+            f"{pad} | {caret}",
+        ]
+    )
+
+
+def strip_location_prefix(message: str) -> str:
+    """Error classes embed "line:col: " in str(); drop it when the span is
+    rendered separately."""
+    parts = message.split(": ", 1)
+    if len(parts) == 2 and ":" in parts[0]:
+        head = parts[0].split(":")
+        if len(head) == 2 and all(p.isdigit() for p in head):
+            return parts[1]
+    return message

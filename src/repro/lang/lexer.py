@@ -1,0 +1,145 @@
+"""Hand-written lexer for FCL source text."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .tokens import KEYWORDS, SourceSpan, Token, TokenKind
+
+#: Multi-character operators, checked longest-first.
+_TWO_CHAR_OPS = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NEQ,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR_OPS = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "?": TokenKind.QUESTION,
+    "~": TokenKind.TILDE,
+    "=": TokenKind.ASSIGN,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "!": TokenKind.NOT,
+}
+
+
+class LexError(Exception):
+    """Raised on malformed input characters."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class Lexer:
+    """Converts FCL source text into a token stream.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments.
+    """
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens, terminated by a single EOF token."""
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._source):
+                yield self._make(TokenKind.EOF, self._pos, "")
+                return
+            yield self._next_token()
+
+    # -- internals -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < len(self._source):
+                if self._source[self._pos] == "\n":
+                    self._line += 1
+                    self._col = 1
+                else:
+                    self._col += 1
+                self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", self._line, self._col)
+            else:
+                return
+
+    def _make(self, kind: TokenKind, start: int, text: str) -> Token:
+        span = SourceSpan(start, start + len(text), self._line, self._col - len(text))
+        return Token(kind, text, span)
+
+    def _next_token(self) -> Token:
+        start = self._pos
+        ch = self._peek()
+
+        if ch.isdigit():
+            while self._peek().isdigit():
+                self._advance()
+            text = self._source[start : self._pos]
+            return self._make(TokenKind.INT, start, text)
+
+        if ch.isalpha() or ch == "_":
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self._source[start : self._pos]
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            return self._make(kind, start, text)
+
+        pair = self._source[self._pos : self._pos + 2]
+        if pair in _TWO_CHAR_OPS:
+            self._advance(2)
+            return self._make(_TWO_CHAR_OPS[pair], start, pair)
+
+        if ch in _ONE_CHAR_OPS:
+            self._advance()
+            return self._make(_ONE_CHAR_OPS[ch], start, ch)
+
+        raise LexError(f"unexpected character {ch!r}", self._line, self._col)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list (including trailing EOF)."""
+    return list(Lexer(source).tokens())

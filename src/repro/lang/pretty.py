@@ -1,0 +1,139 @@
+"""Pretty-printer for FCL ASTs.
+
+``pretty(parse_program(src))`` re-parses to an equal AST (round-trip
+property, tested with hypothesis-generated programs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "  "
+
+
+def pretty_type(ty: ast.Type) -> str:
+    return str(ty)
+
+
+def pretty_program(program: ast.Program) -> str:
+    chunks: List[str] = []
+    for sdef in program.structs.values():
+        chunks.append(pretty_struct(sdef))
+    for fdef in program.funcs.values():
+        chunks.append(pretty_func(fdef))
+    return "\n\n".join(chunks) + "\n"
+
+
+def pretty_struct(sdef: ast.StructDef) -> str:
+    lines = [f"struct {sdef.name} {{"]
+    for f in sdef.fields:
+        iso = "iso " if f.is_iso else ""
+        lines.append(f"{_INDENT}{iso}{f.name} : {pretty_type(f.ty)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_func(fdef: ast.FuncDef) -> str:
+    params = ", ".join(
+        f"{'pinned ' if p.pinned else ''}{p.name} : {pretty_type(p.ty)}"
+        for p in fdef.params
+    )
+    header = f"def {fdef.name}({params}) : {pretty_type(fdef.return_type)}"
+    if fdef.consumes:
+        header += " consumes " + ", ".join(fdef.consumes)
+    if fdef.before:
+        rels = ", ".join(f"{_path(a)} ~ {_path(b)}" for a, b in fdef.before)
+        header += f" before: {rels}"
+    if fdef.after:
+        rels = ", ".join(f"{_path(a)} ~ {_path(b)}" for a, b in fdef.after)
+        header += f" after: {rels}"
+    return header + " " + pretty_expr(fdef.body, 0)
+
+
+def _path(path: ast.AnnotPath) -> str:
+    return ".".join(path)
+
+
+def pretty_expr(expr: ast.Expr, indent: int = 0) -> str:
+    """Render an expression.  Blocks are multi-line; leaves are inline."""
+    pad = _INDENT * indent
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.UnitLit):
+        return "()"
+    if isinstance(expr, ast.NoneLit):
+        return "none"
+    if isinstance(expr, ast.SomeExpr):
+        return f"some({pretty_expr(expr.inner, indent)})"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.FieldRef):
+        return f"{pretty_expr(expr.base, indent)}.{expr.fieldname}"
+    if isinstance(expr, ast.LetBind):
+        return f"let {expr.name} = {pretty_expr(expr.init, indent)}"
+    if isinstance(expr, ast.LetSome):
+        out = (
+            f"let some({expr.name}) = {pretty_expr(expr.scrutinee, indent)} in "
+            + pretty_expr(expr.then_block, indent)
+        )
+        if expr.else_block is not None:
+            out += " else " + pretty_expr(expr.else_block, indent)
+        return out
+    if isinstance(expr, ast.Assign):
+        return f"{pretty_expr(expr.target, indent)} = {pretty_expr(expr.value, indent)}"
+    if isinstance(expr, ast.If):
+        out = f"if ({pretty_expr(expr.cond, indent)}) " + pretty_expr(
+            expr.then_block, indent
+        )
+        if expr.else_block is not None:
+            out += " else " + pretty_expr(expr.else_block, indent)
+        return out
+    if isinstance(expr, ast.IfDisconnected):
+        out = (
+            f"if disconnected({pretty_expr(expr.left, indent)}, "
+            f"{pretty_expr(expr.right, indent)}) "
+            + pretty_expr(expr.then_block, indent)
+        )
+        if expr.else_block is not None:
+            out += " else " + pretty_expr(expr.else_block, indent)
+        return out
+    if isinstance(expr, ast.While):
+        return f"while ({pretty_expr(expr.cond, indent)}) " + pretty_expr(
+            expr.body, indent
+        )
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a, indent) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.New):
+        inits = ", ".join(
+            f"{name} = {pretty_expr(e, indent)}" for name, e in expr.inits.items()
+        )
+        return f"new {expr.struct}({inits})"
+    if isinstance(expr, ast.Send):
+        return f"send({pretty_expr(expr.value, indent)})"
+    if isinstance(expr, ast.Recv):
+        return f"recv({pretty_type(expr.ty)})"
+    if isinstance(expr, ast.IsNone):
+        return f"is_none({pretty_expr(expr.inner, indent)})"
+    if isinstance(expr, ast.IsSome):
+        return f"is_some({pretty_expr(expr.inner, indent)})"
+    if isinstance(expr, ast.Unop):
+        return f"{expr.op}({pretty_expr(expr.inner, indent)})"
+    if isinstance(expr, ast.Binop):
+        left = pretty_expr(expr.left, indent)
+        right = pretty_expr(expr.right, indent)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, ast.Block):
+        if not expr.body:
+            return "{ }"
+        inner_pad = _INDENT * (indent + 1)
+        lines = ["{"]
+        for entry in expr.body:
+            lines.append(f"{inner_pad}{pretty_expr(entry, indent + 1)};")
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")

@@ -1,0 +1,166 @@
+"""The shared run-time heap, with the stored reference counts of §5.2.
+
+Each object carries a *stored reference count*: the number of immediate heap
+references held in **non-iso** fields of other objects (or itself).  Per the
+paper, the count is updated *only* on field assignment — never on local
+variable binds, argument passing, or sends — making it much lighter than a
+conventional reference count.  ``if disconnected`` compares these counts
+with traversal counts to certify disconnection without exploring the larger
+side (see :mod:`repro.runtime.disconnect`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Set
+
+from ..lang import ast
+from .values import NONE, UNIT, Loc, RuntimeValue, is_loc
+
+
+@dataclass
+class HeapObject:
+    """A struct instance."""
+
+    struct: ast.StructDef
+    fields: Dict[str, RuntimeValue]
+    #: Stored reference count (§5.2): incoming non-iso heap references.
+    stored_refcount: int = 0
+
+    def iso_fields(self) -> Iterator[str]:
+        for decl in self.struct.fields:
+            if decl.is_iso:
+                yield decl.name
+
+    def non_iso_fields(self) -> Iterator[str]:
+        for decl in self.struct.fields:
+            if not decl.is_iso:
+                yield decl.name
+
+
+class HeapError(Exception):
+    """Access to a missing location (a runtime bug, not a data race)."""
+
+
+class Heap:
+    """The shared heap of a (possibly concurrent) machine configuration.
+
+    Counters ``reads``/``writes`` record field-level heap traffic and feed
+    the E5/E6 benchmarks.
+    """
+
+    def __init__(self, tracer=None) -> None:
+        self._objects: Dict[Loc, HeapObject] = {}
+        self._next = 0
+        self.reads = 0
+        self.writes = 0
+        #: Optional repro.runtime.trace.Tracer receiving every heap event.
+        self.tracer = tracer
+
+    def __contains__(self, loc: Loc) -> bool:
+        return loc in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def locations(self) -> Iterable[Loc]:
+        return self._objects.keys()
+
+    def obj(self, loc: Loc) -> HeapObject:
+        try:
+            return self._objects[loc]
+        except KeyError:
+            raise HeapError(f"dangling location {loc}") from None
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc(self, sdef: ast.StructDef, inits: Dict[str, RuntimeValue]) -> Loc:
+        """Allocate an object.  Missing fields default to none/0/false/unit,
+        or to a self reference for a non-nullable field of the same struct
+        type (the size-1 circular dll of fig 3)."""
+        loc = Loc(self._next)
+        self._next += 1
+        fields: Dict[str, RuntimeValue] = {}
+        obj = HeapObject(sdef, fields)
+        self._objects[loc] = obj
+        for decl in sdef.fields:
+            if decl.name in inits:
+                value: RuntimeValue = inits[decl.name]
+            elif isinstance(decl.ty, ast.MaybeType):
+                value = NONE
+            elif decl.ty == ast.INT:
+                value = 0
+            elif decl.ty == ast.BOOL:
+                value = False
+            elif decl.ty == ast.UNIT:
+                value = UNIT
+            elif isinstance(decl.ty, ast.StructType) and decl.ty.name == sdef.name:
+                value = loc  # self reference
+            else:
+                raise HeapError(
+                    f"field {sdef.name}.{decl.name} has no default and no "
+                    "initializer"
+                )
+            fields[decl.name] = value
+            if not decl.is_iso and is_loc(value):
+                self.obj(value).stored_refcount += 1
+        if self.tracer is not None:
+            self.tracer.record("alloc", loc, struct=sdef.name)
+        return loc
+
+    # -- field access -----------------------------------------------------------
+
+    def read_field(self, loc: Loc, fieldname: str) -> RuntimeValue:
+        self.reads += 1
+        value = self.obj(loc).fields[fieldname]
+        if self.tracer is not None:
+            self.tracer.record("read", loc, fieldname=fieldname, value=value)
+        return value
+
+    def write_field(self, loc: Loc, fieldname: str, value: RuntimeValue) -> None:
+        """Write a field, maintaining stored reference counts for non-iso
+        references (the only time counts are touched, per §5.2)."""
+        self.writes += 1
+        obj = self.obj(loc)
+        decl = obj.struct.field_decl(fieldname)
+        old = obj.fields[fieldname]
+        if self.tracer is not None:
+            self.tracer.record(
+                "write", loc, fieldname=fieldname, value=value, old=old
+            )
+        if not decl.is_iso:
+            if is_loc(old) and old in self._objects:
+                self._objects[old].stored_refcount -= 1
+            if is_loc(value):
+                self.obj(value).stored_refcount += 1
+        obj.fields[fieldname] = value
+
+    # -- reachability -----------------------------------------------------------
+
+    def live_set(self, root: Loc) -> Set[Loc]:
+        """All locations transitively reachable from ``root`` (crossing both
+        iso and non-iso fields) — the ``live-set`` of fig 15 used by send."""
+        seen: Set[Loc] = set()
+        stack: List[Loc] = [root]
+        while stack:
+            loc = stack.pop()
+            if loc in seen:
+                continue
+            seen.add(loc)
+            for value in self.obj(loc).fields.values():
+                if is_loc(value) and value not in seen:
+                    stack.append(value)
+        return seen
+
+    def recompute_refcounts(self) -> Dict[Loc, int]:
+        """Recount all non-iso references from scratch (used by the
+        invariant audits to validate incremental maintenance)."""
+        counts: Dict[Loc, int] = {loc: 0 for loc in self._objects}
+        for obj in self._objects.values():
+            for decl in obj.struct.fields:
+                if decl.is_iso:
+                    continue
+                value = obj.fields[decl.name]
+                if is_loc(value) and value in counts:
+                    counts[value] += 1
+        return counts

@@ -1,0 +1,560 @@
+"""The FCL abstract machine: dynamic reservation safety (§3.2) and
+message-passing concurrency (§7).
+
+Each thread evaluates its expression under a *reservation* — the set of
+heap locations it may touch.  Every variable use, field read, and field
+write consults the reservation (the pervasive dynamic checks of fig 7);
+touching a location outside it raises :class:`ReservationViolation`, the
+executable analogue of the semantics "getting stuck".  The paper proves
+well-typed programs never trip these checks, which is why a real
+implementation can erase them — benchmark E5 measures exactly that erasure
+(``check_reservations=False``).
+
+Threads communicate by rendezvous ``send``/``recv`` pairs (fig 15): the
+sender's reachable ``live-set`` moves wholesale from its reservation to the
+receiver's.
+
+The interpreter is a recursive generator so that the scheduler can suspend
+threads at ``send``/``recv`` (and, when ``preemptive``, at every heap
+access) and interleave them arbitrarily — hypothesis drives random
+schedules over it in the race-freedom tests (experiment E7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Iterable, List, Optional, Set, Tuple
+
+from ..lang import ast
+from .disconnect import DisconnectStats, efficient_disconnected, naive_disconnected
+from .heap import Heap
+from .values import NONE, UNIT, Loc, RuntimeValue, is_loc
+
+
+class MachineError(Exception):
+    """Internal evaluation error (malformed program reached the runtime)."""
+
+
+class ReservationViolation(Exception):
+    """A thread touched a location outside its reservation — the dynamic
+    semantics' "stuck" state.  Well-typed programs never raise this."""
+
+
+class DeadlockError(Exception):
+    """All live threads are blocked on send/recv."""
+
+
+# Yield events from the interpreter generator to the scheduler.
+EV_STEP = "step"
+EV_SEND = "send"
+EV_RECV = "recv"
+
+
+class Env:
+    """A function frame: a stack of block scopes."""
+
+    def __init__(self, initial: Optional[Dict[str, RuntimeValue]] = None):
+        self._scopes: List[Dict[str, RuntimeValue]] = [dict(initial or {})]
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> None:
+        self._scopes.pop()
+
+    def bind(self, name: str, value: RuntimeValue) -> None:
+        self._scopes[-1][name] = value
+
+    def lookup(self, name: str) -> RuntimeValue:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise MachineError(f"unbound variable {name!r} at run time")
+
+    def assign(self, name: str, value: RuntimeValue) -> None:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                scope[name] = value
+                return
+        raise MachineError(f"assignment to unbound variable {name!r}")
+
+
+@dataclass
+class ThreadStats:
+    steps: int = 0
+    sends: int = 0
+    recvs: int = 0
+    disconnect_checks: List[DisconnectStats] = field(default_factory=list)
+
+
+class Interpreter:
+    """Evaluates FCL expressions for one thread."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        heap: Heap,
+        reservation: Set[Loc],
+        check_reservations: bool = True,
+        disconnect: str = "efficient",
+        preemptive: bool = False,
+    ):
+        self.program = program
+        self.heap = heap
+        self.reservation = reservation
+        self.check_reservations = check_reservations
+        self.preemptive = preemptive
+        self.stats = ThreadStats()
+        if disconnect == "efficient":
+            self._disconnected = efficient_disconnected
+        elif disconnect == "naive":
+            self._disconnected = naive_disconnected
+        else:
+            raise ValueError(f"unknown disconnect implementation {disconnect!r}")
+
+    # -- reservation discipline -------------------------------------------------
+
+    def _guard(self, value: RuntimeValue) -> RuntimeValue:
+        """The dynamic reservation check applied on every location use."""
+        if self.check_reservations and is_loc(value):
+            if value not in self.reservation:
+                raise ReservationViolation(
+                    f"access to {value} outside the thread's reservation"
+                )
+        return value
+
+    # -- entry points ----------------------------------------------------------
+
+    def call(
+        self, name: str, args: Iterable[RuntimeValue]
+    ) -> Generator[Tuple, RuntimeValue, RuntimeValue]:
+        fdef = self.program.func(name)
+        args = list(args)
+        if len(args) != len(fdef.params):
+            raise MachineError(
+                f"{name} expects {len(fdef.params)} arguments, got {len(args)}"
+            )
+        env = Env({p.name: self._guard(a) for p, a in zip(fdef.params, args)})
+        result = yield from self._eval(fdef.body, env)
+        return result
+
+    # -- the evaluator ------------------------------------------------------------
+
+    def _eval(
+        self, node: ast.Expr, env: Env
+    ) -> Generator[Tuple, RuntimeValue, RuntimeValue]:
+        self.stats.steps += 1
+        if self.preemptive:
+            yield (EV_STEP,)
+
+        if isinstance(node, ast.IntLit):
+            return node.value
+        if isinstance(node, ast.BoolLit):
+            return node.value
+        if isinstance(node, ast.UnitLit):
+            return UNIT
+        if isinstance(node, ast.NoneLit):
+            return NONE
+        if isinstance(node, ast.VarRef):
+            return self._guard(env.lookup(node.name))
+        if isinstance(node, ast.SomeExpr):
+            return (yield from self._eval(node.inner, env))
+        if isinstance(node, ast.IsNone):
+            value = yield from self._eval(node.inner, env)
+            return value is NONE
+        if isinstance(node, ast.IsSome):
+            value = yield from self._eval(node.inner, env)
+            return value is not NONE
+
+        if isinstance(node, ast.Block):
+            env.push()
+            try:
+                result: RuntimeValue = UNIT
+                for index, entry in enumerate(node.body):
+                    value = yield from self._eval(entry, env)
+                    is_last = index == len(node.body) - 1
+                    if is_last and not isinstance(entry, ast.LetBind):
+                        result = value
+                return result
+            finally:
+                env.pop()
+
+        if isinstance(node, ast.LetBind):
+            value = yield from self._eval(node.init, env)
+            env.bind(node.name, value)
+            return UNIT
+
+        if isinstance(node, ast.LetSome):
+            scrutinee = yield from self._eval(node.scrutinee, env)
+            if scrutinee is NONE:
+                if node.else_block is None:
+                    return UNIT
+                return (yield from self._eval(node.else_block, env))
+            env.push()
+            try:
+                env.bind(node.name, scrutinee)
+                return (yield from self._eval(node.then_block, env))
+            finally:
+                env.pop()
+
+        if isinstance(node, ast.Assign):
+            return (yield from self._eval_assign(node, env))
+
+        if isinstance(node, ast.FieldRef):
+            base = yield from self._eval(node.base, env)
+            loc = self._as_loc(base, node)
+            self._guard(loc)
+            value = self.heap.read_field(loc, node.fieldname)
+            return self._guard(value) if is_loc(value) else value
+
+        if isinstance(node, ast.If):
+            cond = yield from self._eval(node.cond, env)
+            if cond:
+                return (yield from self._eval(node.then_block, env))
+            if node.else_block is not None:
+                return (yield from self._eval(node.else_block, env))
+            return UNIT
+
+        if isinstance(node, ast.While):
+            while True:
+                cond = yield from self._eval(node.cond, env)
+                if not cond:
+                    return UNIT
+                yield from self._eval(node.body, env)
+
+        if isinstance(node, ast.IfDisconnected):
+            left = yield from self._eval(node.left, env)
+            right = yield from self._eval(node.right, env)
+            left_loc = self._as_loc(left, node)
+            right_loc = self._as_loc(right, node)
+            self._guard(left_loc)
+            self._guard(right_loc)
+            disconnected, stats = self._disconnected(self.heap, left_loc, right_loc)
+            self.stats.disconnect_checks.append(stats)
+            if disconnected:
+                return (yield from self._eval(node.then_block, env))
+            if node.else_block is not None:
+                return (yield from self._eval(node.else_block, env))
+            return UNIT
+
+        if isinstance(node, ast.Unop):
+            value = yield from self._eval(node.inner, env)
+            return (not value) if node.op == "!" else -value
+
+        if isinstance(node, ast.Binop):
+            left = yield from self._eval(node.left, env)
+            right = yield from self._eval(node.right, env)
+            return self._binop(node.op, left, right)
+
+        if isinstance(node, ast.New):
+            inits: Dict[str, RuntimeValue] = {}
+            for fieldname, init in node.inits.items():
+                inits[fieldname] = yield from self._eval(init, env)
+            sdef = self.program.struct(node.struct)
+            loc = self.heap.alloc(sdef, inits)
+            self.reservation.add(loc)
+            return loc
+
+        if isinstance(node, ast.Call):
+            args = []
+            for arg in node.args:
+                args.append((yield from self._eval(arg, env)))
+            return (yield from self.call(node.func, args))
+
+        if isinstance(node, ast.Send):
+            value = yield from self._eval(node.value, env)
+            root = self._as_loc(value, node)
+            live = self.heap.live_set(root)
+            if self.check_reservations and not live <= self.reservation:
+                raise ReservationViolation(
+                    "send: the live set leaks outside the sender's reservation"
+                )
+            self.stats.sends += 1
+            yield (EV_SEND, self.heap.obj(root).struct.name, root, live)
+            return UNIT
+
+        if isinstance(node, ast.Recv):
+            self.stats.recvs += 1
+            root = yield (EV_RECV, ast.strip_maybe(node.ty).name)
+            return root
+
+        raise MachineError(f"cannot evaluate {type(node).__name__}")
+
+    def _eval_assign(
+        self, node: ast.Assign, env: Env
+    ) -> Generator[Tuple, RuntimeValue, RuntimeValue]:
+        if isinstance(node.target, ast.VarRef):
+            value = yield from self._eval(node.value, env)
+            env.assign(node.target.name, value)
+            return UNIT
+        target: ast.FieldRef = node.target
+        base = yield from self._eval(target.base, env)
+        loc = self._as_loc(base, node)
+        value = yield from self._eval(node.value, env)
+        self._guard(loc)
+        if is_loc(value):
+            self._guard(value)
+        self.heap.write_field(loc, target.fieldname, value)
+        return UNIT
+
+    @staticmethod
+    def _binop(op: str, left: RuntimeValue, right: RuntimeValue) -> RuntimeValue:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise MachineError("division by zero")
+            return left // right
+        if op == "%":
+            if right == 0:
+                raise MachineError("modulo by zero")
+            return left % right
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "&&":
+            return bool(left) and bool(right)
+        if op == "||":
+            return bool(left) or bool(right)
+        raise MachineError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _as_loc(value: RuntimeValue, node: ast.Expr) -> Loc:
+        if not is_loc(value):
+            raise MachineError(
+                f"expected an object reference, got {value!r} "
+                f"(did a none reach a non-nullable position?)"
+            )
+        return value
+
+
+# ---------------------------------------------------------------------------
+# Threads and the concurrent machine
+# ---------------------------------------------------------------------------
+
+READY = "ready"
+BLOCKED_SEND = "blocked_send"
+BLOCKED_RECV = "blocked_recv"
+DONE = "done"
+FAILED = "failed"
+
+
+class Thread:
+    def __init__(self, ident: int, interp: Interpreter, gen: Generator):
+        self.ident = ident
+        self.interp = interp
+        self.gen = gen
+        self.state = READY
+        self.pending: Optional[Tuple] = None  # the blocking event
+        self.inbox: Optional[RuntimeValue] = None  # value to resume with
+        self.result: Optional[RuntimeValue] = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def reservation(self) -> Set[Loc]:
+        return self.interp.reservation
+
+
+class Machine:
+    """A concurrent configuration: one shared heap, n threads with disjoint
+    reservations, rendezvous send/recv."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        check_reservations: bool = True,
+        disconnect: str = "efficient",
+        preemptive: bool = True,
+        seed: Optional[int] = None,
+    ):
+        self.program = program
+        self.heap = Heap()
+        self.check_reservations = check_reservations
+        self.disconnect = disconnect
+        self.preemptive = preemptive
+        self.rng = random.Random(seed)
+        self.threads: List[Thread] = []
+
+    def spawn(self, func: str, args: Iterable[RuntimeValue] = ()) -> Thread:
+        interp = Interpreter(
+            self.program,
+            self.heap,
+            reservation=set(),
+            check_reservations=self.check_reservations,
+            disconnect=self.disconnect,
+            preemptive=self.preemptive,
+        )
+        args = list(args)
+        for arg in args:
+            if is_loc(arg):
+                interp.reservation |= self.heap.live_set(arg)
+        thread = Thread(len(self.threads), interp, interp.call(func, args))
+        self.threads.append(thread)
+        return thread
+
+    def alloc(self, thread: Thread, struct: str, **inits: RuntimeValue) -> Loc:
+        """Host-side allocation into a thread's reservation (test/example
+        scaffolding)."""
+        loc = self.heap.alloc(self.program.struct(struct), inits)
+        thread.reservation.add(loc)
+        return loc
+
+    # -- invariants --------------------------------------------------------------
+
+    def reservations_disjoint(self) -> bool:
+        seen: Set[Loc] = set()
+        for thread in self.threads:
+            if seen & thread.reservation:
+                return False
+            seen |= thread.reservation
+        return True
+
+    # -- scheduling --------------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000) -> None:
+        """Round-robin/random scheduler until all threads finish.
+
+        Raises DeadlockError when all remaining threads block, and
+        re-raises the first thread failure (including reservation
+        violations)."""
+        for _ in range(max_steps):
+            self._match_rendezvous()
+            runnable = [t for t in self.threads if t.state == READY]
+            if not runnable:
+                blocked = [
+                    t
+                    for t in self.threads
+                    if t.state in (BLOCKED_SEND, BLOCKED_RECV)
+                ]
+                if not blocked:
+                    return  # all done
+                states = ", ".join(
+                    f"thread {t.ident}: {t.state}({t.pending[1]})" for t in blocked
+                )
+                raise DeadlockError(f"all threads blocked — {states}")
+            thread = self.rng.choice(runnable)
+            self._advance(thread)
+            for t in self.threads:
+                if t.state == FAILED:
+                    raise t.error  # type: ignore[misc]
+        raise MachineError("scheduler step budget exhausted")
+
+    def _advance(self, thread: Thread) -> None:
+        try:
+            if thread.inbox is not None:
+                value, thread.inbox = thread.inbox, None
+                event = thread.gen.send(value)
+            else:
+                event = next(thread.gen)
+        except StopIteration as stop:
+            thread.state = DONE
+            thread.result = stop.value
+            return
+        except BaseException as exc:  # noqa: BLE001 — surfaced to caller
+            thread.state = FAILED
+            thread.error = exc
+            return
+        kind = event[0]
+        if kind == EV_STEP:
+            return
+        if kind == EV_SEND:
+            thread.state = BLOCKED_SEND
+            thread.pending = event
+            return
+        if kind == EV_RECV:
+            thread.state = BLOCKED_RECV
+            thread.pending = event
+            return
+        raise MachineError(f"unknown interpreter event {event!r}")
+
+    def _match_rendezvous(self) -> None:
+        senders = [t for t in self.threads if t.state == BLOCKED_SEND]
+        receivers = [t for t in self.threads if t.state == BLOCKED_RECV]
+        for sender in senders:
+            _kind, sent_struct, root, live = sender.pending
+            matching = [r for r in receivers if r.pending[1] == sent_struct]
+            if not matching:
+                continue
+            receiver = self.rng.choice(matching)
+            receivers.remove(receiver)
+            # EC3 Communication-Paired-Step (fig 15): the live set moves
+            # from the sender's reservation to the receiver's.
+            sender.reservation.difference_update(live)
+            receiver.reservation.update(live)
+            sender.inbox = UNIT
+            sender.state = READY
+            sender.pending = None
+            receiver.inbox = root
+            receiver.state = READY
+            receiver.pending = None
+
+
+# ---------------------------------------------------------------------------
+# Single-threaded convenience
+# ---------------------------------------------------------------------------
+
+
+def run_function(
+    program: ast.Program,
+    name: str,
+    args: Iterable[RuntimeValue] = (),
+    heap: Optional[Heap] = None,
+    reservation: Optional[Set[Loc]] = None,
+    check_reservations: bool = True,
+    disconnect: str = "efficient",
+    sink_sends: bool = False,
+) -> Tuple[RuntimeValue, Interpreter]:
+    """Run a function to completion on a single thread.
+
+    ``send``/``recv`` normally require a :class:`Machine`; with
+    ``sink_sends=True`` a send instead delivers to an implicit sink thread
+    (the live set simply leaves this thread's reservation), which is how
+    single-threaded harnesses exercise send-containing programs.
+
+    Returns (result, interpreter) so callers can inspect the heap,
+    reservation, and statistics.
+    """
+    heap = heap if heap is not None else Heap()
+    if reservation is None:
+        reservation = set(heap.locations())
+    interp = Interpreter(
+        program,
+        heap,
+        reservation,
+        check_reservations=check_reservations,
+        disconnect=disconnect,
+    )
+    gen = interp.call(name, args)
+    try:
+        event = None
+        while True:
+            if event is not None and event[0] == EV_SEND:
+                if not sink_sends:
+                    raise MachineError(
+                        "run_function cannot service send/recv; use Machine"
+                    )
+                _kind, _struct, _root, live = event
+                interp.reservation.difference_update(live)
+                event = gen.send(UNIT)
+                continue
+            event = next(gen)
+            if event[0] == EV_RECV:
+                raise MachineError(
+                    "run_function cannot service recv; use Machine"
+                )
+    except StopIteration as stop:
+        return stop.value, interp

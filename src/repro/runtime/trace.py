@@ -1,0 +1,115 @@
+"""Heap tracing: a bounded event log of allocations, reads, and writes.
+
+Attach a :class:`Tracer` to a :class:`~repro.runtime.heap.Heap` and every
+heap operation is recorded in a ring buffer — the tool you want when a
+reservation violation fires and you need to know how the location got
+where it is.  Used by tests and available to examples/CLI users::
+
+    tracer = Tracer(capacity=1000)
+    heap = Heap(tracer=tracer)
+    ...
+    print(tracer.render(last=20))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+from .values import Loc, RuntimeValue, is_loc
+
+ALLOC = "alloc"
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    seq: int
+    kind: str  # alloc | read | write
+    loc: Loc
+    fieldname: Optional[str] = None
+    value: Optional[RuntimeValue] = None
+    old: Optional[RuntimeValue] = None
+    struct: Optional[str] = None
+
+    def render(self) -> str:
+        if self.kind == ALLOC:
+            return f"#{self.seq:<6d} alloc {self.loc} : {self.struct}"
+        if self.kind == READ:
+            return (
+                f"#{self.seq:<6d} read  {self.loc}.{self.fieldname} "
+                f"→ {_show(self.value)}"
+            )
+        return (
+            f"#{self.seq:<6d} write {self.loc}.{self.fieldname} "
+            f"= {_show(self.value)} (was {_show(self.old)})"
+        )
+
+
+def _show(value: Optional[RuntimeValue]) -> str:
+    from .values import NONE, UNIT
+
+    if value is NONE:
+        return "none"
+    if value is UNIT:
+        return "()"
+    return str(value)
+
+
+class Tracer:
+    """Bounded heap-event recorder."""
+
+    def __init__(self, capacity: int = 10_000):
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    def record(self, event_kind: str, loc: Loc, **payload) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(seq=self._seq, kind=event_kind, loc=loc, **payload)
+        )
+        self._seq += 1
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        loc: Optional[Loc] = None,
+        fieldname: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Events, optionally filtered by kind / location / field."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if loc is not None and event.loc != loc:
+                continue
+            if fieldname is not None and event.fieldname != fieldname:
+                continue
+            out.append(event)
+        return out
+
+    def history_of(self, loc: Loc) -> List[TraceEvent]:
+        """Everything that ever happened to one location (also events whose
+        *value* references it — how did this location get stored there?)."""
+        out = []
+        for event in self._events:
+            if event.loc == loc or (is_loc(event.value) and event.value == loc):
+                out.append(event)
+        return out
+
+    def render(self, last: Optional[int] = None) -> str:
+        events = list(self._events)
+        if last is not None:
+            events = events[-last:]
+        lines = [event.render() for event in events]
+        if self.dropped:
+            lines.insert(0, f"... ({self.dropped} earlier events dropped)")
+        return "\n".join(lines) if lines else "(no heap events)"
+
+    def __len__(self) -> int:
+        return len(self._events)

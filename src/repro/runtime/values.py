@@ -1,0 +1,67 @@
+"""Run-time values of FCL.
+
+Struct instances live in the heap and are referenced by :class:`Loc`;
+primitives are immediate.  ``maybe`` is transparent: ``none`` is the
+:data:`NONE` sentinel and ``some(v)`` is just ``v`` (nested maybes are ruled
+out by the type grammar), which matches the paper's nullable-field reading
+of ``T?``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Loc:
+    """A heap location (object reference)."""
+
+    ident: int
+
+    def __str__(self) -> str:
+        return f"ℓ{self.ident}"
+
+
+class _Unit:
+    _instance = None
+
+    def __new__(cls) -> "_Unit":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "unit"
+
+
+class _NoneValue:
+    _instance = None
+
+    def __new__(cls) -> "_NoneValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "none"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The unit value.
+UNIT = _Unit()
+#: The empty maybe.
+NONE = _NoneValue()
+
+#: Anything an FCL expression can evaluate to.
+RuntimeValue = Union[int, bool, Loc, _Unit, _NoneValue]
+
+
+def is_none_value(value: RuntimeValue) -> bool:
+    return value is NONE
+
+
+def is_loc(value: RuntimeValue) -> bool:
+    return isinstance(value, Loc)

@@ -1,0 +1,5 @@
+"""Independent derivation verifier (the Coq-verifier analogue of §5)."""
+
+from .verifier import VerificationError, Verifier, context_from_snapshot, verify_source
+
+__all__ = ["Verifier", "VerificationError", "context_from_snapshot", "verify_source"]

@@ -1,0 +1,162 @@
+"""Tests for the algorithms corpus: merge sort, partition, sorted insert —
+ownership choreography over the recursively linear list."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import check_iso_domination, check_refcounts
+from repro.core.checker import Checker
+from repro.core.errors import TypeError_
+from repro.corpus import load_program, load_source
+from repro.lang import parse_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import run_function
+from repro.runtime.values import NONE
+
+
+def build_list(program, heap, values):
+    lst, _ = run_function(program, "make_list_lcg", [0, 0], heap=heap)
+    for v in reversed(values):
+        d = heap.alloc(program.structs["data"], {"v": v})
+        node = heap.alloc(
+            program.structs["sll_node"],
+            {"payload": d, "next": heap.obj(lst).fields["hd"]},
+        )
+        heap.write_field(lst, "hd", node)
+    return lst
+
+
+def to_python(program, heap, lst):
+    out = []
+    node = heap.obj(lst).fields["hd"]
+    while node is not NONE:
+        payload = heap.obj(node).fields["payload"]
+        out.append(heap.obj(payload).fields["v"])
+        node = heap.obj(node).fields["next"]
+    return out
+
+
+@pytest.fixture()
+def env():
+    return load_program("algorithms"), Heap()
+
+
+class TestMergeSort:
+    def test_sorts(self, env):
+        program, heap = env
+        lst = build_list(program, heap, [5, 2, 9, 1, 7, 3])
+        run_function(program, "sort", [lst], heap=heap)
+        assert to_python(program, heap, lst) == [1, 2, 3, 5, 7, 9]
+
+    def test_empty_and_singleton(self, env):
+        program, heap = env
+        for values in ([], [4]):
+            lst = build_list(program, heap, values)
+            run_function(program, "sort", [lst], heap=heap)
+            assert to_python(program, heap, lst) == sorted(values)
+
+    def test_duplicates_preserved(self, env):
+        program, heap = env
+        lst = build_list(program, heap, [3, 1, 3, 2, 3])
+        run_function(program, "sort", [lst], heap=heap)
+        assert to_python(program, heap, lst) == [1, 2, 3, 3, 3]
+
+    def test_split_bisects(self, env):
+        program, heap = env
+        lst = build_list(program, heap, [0, 1, 2, 3, 4, 5])
+        head = heap.obj(lst).fields["hd"]
+        second, _ = run_function(program, "split", [head], heap=heap)
+        assert to_python(program, heap, lst) == [0, 2, 4]
+        # Wrap the detached half to walk it.
+        other = heap.alloc(program.structs["sll"], {"hd": second})
+        assert to_python(program, heap, other) == [1, 3, 5]
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_sorted(self, values):
+        program = load_program("algorithms")
+        heap = Heap()
+        lst = build_list(program, heap, values)
+        run_function(program, "sort", [lst], heap=heap)
+        assert to_python(program, heap, lst) == sorted(values)
+        check_refcounts(heap)
+        check_iso_domination(heap, [lst])
+
+
+class TestPartition:
+    def test_partitions(self, env):
+        program, heap = env
+        lst = build_list(program, heap, [5, 1, 8, 2, 9, 3])
+        out, _ = run_function(program, "partition", [lst, 5], heap=heap)
+        assert sorted(to_python(program, heap, lst)) == [5, 8, 9]
+        assert sorted(to_python(program, heap, out)) == [1, 2, 3]
+
+    def test_partition_disjoint_ownership(self, env):
+        program, heap = env
+        lst = build_list(program, heap, [5, 1, 8, 2])
+        out, _ = run_function(program, "partition", [lst, 5], heap=heap)
+        assert heap.live_set(lst).isdisjoint(heap.live_set(out))
+        check_iso_domination(heap, [lst, out])
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=25),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_filter(self, values, pivot):
+        program = load_program("algorithms")
+        heap = Heap()
+        lst = build_list(program, heap, values)
+        out, _ = run_function(program, "partition", [lst, pivot], heap=heap)
+        kept = to_python(program, heap, lst)
+        moved = to_python(program, heap, out)
+        assert sorted(kept) == sorted(v for v in values if v >= pivot)
+        assert sorted(moved) == sorted(v for v in values if v < pivot)
+        check_refcounts(heap)
+
+
+class TestSortedInsert:
+    @given(st.lists(st.integers(min_value=0, max_value=99), max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_insertion_sort(self, values):
+        program = load_program("algorithms")
+        heap = Heap()
+        lst = build_list(program, heap, [])
+        for v in values:
+            d = heap.alloc(program.structs["data"], {"v": v})
+            run_function(program, "insert_sorted", [lst, d], heap=heap)
+        assert to_python(program, heap, lst) == sorted(values)
+
+
+class TestTypeLevelForcedUnlink:
+    def test_forgetting_the_unlink_is_a_type_error(self):
+        # partition_after without `next.next = none`: the pushed node would
+        # still own the remainder of the list; push_node's consumption then
+        # invalidates n.next, and the recursion cannot proceed.
+        source = load_source("algorithms").replace("next.next = none;\n", "")
+        assert "next.next = none" not in source.split("partition_after")[1].split("}")[0]
+        with pytest.raises(TypeError_):
+            Checker(parse_program(source)).check_program()
+
+    def test_calling_node_value_with_live_tracking_is_a_type_error(self):
+        # The rejected form of is_sorted (documented in algorithms.fcl).
+        source = load_source("algorithms") + """
+def is_sorted_bad(n : sll_node) : bool {
+  let some(next) = n.next in {
+    if (node_value(n) <= node_value(next)) { is_sorted_bad(next) }
+    else { false }
+  } else { true }
+}
+"""
+        with pytest.raises(TypeError_):
+            Checker(parse_program(source)).check_program()
+
+
+class TestVerification:
+    def test_algorithms_verify(self):
+        from repro.verifier import Verifier
+
+        program = load_program("algorithms")
+        derivation = Checker(program).check_program()
+        assert Verifier(program).verify_program(derivation) > 300

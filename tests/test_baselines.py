@@ -1,0 +1,89 @@
+"""Baseline tests: the regenerated Table 1 matches the paper, and the
+destructive-read model shows the O(n)-writes behaviour (§1, §9.1)."""
+
+import pytest
+
+from repro.baselines import (
+    build_table,
+    compare_with_paper,
+    destructive_remove_tail,
+    fearless_remove_tail,
+    render_table,
+)
+from repro.baselines.table1 import PAPER_TABLE, annotation_count
+from repro.corpus import load_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import run_function
+from repro.runtime.values import NONE
+
+
+class TestTable1:
+    def test_every_row_matches_the_paper(self):
+        comparison = compare_with_paper()
+        assert all(comparison.values()), comparison
+
+    def test_all_languages_covered(self):
+        rows = {row.language for row in build_table()}
+        assert rows == set(PAPER_TABLE)
+
+    def test_this_paper_row_fully_capable(self):
+        row = next(r for r in build_table() if r.language == "This paper")
+        assert row.sll == "yes" and row.dll_repr == "yes"
+        assert row.mechanical
+
+    def test_mechanical_rows(self):
+        mechanical = {r.language for r in build_table() if r.mechanical}
+        assert {"Rust", "Unique", "LaCasa", "OwnerJ", "M#", "This paper"} <= mechanical
+
+    def test_annotation_budget(self):
+        # §4.9: the complete sll needs `consumes` in exactly two places.
+        assert annotation_count() == 2
+
+    def test_render(self):
+        text = render_table()
+        assert "This paper" in text and "✓" in text
+
+
+class TestDestructiveBaseline:
+    def _setup(self, n):
+        program = load_program("sll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_list", [n], heap=heap)
+        head = heap.obj(lst).fields["hd"]
+        return program, heap, lst, head
+
+    def test_destructive_detaches_tail(self):
+        program, heap, lst, head = self._setup(5)
+        result = destructive_remove_tail(heap, head)
+        assert result.payload is not None
+        assert heap.obj(result.payload).fields["v"] == 5
+        assert result.payload not in heap.live_set(lst)
+
+    def test_destructive_preserves_list(self):
+        program, heap, lst, head = self._setup(5)
+        destructive_remove_tail(heap, head)
+        assert run_function(program, "list_length", [lst], heap=heap)[0] == 4
+        assert run_function(program, "sum", [lst], heap=heap)[0] == 1 + 2 + 3 + 4
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_write_counts_scale_linearly(self, n):
+        # §1: destructive-read systems incur a write per node traversed.
+        program, heap, lst, head = self._setup(n)
+        result = destructive_remove_tail(heap, head)
+        assert result.writes >= 2 * (n - 2)
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_fearless_writes_constant(self, n):
+        program, heap, lst, head = self._setup(n)
+        result = fearless_remove_tail(heap, program, head)
+        assert result.writes == 1  # just `n.next = none`
+
+    def test_equivalent_results(self):
+        for n in (3, 7, 12):
+            program, heap_a, lst_a, head_a = self._setup(n)
+            _, heap_b, lst_b, head_b = self._setup(n)
+            a = destructive_remove_tail(heap_a, head_a)
+            b = fearless_remove_tail(heap_b, program, head_b)
+            va = heap_a.obj(a.payload).fields["v"]
+            vb = heap_b.obj(b.payload).fields["v"]
+            assert va == vb == n

@@ -1,0 +1,242 @@
+"""Checker unit tests: literals, variables, blocks, operators, declarations."""
+
+import pytest
+
+from repro.core.checker import Checker, check_source
+from repro.core.errors import (
+    ArityError,
+    InferenceError,
+    TypeError_,
+    TypeMismatch,
+    UnboundVariable,
+    UnknownName,
+)
+from repro.core.validate import DeclarationError
+from repro.lang import parse_program
+
+STRUCTS = """
+struct data { v : int; }
+struct box { iso inner : data?; flag : bool; }
+"""
+
+
+def accept(body, ret="unit", params=""):
+    check_source(STRUCTS + f"def fn({params}) : {ret} {{ {body} }}")
+
+
+def reject(exc, body, ret="unit", params=""):
+    with pytest.raises(exc):
+        accept(body, ret, params)
+
+
+class TestLiterals:
+    def test_int(self):
+        accept("42", ret="int")
+
+    def test_bool(self):
+        accept("true", ret="bool")
+
+    def test_unit(self):
+        accept("()")
+
+    def test_arith(self):
+        accept("1 + 2 * 3 - 4 / 2 % 3", ret="int")
+
+    def test_comparison(self):
+        accept("1 < 2", ret="bool")
+
+    def test_logic(self):
+        accept("true && (1 == 2) || false", ret="bool")
+
+    def test_arith_type_error(self):
+        reject(TypeMismatch, "1 + true", ret="int")
+
+    def test_logic_type_error(self):
+        reject(TypeMismatch, "1 && true", ret="bool")
+
+    def test_compare_mixed_types(self):
+        reject(TypeMismatch, "1 == true", ret="bool")
+
+    def test_unop(self):
+        accept("!false", ret="bool")
+        accept("-3", ret="int")
+        reject(TypeMismatch, "!3", ret="bool")
+
+    def test_return_type_mismatch(self):
+        reject(TypeMismatch, "1", ret="bool")
+
+
+class TestVariables:
+    def test_let_and_use(self):
+        accept("let x = 1; x + x", ret="int")
+
+    def test_unbound(self):
+        reject(TypeError_, "y", ret="int")
+
+    def test_shadowing_rejected(self):
+        reject(TypeError_, "let x = 1; let x = 2; x", ret="int")
+
+    def test_block_scope_ends(self):
+        reject(TypeError_, "{ let x = 1; x }; x", ret="int")
+
+    def test_param_use(self):
+        accept("k + 1", ret="int", params="k : int")
+
+    def test_assign_same_type(self):
+        accept("let x = 1; x = 2; x", ret="int")
+
+    def test_assign_type_change_rejected(self):
+        reject(TypeMismatch, "let x = 1; x = true; ()")
+
+    def test_struct_alias(self):
+        accept("let d2 = d; d2.v", ret="int", params="d : data")
+
+
+class TestMaybe:
+    def test_none_needs_context(self):
+        reject(InferenceError, "let x = none; ()")
+
+    def test_none_with_field_context(self):
+        accept("b.inner = none", params="b : box")
+
+    def test_some_of_maybe_rejected(self):
+        reject(
+            TypeMismatch,
+            "let m = b.inner; some(m)",
+            ret="data?",
+            params="b : box",
+        )
+
+    def test_is_none_requires_maybe(self):
+        reject(TypeMismatch, "is_none(1)", ret="bool")
+
+    def test_let_some_requires_maybe(self):
+        reject(TypeMismatch, "let some(x) = 1 in { () } else { () }")
+
+    def test_let_some_branches(self):
+        accept(
+            "let some(d) = b.inner in { d.v } else { 0 }",
+            ret="int",
+            params="b : box",
+        )
+
+    def test_branch_type_mismatch(self):
+        reject(
+            TypeMismatch,
+            "let some(d) = b.inner in { 1 } else { true }",
+            ret="int",
+            params="b : box",
+        )
+
+
+class TestFields:
+    def test_non_iso_read(self):
+        accept("b.flag", ret="bool", params="b : box")
+
+    def test_unknown_field(self):
+        reject(UnknownName, "b.zzz", ret="bool", params="b : box")
+
+    def test_field_on_prim(self):
+        reject(TypeMismatch, "k.v", ret="int", params="k : int")
+
+    def test_field_on_maybe_needs_unwrap(self):
+        reject(
+            TypeMismatch, "b.inner.v", ret="int", params="b : box"
+        )
+
+    def test_prim_field_assign(self):
+        accept("b.flag = true", params="b : box")
+
+    def test_field_assign_type_error(self):
+        reject(TypeMismatch, "b.flag = 3", params="b : box")
+
+
+class TestNew:
+    def test_new_with_defaults(self):
+        accept("let b = new box(); ()")
+
+    def test_new_prim_init(self):
+        accept("let d = new data(v = 3); d.v", ret="int")
+
+    def test_new_unknown_struct(self):
+        reject(UnknownName, "new zzz()")
+
+    def test_new_unknown_field(self):
+        reject(UnknownName, "new data(zzz = 1)")
+
+    def test_new_init_type_error(self):
+        reject(TypeMismatch, "new data(v = true)")
+
+    def test_new_missing_non_nullable(self):
+        src = "struct a { x : int; } struct holder { item : a; }"
+        with pytest.raises(TypeError_):
+            check_source(src + " def f() : unit { new holder(); () }")
+
+    def test_new_iso_init_requires_let(self):
+        src = STRUCTS + """
+        struct strong { iso must : data; }
+        def f(d : data) : unit consumes d { new strong(must = d); () }
+        """
+        with pytest.raises(TypeError_):
+            check_source(src)
+
+
+class TestCallsBasics:
+    def test_arity(self):
+        with pytest.raises(ArityError):
+            check_source(
+                STRUCTS + "def g(k : int) : int { k } def f() : int { g() }"
+            )
+
+    def test_unknown_function(self):
+        reject(UnknownName, "zzz()")
+
+    def test_arg_type(self):
+        with pytest.raises(TypeMismatch):
+            check_source(
+                STRUCTS + "def g(k : int) : int { k } def f() : int { g(true) }"
+            )
+
+    def test_recursion(self):
+        check_source(
+            STRUCTS
+            + "def fact(n : int) : int { if (n <= 1) { 1 } else { n * fact(n - 1) } }"
+        )
+
+
+class TestDeclarations:
+    def test_iso_prim_field_rejected(self):
+        with pytest.raises(DeclarationError):
+            check_source("struct s { iso k : int; }")
+
+    def test_unknown_field_struct_type(self):
+        with pytest.raises(UnknownName):
+            check_source("struct s { x : nosuch; }")
+
+    def test_unknown_param_type(self):
+        with pytest.raises(UnknownName):
+            check_source("def f(x : nosuch) : unit { () }")
+
+    def test_duplicate_param(self):
+        with pytest.raises(DeclarationError):
+            check_source("def f(x : int, x : int) : unit { () }")
+
+
+class TestControlFlow:
+    def test_if_cond_must_be_bool(self):
+        reject(TypeMismatch, "if (1) { () } else { () }")
+
+    def test_if_without_else_is_unit(self):
+        accept("if (true) { 1 }; ()")
+
+    def test_while_cond_must_be_bool(self):
+        reject(TypeMismatch, "while (1) { () }")
+
+    def test_while_loop_with_counter(self):
+        accept("let i = 10; while (i > 0) { i = i - 1 }; i", ret="int")
+
+    def test_nested_ifs(self):
+        accept(
+            "if (true) { if (false) { 1 } else { 2 } } else { 3 }",
+            ret="int",
+        )

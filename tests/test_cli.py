@@ -1,0 +1,165 @@
+"""CLI tests (`python -m repro ...`)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CORPUS = Path(__file__).parent.parent / "src" / "repro" / "corpus"
+
+
+@pytest.fixture()
+def fcl_file(tmp_path):
+    def write(source: str) -> str:
+        path = tmp_path / "prog.fcl"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+GOOD = """
+struct data { v : int; }
+def add(a : int, b : int) : int { a + b }
+def boxed() : data { new data(v = 9) }
+"""
+
+BAD = """
+struct data { v : int; }
+def f(d : data) : unit { send(d) }
+"""
+
+
+class TestCheck:
+    def test_ok(self, fcl_file, capsys):
+        assert main(["check", fcl_file(GOOD)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_type_error(self, fcl_file, capsys):
+        assert main(["check", fcl_file(BAD)]) == 1
+        assert "type error" in capsys.readouterr().err
+
+    def test_syntax_error(self, fcl_file):
+        with pytest.raises(SystemExit):
+            main(["check", fcl_file("struct {")])
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["check", "/nonexistent/x.fcl"])
+
+
+class TestVerify:
+    def test_ok(self, fcl_file, capsys):
+        assert main(["verify", fcl_file(GOOD)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_corpus_files_verify(self, capsys):
+        for name in ("sll.fcl", "dll.fcl"):
+            assert main(["verify", str(CORPUS / name)]) == 0
+
+
+class TestRun:
+    def test_prim_result(self, fcl_file, capsys):
+        assert main(["run", fcl_file(GOOD), "add", "20", "22"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_struct_result_rendered(self, fcl_file, capsys):
+        assert main(["run", fcl_file(GOOD), "boxed"]) == 0
+        out = capsys.readouterr().out
+        assert "data{" in out and "v = 9" in out
+
+    def test_bool_args(self, fcl_file, capsys):
+        src = "def pick(c : bool) : int { if (c) { 1 } else { 2 } }"
+        assert main(["run", fcl_file(src), "pick", "true"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_stats_flag(self, fcl_file, capsys):
+        assert main(["run", fcl_file(GOOD), "add", "1", "2", "--stats"]) == 0
+        assert "heap_reads" in capsys.readouterr().err
+
+    def test_bad_arg(self, fcl_file):
+        with pytest.raises(SystemExit):
+            main(["run", fcl_file(GOOD), "add", "banana", "2"])
+
+    def test_typechecked_by_default(self, fcl_file, capsys):
+        assert main(["run", fcl_file(BAD), "f"]) == 1
+
+    def test_unchecked_hits_runtime_guard(self, fcl_file, capsys):
+        src = """
+        struct data { v : int; }
+        def f() : int {
+          let d = new data(v = 1);
+          send(d);
+          d.v
+        }
+        """
+        # Single-threaded run cannot even service send: runtime error path.
+        assert main(["run", fcl_file(src), "f", "--unchecked"]) == 3
+        assert "runtime error" in capsys.readouterr().err
+
+    def test_corpus_run(self, capsys):
+        assert (
+            main(["run", str(CORPUS / "rbtree.fcl"), "build_tree", "20", "3"])
+            == 0
+        )
+        assert "rbtree{" in capsys.readouterr().out
+
+
+class TestOther:
+    def test_derivation(self, fcl_file, capsys):
+        assert main(["derivation", fcl_file(GOOD), "add"]) == 0
+        out = capsys.readouterr().out
+        assert "T0-Function-Definition" in out
+
+    def test_derivation_unknown_function(self, fcl_file):
+        assert main(["derivation", fcl_file(GOOD), "nosuch"]) == 1
+
+    def test_regions(self, capsys):
+        assert main(["regions", str(CORPUS / "dll.fcl"), "make_dll", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic regions" in out
+        assert "tree: True" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "This paper" in capsys.readouterr().out
+
+    def test_corpus_command(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "rbtree" in out and "verified" in out
+
+
+class TestTraceFlag:
+    def test_run_with_trace(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["run", str(CORPUS / "sll.fcl"), "make_list", "2", "--trace", "5"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "alloc" in captured.err or "write" in captured.err
+
+    def test_trace_default_count(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", str(CORPUS / "sll.fcl"), "make_list", "1", "--trace"]) == 0
+        assert "#" in capsys.readouterr().err
+
+
+class TestConsoleScript:
+    def test_fcl_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-c", "from repro.cli import main; raise SystemExit(main(['corpus']))"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0
+        assert "rbtree" in proc.stdout

@@ -1,0 +1,182 @@
+"""Concurrency tests (§7): rendezvous semantics, reservation transfer,
+deadlock detection, and schedule-independence under random interleavings."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import check_refcounts, check_reservations_disjoint
+from repro.corpus import load_program
+from repro.lang import parse_program
+from repro.runtime.machine import (
+    DeadlockError,
+    Machine,
+    ReservationViolation,
+)
+
+PINGPONG = """
+struct data { v : int; }
+struct token { iso payload : data; }
+
+def pinger(n : int) : int {
+  let last = 0;
+  while (n > 0) {
+    let d = new data(v = n);
+    let t = new token(payload = d);
+    send(t);
+    let back = recv(data);
+    last = back.v;
+    n = n - 1
+  };
+  last
+}
+
+def ponger(n : int) : unit {
+  while (n > 0) {
+    let t = recv(token);
+    let d = t.payload;
+    d.v = d.v * 2;
+    t.payload = new data(v = 0);
+    send(d);
+    n = n - 1
+  }
+}
+"""
+
+
+class TestRendezvous:
+    def test_ping_pong(self):
+        program = parse_program(PINGPONG)
+        from repro.core.checker import Checker
+
+        Checker(program).check_program()
+        machine = Machine(program, seed=3)
+        pinger = machine.spawn("pinger", [5])
+        machine.spawn("ponger", [5])
+        machine.run()
+        assert pinger.result == 2  # last round: v=1, doubled
+
+    def test_reservation_transfer(self):
+        program = parse_program(PINGPONG)
+        machine = Machine(program, seed=0)
+        pinger = machine.spawn("pinger", [1])
+        ponger = machine.spawn("ponger", [1])
+        machine.run()
+        assert machine.reservations_disjoint()
+        # Ponger kept the token shell; it owns some locations.
+        assert ponger.reservation
+
+    def test_typed_matching(self):
+        # A token sender must not pair with a data receiver.
+        src = """
+        struct a { x : int; }
+        struct b { x : int; }
+        def send_a() : unit { let v = new a(x = 1); send(v) }
+        def recv_b() : int { let v = recv(b); v.x }
+        """
+        program = parse_program(src)
+        machine = Machine(program, seed=0)
+        machine.spawn("send_a")
+        machine.spawn("recv_b")
+        with pytest.raises(DeadlockError):
+            machine.run()
+
+    def test_deadlock_all_receivers(self):
+        program = parse_program(PINGPONG)
+        machine = Machine(program, seed=0)
+        machine.spawn("ponger", [1])
+        machine.spawn("ponger", [1])
+        with pytest.raises(DeadlockError):
+            machine.run()
+
+    def test_lone_thread_finishing(self):
+        src = "def f() : int { 41 + 1 }"
+        program = parse_program(src)
+        machine = Machine(program, seed=0)
+        t = machine.spawn("f")
+        machine.run()
+        assert t.result == 42
+
+    def test_failed_thread_surfaces_error(self):
+        src = "struct d { v : int; } def f() : int { 1 / 0 }"
+        program = parse_program(src)
+        machine = Machine(program, seed=0)
+        machine.spawn("f")
+        from repro.runtime.machine import MachineError
+
+        with pytest.raises(MachineError):
+            machine.run()
+
+
+class TestReservationSafety:
+    def test_use_after_send_caught(self):
+        src = """
+        struct data { v : int; }
+        def bad() : int { let d = new data(v = 1); send(d); d.v }
+        def ok() : int { let d = recv(data); d.v }
+        """
+        program = parse_program(src)
+        machine = Machine(program, seed=1)
+        machine.spawn("bad")
+        machine.spawn("ok")
+        with pytest.raises(ReservationViolation):
+            machine.run()
+
+    def test_interior_alias_after_send_caught(self):
+        src = """
+        struct data { v : int; }
+        struct box { iso inner : data?; }
+        def bad() : int {
+          let b = new box();
+          let d = new data(v = 5);
+          b.inner = some(d);
+          send(b);
+          d.v
+        }
+        def ok() : int { let b = recv(box); 0 }
+        """
+        program = parse_program(src)
+        machine = Machine(program, seed=1)
+        machine.spawn("bad")
+        machine.spawn("ok")
+        with pytest.raises(ReservationViolation):
+            machine.run()
+
+    def test_checks_erasable_for_welltyped(self):
+        # The same well-typed pipeline runs identically with checks off.
+        program = load_program("queue")
+        for check in (True, False):
+            machine = Machine(program, seed=5, check_reservations=check)
+            machine.spawn("source", [8])
+            machine.spawn("relay", [8])
+            sink = machine.spawn("sink", [8])
+            machine.run()
+            assert sink.result == 36
+
+
+class TestScheduleIndependence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_queue_pipeline_any_schedule(self, seed):
+        # E7: random interleavings never violate reservations and always
+        # produce the same functional result.
+        program = load_program("queue")
+        machine = Machine(program, seed=seed)
+        machine.spawn("source", [6])
+        machine.spawn("relay", [6])
+        sink = machine.spawn("sink", [6])
+        machine.run()
+        assert sink.result == 21
+        assert machine.reservations_disjoint()
+        check_refcounts(machine.heap)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_ping_pong_any_schedule(self, seed):
+        program = parse_program(PINGPONG)
+        machine = Machine(program, seed=seed)
+        pinger = machine.spawn("pinger", [3])
+        machine.spawn("ponger", [3])
+        machine.run()
+        assert pinger.result == 2
+        check_reservations_disjoint([t.reservation for t in machine.threads])

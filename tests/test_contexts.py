@@ -1,0 +1,318 @@
+"""Static contexts and the virtual transformations V1–V5 (fig 11)."""
+
+import pytest
+
+from repro.core.contexts import ContextError, StaticContext, contexts_equal
+from repro.core.errors import PinnedViolation
+from repro.core.regions import Region, RegionRenaming
+from repro.lang import ast
+
+NODE = ast.StructType("node")
+
+
+def ctx_with_var(name="x"):
+    ctx = StaticContext()
+    region = ctx.fresh_region()
+    ctx.bind(name, NODE, region)
+    return ctx, region
+
+
+class TestBasics:
+    def test_fresh_region_is_empty_unpinned(self):
+        ctx = StaticContext()
+        region = ctx.fresh_region()
+        assert ctx.has_region(region)
+        assert ctx.tracking(region).is_empty
+        assert not ctx.tracking(region).pinned
+
+    def test_bind_requires_region(self):
+        ctx = StaticContext()
+        with pytest.raises(ContextError):
+            ctx.bind("x", NODE, Region(99))
+
+    def test_bind_prim_without_region(self):
+        ctx = StaticContext()
+        ctx.bind("n", ast.INT, None)
+        assert ctx.lookup("n").region is None
+
+    def test_clone_isolation(self):
+        ctx, region = ctx_with_var()
+        other = ctx.clone()
+        other.focus("x")
+        assert ctx.tracking(region).is_empty
+        assert not other.tracking(region).is_empty
+
+    def test_clone_shares_supply(self):
+        ctx, _ = ctx_with_var()
+        other = ctx.clone()
+        a = ctx.fresh_region()
+        b = other.fresh_region()
+        assert a != b  # freshness is global across clones
+
+    def test_snapshot_equality(self):
+        a, _ = ctx_with_var()
+        b, _ = None, None
+        c = a.clone()
+        assert contexts_equal(a, c)
+        c.focus("x")
+        assert not contexts_equal(a, c)
+
+
+class TestFocus:
+    def test_focus_tracks_variable(self):
+        ctx, region = ctx_with_var()
+        assert ctx.focus("x") == region
+        assert ctx.tracked_region_of("x") == region
+
+    def test_focus_requires_empty_region(self):
+        # §4.2: a variable may be focused only in a region with no other
+        # tracked variables (potential aliases).
+        ctx, region = ctx_with_var()
+        ctx.bind("y", NODE, region)
+        ctx.focus("x")
+        with pytest.raises(ContextError):
+            ctx.focus("y")
+
+    def test_focus_requires_unpinned(self):
+        ctx, region = ctx_with_var()
+        ctx.tracking(region).pinned = True
+        with pytest.raises(PinnedViolation):
+            ctx.focus("x")
+
+    def test_focus_primitive_rejected(self):
+        ctx = StaticContext()
+        ctx.bind("n", ast.INT, None)
+        with pytest.raises(ContextError):
+            ctx.focus("n")
+
+    def test_focus_unbound_rejected(self):
+        ctx = StaticContext()
+        with pytest.raises(ContextError):
+            ctx.focus("ghost")
+
+
+class TestUnfocus:
+    def test_unfocus_removes_tracking(self):
+        ctx, region = ctx_with_var()
+        ctx.focus("x")
+        ctx.unfocus("x")
+        assert ctx.tracked_region_of("x") is None
+
+    def test_unfocus_requires_no_fields(self):
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        ctx.explore("x", "f")
+        with pytest.raises(ContextError):
+            ctx.unfocus("x")
+
+    def test_unfocus_untracked_rejected(self):
+        ctx, _ = ctx_with_var()
+        with pytest.raises(ContextError):
+            ctx.unfocus("x")
+
+
+class TestExploreRetract:
+    def test_explore_creates_fresh_target(self):
+        ctx, region = ctx_with_var()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        assert target != region
+        assert ctx.has_region(target)
+        assert ctx.tracking(target).is_empty
+        assert ctx.tracked_var("x").fields == {"f": target}
+
+    def test_explore_twice_rejected(self):
+        # Well-formedness: no duplicate field bindings (§4.3).
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        ctx.explore("x", "f")
+        with pytest.raises(ContextError):
+            ctx.explore("x", "f")
+
+    def test_explore_requires_focus(self):
+        ctx, _ = ctx_with_var()
+        with pytest.raises(ContextError):
+            ctx.explore("x", "f")
+
+    def test_retract_drops_target_region(self):
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        ctx.retract("x", "f")
+        assert not ctx.has_region(target)
+        assert ctx.tracked_var("x").fields == {}
+
+    def test_retract_requires_empty_target(self):
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        ctx.bind("y", NODE, target)
+        ctx.focus("y")
+        with pytest.raises(ContextError):
+            ctx.retract("x", "f")
+
+    def test_retract_invalidates_gamma_vars_in_target(self):
+        # "invalidating any other references to the retracted target's
+        # region" (§4.5).
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        ctx.bind("y", NODE, target)
+        ctx.retract("x", "f")
+        assert not ctx.has_var("y")
+
+    def test_retract_invalidates_other_tracked_fields(self):
+        ctx, region = ctx_with_var()
+        other = ctx.fresh_region()
+        ctx.bind("y", NODE, other)
+        ctx.focus("x")
+        ctx.focus("y")
+        target = ctx.explore("x", "f")
+        # Point y.g at the same region, then retract x.f: y.g must become ⊥.
+        ctx.explore("y", "g")
+        ctx.tracked_var("y").fields["g"] = target
+        ctx.heap[ctx.tracked_var("y").fields["g"]]  # sanity
+        # Drop the region explore created for y.g first (it is now untargeted).
+        ctx.retract("x", "f")
+        assert ctx.tracked_var("y").fields["g"] is None
+
+    def test_retract_invalid_field_rejected(self):
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        ctx.explore("x", "f")
+        ctx.invalidate_field("x", "f")
+        with pytest.raises(ContextError):
+            ctx.retract("x", "f")
+
+
+class TestAttach:
+    def test_attach_merges_and_substitutes(self):
+        ctx = StaticContext()
+        r1 = ctx.fresh_region()
+        r2 = ctx.fresh_region()
+        ctx.bind("a", NODE, r1)
+        ctx.bind("b", NODE, r2)
+        ctx.attach(r1, r2)
+        assert not ctx.has_region(r1)
+        assert ctx.lookup("a").region == r2
+        assert ctx.lookup("b").region == r2
+
+    def test_attach_substitutes_field_targets(self):
+        ctx, region = ctx_with_var()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        dest = ctx.fresh_region()
+        ctx.attach(target, dest)
+        assert ctx.tracked_var("x").fields["f"] == dest
+
+    def test_attach_moves_tracked_vars(self):
+        ctx = StaticContext()
+        r1 = ctx.fresh_region()
+        r2 = ctx.fresh_region()
+        ctx.bind("a", NODE, r1)
+        ctx.focus("a")
+        ctx.attach(r1, r2)
+        assert ctx.tracked_region_of("a") == r2
+
+    def test_attach_pinned_rejected(self):
+        ctx = StaticContext()
+        r1 = ctx.fresh_region()
+        r2 = ctx.fresh_region()
+        ctx.tracking(r2).pinned = True
+        with pytest.raises(PinnedViolation):
+            ctx.attach(r1, r2)
+
+    def test_attach_self_is_noop(self):
+        ctx, region = ctx_with_var()
+        ctx.attach(region, region)
+        assert ctx.has_region(region)
+
+
+class TestWeakenings:
+    def test_drop_region_drops_vars_and_invalidates_inbound(self):
+        ctx, region = ctx_with_var()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        ctx.bind("y", NODE, target)
+        ctx.drop_region(target)
+        assert not ctx.has_var("y")
+        assert ctx.tracked_var("x").fields["f"] is None  # ⊥
+
+    def test_consume_for_send_requires_empty(self):
+        ctx, region = ctx_with_var()
+        ctx.focus("x")
+        with pytest.raises(ContextError):
+            ctx.consume_region_for_send(region)
+
+    def test_consume_for_send_requires_no_inbound(self):
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        with pytest.raises(ContextError):
+            ctx.consume_region_for_send(target)
+
+    def test_consume_for_send_drops_vars(self):
+        ctx, region = ctx_with_var()
+        ctx.bind("alias", NODE, region)
+        ctx.consume_region_for_send(region)
+        assert not ctx.has_region(region)
+        assert not ctx.has_var("x")
+        assert not ctx.has_var("alias")
+
+
+class TestRenaming:
+    def test_rename_region(self):
+        ctx, region = ctx_with_var()
+        new = Region(100)
+        ctx.rename_region(region, new)
+        assert ctx.lookup("x").region == new
+
+    def test_rename_collision_rejected(self):
+        ctx = StaticContext()
+        r1 = ctx.fresh_region()
+        r2 = ctx.fresh_region()
+        with pytest.raises(ContextError):
+            ctx.rename_region(r1, r2)
+
+    def test_apply_renaming(self):
+        ctx, region = ctx_with_var()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        renaming = RegionRenaming()
+        renaming.bind(region, Region(50))
+        renaming.bind(target, Region(51))
+        ctx.apply_renaming(renaming)
+        assert ctx.lookup("x").region == Region(50)
+        assert ctx.tracked_var("x").fields["f"] == Region(51)
+
+
+class TestWellFormedness:
+    def test_ok_context(self):
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        ctx.explore("x", "f")
+        ctx.check_well_formed()
+
+    def test_duplicate_tracked_var_detected(self):
+        ctx, region = ctx_with_var()
+        other = ctx.fresh_region()
+        ctx.focus("x")
+        from repro.core.contexts import TrackedVar
+
+        ctx.heap[other].vars["x"] = TrackedVar()
+        with pytest.raises(ContextError):
+            ctx.check_well_formed()
+
+    def test_dangling_field_target_detected(self):
+        ctx, _ = ctx_with_var()
+        ctx.focus("x")
+        ctx.tracked_var("x").fields["f"] = Region(999)
+        with pytest.raises(ContextError):
+            ctx.check_well_formed()
+
+    def test_gamma_tracking_region_mismatch(self):
+        ctx, region = ctx_with_var()
+        ctx.focus("x")
+        ctx.gamma["x"].region = ctx.fresh_region()
+        with pytest.raises(ContextError):
+            ctx.check_well_formed()

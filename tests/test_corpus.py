@@ -1,0 +1,311 @@
+"""Integration tests over the full corpus: every program parses, checks,
+verifies, and runs with the expected results."""
+
+import pytest
+
+from repro.core.checker import Checker
+from repro.corpus import corpus_names, load_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import Machine, run_function
+from repro.runtime.values import NONE
+from repro.verifier import Verifier
+from repro.analysis import (
+    check_iso_domination,
+    check_refcounts,
+)
+
+
+@pytest.mark.parametrize("name", corpus_names())
+def test_corpus_checks_and_verifies(name):
+    program = load_program(name)
+    derivation = Checker(program).check_program()
+    nodes = Verifier(program).verify_program(derivation)
+    assert nodes > 0
+
+
+class TestSllBehaviour:
+    @pytest.fixture()
+    def env(self):
+        program = load_program("sll")
+        return program, Heap()
+
+    def test_make_and_sum(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_list", [10], heap=heap)
+        assert run_function(program, "sum", [lst], heap=heap)[0] == 55
+        assert run_function(program, "list_length", [lst], heap=heap)[0] == 10
+
+    def test_push_pop_lifo(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_list", [0], heap=heap)
+        for v in (1, 2, 3):
+            d = heap.alloc(program.structs["data"], {"v": v})
+            run_function(program, "push", [lst, d], heap=heap)
+        got = []
+        for _ in range(3):
+            d, _ = run_function(program, "pop", [lst], heap=heap)
+            got.append(heap.obj(d).fields["v"])
+        assert got == [3, 2, 1]
+        assert run_function(program, "pop", [lst], heap=heap)[0] is NONE
+
+    def test_remove_tail_detaches(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_list", [4], heap=heap)
+        head = heap.obj(lst).fields["hd"]
+        payload, _ = run_function(program, "remove_tail", [head], heap=heap)
+        assert heap.obj(payload).fields["v"] == 4
+        assert payload not in heap.live_set(lst)
+        assert run_function(program, "list_length", [lst], heap=heap)[0] == 3
+
+    def test_remove_tail_none_on_singleton(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_list", [1], heap=heap)
+        head = heap.obj(lst).fields["hd"]
+        assert run_function(program, "remove_tail", [head], heap=heap)[0] is NONE
+
+    def test_concat(self, env):
+        program, heap = env
+        l1, _ = run_function(program, "make_list", [3], heap=heap)
+        l2, _ = run_function(program, "make_list", [2], heap=heap)
+        h1 = heap.obj(l1).fields["hd"]
+        h2 = heap.obj(l2).fields["hd"]
+        run_function(program, "concat", [h1, h2], heap=heap)
+        assert run_function(program, "length", [h1], heap=heap)[0] == 5
+        assert run_function(program, "sum_node", [h1], heap=heap)[0] == 6 + 3
+
+    def test_reverse(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_list", [4], heap=heap)
+        run_function(program, "reverse", [lst], heap=heap)
+        head = heap.obj(lst).fields["hd"]
+        values = [
+            run_function(program, "nth_value", [head, i], heap=heap)[0]
+            for i in range(4)
+        ]
+        assert values == [4, 3, 2, 1]
+
+    def test_invariants_after_mutations(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_list", [6], heap=heap)
+        run_function(program, "reverse", [lst], heap=heap)
+        head = heap.obj(lst).fields["hd"]
+        run_function(program, "remove_tail", [head], heap=heap)
+        check_refcounts(heap)
+        check_iso_domination(heap, [lst])
+
+
+class TestDllBehaviour:
+    @pytest.fixture()
+    def env(self):
+        program = load_program("dll")
+        return program, Heap()
+
+    def test_build_and_measure(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_dll", [5], heap=heap)
+        assert run_function(program, "dll_length", [lst], heap=heap)[0] == 5
+        assert run_function(program, "dll_sum", [lst], heap=heap)[0] == 15
+
+    def test_circularity(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_dll", [3], heap=heap)
+        hd = heap.obj(lst).fields["hd"]
+        # Walk next 3 times: back at head.  prev of head is the tail.
+        cur = hd
+        for _ in range(3):
+            cur = heap.obj(cur).fields["next"]
+        assert cur == hd
+
+    def test_remove_tail_all_sizes(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_dll", [4], heap=heap)
+        values = []
+        for _ in range(4):
+            payload, _ = run_function(program, "remove_tail", [lst], heap=heap)
+            values.append(heap.obj(payload).fields["v"])
+        assert values == [4, 3, 2, 1]
+        assert heap.obj(lst).fields["hd"] is NONE
+        assert run_function(program, "remove_tail", [lst], heap=heap)[0] is NONE
+
+    def test_removal_disconnects(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_dll", [3], heap=heap)
+        payload, _ = run_function(program, "remove_tail", [lst], heap=heap)
+        assert payload not in heap.live_set(lst)
+        check_refcounts(heap)
+        check_iso_domination(heap, [lst])
+
+    def test_get_nth_wraps_around(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "make_dll", [3], heap=heap)
+        n0, _ = run_function(program, "get_nth_node", [lst, 0], heap=heap)
+        n3, _ = run_function(program, "get_nth_node", [lst, 3], heap=heap)
+        assert n0 == n3  # wrap-around on a 3-element cycle
+
+    def test_singleton(self, env):
+        program, heap = env
+        lst, _ = run_function(program, "singleton", [9], heap=heap)
+        assert run_function(program, "dll_length", [lst], heap=heap)[0] == 1
+        node = heap.obj(lst).fields["hd"]
+        assert heap.obj(node).fields["next"] == node
+        assert heap.obj(node).fields["prev"] == node
+
+
+class TestRbtreeBehaviour:
+    @pytest.fixture()
+    def env(self):
+        program = load_program("rbtree")
+        return program, Heap()
+
+    LIMIT = 1 << 30
+
+    def test_insert_and_contains(self, env):
+        program, heap = env
+        tree, _ = run_function(program, "rb_new", [], heap=heap)
+        keys = [5, 3, 8, 1, 4, 10, 7, 2, 9, 6]
+        for k in keys:
+            run_function(program, "rb_insert", [tree, k], heap=heap)
+        for k in keys:
+            assert run_function(program, "rb_contains", [tree, k], heap=heap)[0]
+        assert not run_function(program, "rb_contains", [tree, 99], heap=heap)[0]
+
+    def test_duplicate_inserts_ignored(self, env):
+        program, heap = env
+        tree, _ = run_function(program, "rb_new", [], heap=heap)
+        for _ in range(3):
+            run_function(program, "rb_insert", [tree, 7], heap=heap)
+        assert run_function(program, "tree_size", [tree], heap=heap)[0] == 1
+
+    @pytest.mark.parametrize("order", ["ascending", "descending", "random"])
+    def test_invariants_hold(self, env, order):
+        program, heap = env
+        tree, _ = run_function(program, "rb_new", [], heap=heap)
+        keys = list(range(1, 64))
+        if order == "descending":
+            keys.reverse()
+        elif order == "random":
+            import random
+
+            random.Random(5).shuffle(keys)
+        for k in keys:
+            run_function(program, "rb_insert", [tree, k], heap=heap)
+        assert run_function(
+            program, "rb_valid", [tree, 0, self.LIMIT], heap=heap
+        )[0]
+        assert run_function(program, "tree_size", [tree], heap=heap)[0] == 63
+        check_refcounts(heap)
+        check_iso_domination(heap, [tree])
+
+    def test_balancing_bounds_height(self, env):
+        # 63 ascending inserts in a plain BST would make height 63; the
+        # red-black tree's black height must be logarithmic.
+        program, heap = env
+        tree, _ = run_function(program, "rb_new", [], heap=heap)
+        for k in range(1, 64):
+            run_function(program, "rb_insert", [tree, k], heap=heap)
+        root = heap.obj(tree).fields["root"]
+        bh, _ = run_function(program, "black_height", [root], heap=heap)
+        assert 0 < bh <= 6
+
+    def test_build_tree_driver(self, env):
+        program, heap = env
+        tree, _ = run_function(program, "build_tree", [50, 777], heap=heap)
+        assert run_function(
+            program, "rb_valid", [tree, -1, self.LIMIT], heap=heap
+        )[0]
+
+
+class TestQueueBehaviour:
+    def test_three_stage_pipeline(self):
+        program = load_program("queue")
+        n = 25
+        machine = Machine(program, seed=11)
+        machine.spawn("source", [n])
+        machine.spawn("relay", [n])
+        sink = machine.spawn("sink", [n])
+        machine.run()
+        assert sink.result == n * (n + 1) // 2
+        assert machine.reservations_disjoint()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_schedules_do_not_matter(self, seed):
+        program = load_program("queue")
+        machine = Machine(program, seed=seed)
+        machine.spawn("source", [10])
+        machine.spawn("relay", [10])
+        sink = machine.spawn("sink", [10])
+        machine.run()
+        assert sink.result == 55
+
+
+class TestShuffle:
+    """§8's shuffle: seven nodes in, one fixed tree out — the signature is
+    the specification."""
+
+    def _nodes(self, program, heap, with_subtrees=False):
+        nodes = []
+        for i in range(7):
+            inits = {"key": i}
+            if with_subtrees:
+                inits["left"] = heap.alloc(
+                    program.structs["rbnode"], {"key": 100 + i}
+                )
+            nodes.append(heap.alloc(program.structs["rbnode"], inits))
+        return nodes
+
+    def _assert_shape(self, heap, root):
+        def key(loc):
+            return heap.obj(loc).fields["key"]
+
+        def child(loc, side):
+            return heap.obj(loc).fields[side]
+
+        assert key(root) == 3
+        b, f = child(root, "left"), child(root, "right")
+        assert key(b) == 1 and key(f) == 5
+        assert [key(child(b, "left")), key(child(b, "right"))] == [0, 2]
+        assert [key(child(f, "left")), key(child(f, "right"))] == [4, 6]
+
+    def test_plain_nodes(self):
+        program = load_program("rbtree")
+        heap = Heap()
+        nodes = self._nodes(program, heap)
+        root, _ = run_function(program, "shuffle", nodes, heap=heap)
+        self._assert_shape(heap, root)
+
+    def test_nodes_arriving_with_subtrees(self):
+        # Incoming ownership structure is irrelevant: shuffle severs it.
+        program = load_program("rbtree")
+        heap = Heap()
+        nodes = self._nodes(program, heap, with_subtrees=True)
+        root, _ = run_function(program, "shuffle", nodes, heap=heap)
+        self._assert_shape(heap, root)
+        from repro.analysis import check_iso_domination, check_refcounts
+
+        check_refcounts(heap)
+        check_iso_domination(heap, [root])
+
+    def test_shuffle_without_after_rejected(self):
+        from repro.corpus import load_source
+        from repro.core.errors import TypeError_
+        from repro.lang import parse_program
+
+        source = load_source("rbtree").replace(
+            "    after: d ~ result {", "    {"
+        )
+        with pytest.raises(TypeError_):
+            Checker(parse_program(source)).check_program()
+
+    def test_aliased_shuffle_arguments_rejected(self):
+        # Distinct parameters demand provably disjoint nodes.
+        from repro.corpus import load_source
+        from repro.core.errors import SeparationError
+        from repro.lang import parse_program
+
+        source = load_source("rbtree") + """
+def bad(n : rbnode) : rbnode after: n ~ result {
+  shuffle(n, n, n, n, n, n, n)
+}
+"""
+        with pytest.raises(SeparationError):
+            Checker(parse_program(source)).check_program()

@@ -1,0 +1,296 @@
+"""Figure-by-figure reproduction of the paper's examples (§2, fig 1–5, 14).
+
+This is the acceptance matrix the paper's exposition promises:
+
+* fig 1 structs are declarable;
+* fig 2 (sll remove_tail) type-checks — it *violates global domination*
+  mid-function, which is the whole point of tempered domination;
+* fig 4 (broken dll removal) is rejected — the returned payload would not
+  be a dominating reference on size-1 lists;
+* fig 5 (fixed dll removal with ``if disconnected``) type-checks, and
+  removing the `l.hd` reassignment in the then branch breaks it;
+* fig 14 (concat with ``consumes``, get_nth_node with ``after``) check.
+"""
+
+import pytest
+
+from repro.core.checker import Checker, check_source
+from repro.core.errors import InvalidatedField, TypeError_
+from repro.lang import parse_program
+from repro.verifier import Verifier
+
+DATA = "struct data { v : int; }\n"
+
+FIG1_SLL = (
+    DATA
+    + """
+struct sll_node {
+  iso payload : data;
+  iso next : sll_node?;
+}
+struct sll { iso hd : sll_node?; }
+"""
+)
+
+FIG1_DLL = (
+    DATA
+    + """
+struct dll_node {
+  iso payload : data;
+  next : dll_node;
+  prev : dll_node;
+}
+struct dll { iso hd : dll_node?; }
+"""
+)
+
+FIG2 = (
+    FIG1_SLL
+    + """
+def remove_tail(n : sll_node) : data? {
+  let some(next) = n.next in {
+    if (is_none(next.next)) {
+      n.next = none;
+      some(next.payload)
+    } else { remove_tail(next) }
+  } else { none }
+}
+"""
+)
+
+FIG4 = (
+    FIG1_DLL
+    + """
+def remove_tail(l : dll) : data? {
+  let some(hd) = l.hd in {
+    let tail = hd.prev;
+    tail.prev.next = hd;
+    hd.prev = tail.prev;
+    some(tail.payload)
+  } else { none }
+}
+"""
+)
+
+FIG5 = (
+    FIG1_DLL
+    + """
+def remove_tail(l : dll) : data? {
+  let some(hd) = l.hd in {
+    let tail = hd.prev;
+    tail.prev.next = hd;
+    hd.prev = tail.prev;
+    tail.next = tail;
+    tail.prev = tail;
+    if disconnected(tail, hd) {
+      l.hd = some(hd);
+      some(tail.payload)
+    } else {
+      l.hd = none;
+      some(hd.payload)
+    }
+  } else { none }
+}
+"""
+)
+
+FIG5_WITHOUT_HD_REASSIGNMENT = (
+    FIG1_DLL
+    + """
+def remove_tail(l : dll) : data? {
+  let some(hd) = l.hd in {
+    let tail = hd.prev;
+    tail.prev.next = hd;
+    hd.prev = tail.prev;
+    tail.next = tail;
+    tail.prev = tail;
+    if disconnected(tail, hd) {
+      some(tail.payload)
+    } else {
+      l.hd = none;
+      some(hd.payload)
+    }
+  } else { none }
+}
+"""
+)
+
+FIG14_CONCAT = (
+    FIG1_SLL
+    + """
+def concat(l1, l2 : sll_node) : unit consumes l2 {
+  let some(l1_next) = l1.next in {
+    concat(l1_next, l2)
+  } else { l1.next = some(l2) }
+}
+"""
+)
+
+FIG14_GET_NTH = (
+    FIG1_DLL
+    + """
+def get_nth_node(l : dll, pos : int) : dll_node? after: l.hd ~ result {
+  let some(node) = l.hd in {
+    while (pos > 0) {
+      node = node.next;
+      pos = pos - 1
+    };
+    some(node)
+  } else { none }
+}
+"""
+)
+
+
+def checks(source: str) -> bool:
+    try:
+        check_source(source)
+        return True
+    except TypeError_:
+        return False
+
+
+def checks_and_verifies(source: str) -> None:
+    program = parse_program(source)
+    derivation = Checker(program).check_program()
+    Verifier(program).verify_program(derivation)
+
+
+class TestFigure1:
+    def test_sll_structs_declare(self):
+        check_source(FIG1_SLL)
+
+    def test_dll_structs_declare(self):
+        check_source(FIG1_DLL)
+
+
+class TestFigure2:
+    def test_accepted(self):
+        checks_and_verifies(FIG2)
+
+    def test_swap_free(self):
+        # No destructive reads appear anywhere: the program has exactly one
+        # heap mutation (`n.next = none`).
+        program = parse_program(FIG2)
+        from repro.lang import ast
+
+        assigns = [
+            node
+            for node in ast.walk(program.funcs["remove_tail"].body)
+            if isinstance(node, ast.Assign)
+        ]
+        assert len(assigns) == 1
+
+
+class TestFigure4:
+    def test_rejected(self):
+        # "Sadly, this code contains an error" (§2.2): on size-1 lists the
+        # returned payload is not a dominating reference.
+        assert not checks(FIG4)
+
+    def test_rejected_specifically_at_the_boundary(self):
+        # The body itself is fine; the failure is that the result cannot be
+        # separated from the list at the function boundary.
+        from repro.core.errors import UnificationError
+
+        with pytest.raises(UnificationError):
+            check_source(FIG4)
+
+
+class TestFigure5:
+    def test_accepted_and_verified(self):
+        checks_and_verifies(FIG5)
+
+    def test_hd_reassignment_is_mandatory(self):
+        # "l.hd invalid at branch start": dropping the reassignment in the
+        # then branch must break the program.
+        assert not checks(FIG5_WITHOUT_HD_REASSIGNMENT)
+
+
+class TestFigure14:
+    def test_concat_accepted(self):
+        checks_and_verifies(FIG14_CONCAT)
+
+    def test_concat_needs_consumes(self):
+        without = FIG14_CONCAT.replace(" consumes l2", "")
+        assert not checks(without)
+
+    def test_get_nth_accepted(self):
+        checks_and_verifies(FIG14_GET_NTH)
+
+    def test_get_nth_needs_after(self):
+        without = FIG14_GET_NTH.replace(" after: l.hd ~ result", "")
+        assert not checks(without)
+
+
+class TestRuntimeBehaviour:
+    """The dynamic behaviours the figures describe."""
+
+    def test_fig2_detaches_tail(self):
+        from repro.runtime.heap import Heap
+        from repro.runtime.machine import run_function
+        from repro.runtime.values import NONE
+
+        program = parse_program(
+            FIG2
+            + """
+def build(n : int) : sll {
+  let l = new sll();
+  while (n > 0) {
+    let d = new data(v = n);
+    let node = new sll_node(payload = d, next = l.hd);
+    l.hd = some(node);
+    n = n - 1
+  };
+  l
+}
+"""
+        )
+        heap = Heap()
+        lst, _ = run_function(program, "build", [3], heap=heap)
+        head = heap.obj(lst).fields["hd"]
+        payload, _ = run_function(program, "remove_tail", [head], heap=heap)
+        assert heap.obj(payload).fields["v"] == 3
+        # The payload is now disconnected from the list.
+        assert payload not in heap.live_set(lst)
+
+    def test_fig2_returns_none_on_singleton(self):
+        from repro.runtime.heap import Heap
+        from repro.runtime.machine import run_function
+        from repro.runtime.values import NONE
+
+        program = parse_program(FIG2)
+        heap = Heap()
+        data = heap.alloc(parse_program(FIG2).structs["data"], {"v": 1})
+        node = heap.alloc(
+            parse_program(FIG2).structs["sll_node"],
+            {"payload": data, "next": NONE},
+        )
+        result, _ = run_function(program, "remove_tail", [node], heap=heap)
+        assert result is NONE
+
+    def test_fig5_size1_takes_else_branch(self):
+        from repro.runtime.heap import Heap
+        from repro.runtime.machine import run_function
+        from repro.runtime.values import NONE
+
+        program = parse_program(
+            FIG5
+            + """
+def build1(v : int) : dll {
+  let d = new data(v = v);
+  let node = new dll_node(payload = d);
+  let l = new dll();
+  l.hd = some(node);
+  l
+}
+"""
+        )
+        heap = Heap()
+        lst, _ = run_function(program, "build1", [42], heap=heap)
+        payload, interp = run_function(program, "remove_tail", [lst], heap=heap)
+        assert heap.obj(payload).fields["v"] == 42
+        assert heap.obj(lst).fields["hd"] is NONE  # else branch ran
+        stats = interp.stats.disconnect_checks[0]
+        # §5.2: the check terminates after touching only a couple objects.
+        assert stats.objects_visited <= 2

@@ -1,0 +1,127 @@
+"""TS2 framing tests: hide, pin, operate, restore (§4.7, fig 12)."""
+
+import pytest
+
+from repro.core.contexts import ContextError, StaticContext
+from repro.core.errors import PinnedViolation
+from repro.core.framing import frame_away, restore
+from repro.core.regions import RegionSupply
+from repro.lang import ast
+
+NODE = ast.StructType("node")
+
+
+def rich_ctx():
+    """l focused with hd ↦ r_spine holding cursor; plus an unrelated pair."""
+    ctx = StaticContext(RegionSupply())
+    r_l = ctx.fresh_region()
+    ctx.bind("l", NODE, r_l)
+    ctx.focus("l")
+    r_spine = ctx.explore("l", "hd")
+    ctx.bind("cursor", NODE, r_spine)
+    r_other = ctx.fresh_region()
+    ctx.bind("other", NODE, r_other)
+    return ctx, r_l, r_spine, r_other
+
+
+class TestFrameAway:
+    def test_hide_unrelated_region(self):
+        ctx, r_l, r_spine, r_other = rich_ctx()
+        frame = frame_away(ctx, regions={r_other})
+        assert not ctx.has_region(r_other)
+        assert not ctx.has_var("other")
+        ctx.check_well_formed()
+        restore(ctx, frame)
+        assert ctx.has_region(r_other)
+        assert ctx.lookup("other").region == r_other
+
+    def test_hiding_tracked_target_pins_owner(self):
+        ctx, r_l, r_spine, r_other = rich_ctx()
+        frame = frame_away(ctx, regions={r_spine})
+        # l.hd was hidden; l is pinned: no new exploration of l.
+        tv = ctx.tracked_var("l")
+        assert tv.pinned
+        assert "hd" not in tv.fields
+        with pytest.raises(PinnedViolation):
+            ctx.explore("l", "hd")
+        ctx.check_well_formed()
+        restore(ctx, frame)
+        tv = ctx.tracked_var("l")
+        assert not tv.pinned
+        assert tv.fields["hd"] == r_spine
+        assert ctx.lookup("cursor").region == r_spine
+
+    def test_hiding_tracked_variable_pins_region(self):
+        ctx, r_l, r_spine, r_other = rich_ctx()
+        # First retract the spine so l has no fields (frame the var alone).
+        ctx.drop_var("cursor")
+        ctx.retract("l", "hd")
+        frame = frame_away(ctx, variables={"l"})
+        assert not ctx.has_var("l")
+        assert ctx.heap[r_l].pinned  # no one else may focus into r_l
+        ctx.bind("sneaky", NODE, r_l)
+        with pytest.raises(PinnedViolation):
+            ctx.focus("sneaky")
+        ctx.drop_var("sneaky")
+        restore(ctx, frame)
+        assert ctx.tracked_region_of("l") == r_l
+        assert not ctx.heap[r_l].pinned
+
+    def test_frame_absent_region_rejected(self):
+        ctx, *_ = rich_ctx()
+        from repro.core.regions import Region
+
+        with pytest.raises(ContextError):
+            frame_away(ctx, regions={Region(999)})
+
+    def test_frame_unbound_variable_rejected(self):
+        ctx, *_ = rich_ctx()
+        with pytest.raises(ContextError):
+            frame_away(ctx, variables={"ghost"})
+
+
+class TestRestoreSafety:
+    def test_recreated_variable_blocks_restore(self):
+        ctx, r_l, r_spine, r_other = rich_ctx()
+        frame = frame_away(ctx, regions={r_other})
+        fresh = ctx.fresh_region()
+        ctx.bind("other", NODE, fresh)  # name collision
+        with pytest.raises(ContextError):
+            restore(ctx, frame)
+
+    def test_retracked_field_blocks_restore(self):
+        ctx, r_l, r_spine, r_other = rich_ctx()
+        frame = frame_away(ctx, regions={r_spine})
+        # Maliciously unpin and re-explore the hidden field.
+        ctx.tracked_var("l").pinned = False
+        ctx.explore("l", "hd")
+        with pytest.raises(ContextError):
+            restore(ctx, frame)
+
+    def test_nested_frames_restore_in_reverse(self):
+        ctx, r_l, r_spine, r_other = rich_ctx()
+        outer = frame_away(ctx, regions={r_other})
+        inner = frame_away(ctx, regions={r_spine})
+        restore(ctx, inner)
+        restore(ctx, outer)
+        ctx.check_well_formed()
+        assert ctx.tracked_var("l").fields["hd"] == r_spine
+        assert ctx.has_region(r_other)
+
+
+class TestFramedOperation:
+    def test_work_around_a_frame(self):
+        # The TS2 idiom: hide everything but the region a sub-derivation
+        # needs, do the work, restore.
+        ctx, r_l, r_spine, r_other = rich_ctx()
+        frame = frame_away(ctx, regions={r_l, r_spine})
+        # Only `other` remains visible; operate on it freely.
+        ctx.focus("other")
+        target = ctx.explore("other", "payload")
+        ctx.retract("other", "payload")
+        ctx.unfocus("other")
+        restore(ctx, frame)
+        ctx.check_well_formed()
+        # The hidden state returned exactly.
+        assert ctx.tracked_var("l").fields["hd"] == r_spine
+        assert ctx.lookup("cursor").region == r_spine

@@ -1,0 +1,126 @@
+"""Function-type elaboration from the surface syntax (§4.9)."""
+
+import pytest
+
+from repro.core.errors import AnnotationError
+from repro.core.functypes import elaborate
+from repro.lang import parse_program
+
+STRUCTS = """
+struct data { v : int; }
+struct node { iso payload : data; iso next : node?; plain : node; }
+"""
+
+
+def ftype_of(sig_and_body: str):
+    program = parse_program(STRUCTS + sig_and_body)
+    name = next(iter(program.funcs))
+    return elaborate(program.funcs[name], program)
+
+
+class TestDefaults:
+    def test_distinct_input_regions(self):
+        ft = ftype_of("def f(a, b : node, k : int) : unit { () }")
+        assert ft.input_region["a"] != ft.input_region["b"]
+        assert ft.input_region["k"] is None
+
+    def test_params_keep_regions_at_output(self):
+        ft = ftype_of("def f(a : node) : unit { () }")
+        assert ft.output_region["a"] == ft.input_region["a"]
+
+    def test_result_gets_own_region(self):
+        ft = ftype_of("def f(a : node) : node? { none }")
+        assert ft.result_region is not None
+        assert ft.result_region != ft.input_region["a"]
+
+    def test_prim_result_has_no_region(self):
+        ft = ftype_of("def f(a : node) : int { 0 }")
+        assert ft.result_region is None
+
+    def test_maybe_param_is_regioned(self):
+        ft = ftype_of("def f(a : node?) : unit consumes a { () }")
+        assert ft.input_region["a"] is not None
+
+
+class TestConsumes:
+    def test_consumed_param_absent_at_output(self):
+        ft = ftype_of("def f(a, b : node) : unit consumes b { () }")
+        assert "b" not in ft.output_region
+        assert "b" in ft.consumes
+
+    def test_consumes_unknown_param(self):
+        with pytest.raises(AnnotationError):
+            ftype_of("def f(a : node) : unit consumes z { () }")
+
+    def test_consumes_primitive_rejected(self):
+        with pytest.raises(AnnotationError):
+            ftype_of("def f(k : int) : unit consumes k { () }")
+
+
+class TestBefore:
+    def test_before_merges_input_regions(self):
+        ft = ftype_of("def f(a, b : node) : unit before: a ~ b { () }")
+        assert ft.input_region["a"] == ft.input_region["b"]
+
+    def test_before_with_field_path_rejected(self):
+        with pytest.raises(AnnotationError):
+            ftype_of("def f(a : node) : unit before: a.next ~ a { () }")
+
+    def test_before_on_primitive_rejected(self):
+        with pytest.raises(AnnotationError):
+            ftype_of("def f(a : node, k : int) : unit before: a ~ k { () }")
+
+
+class TestAfter:
+    def test_result_ties_to_field(self):
+        ft = ftype_of(
+            "def f(l : node) : node? after: l.next ~ result { none }"
+        )
+        assert len(ft.output_tracking) == 1
+        entry = ft.output_tracking[0]
+        assert entry.var == "l" and entry.fieldname == "next"
+        assert entry.target == ft.result_region
+
+    def test_param_region_merge_at_output(self):
+        ft = ftype_of("def f(a, b : node) : unit after: a ~ b { () }")
+        assert ft.output_region["a"] == ft.output_region["b"]
+        assert ft.input_region["a"] != ft.input_region["b"]
+
+    def test_after_on_non_iso_field_rejected(self):
+        # Non-iso fields share their owner's region: nothing to relate.
+        with pytest.raises(AnnotationError):
+            ftype_of("def f(l : node) : node? after: l.plain ~ result { none }")
+
+    def test_after_deep_path_rejected(self):
+        with pytest.raises(AnnotationError):
+            ftype_of(
+                "def f(l : node) : node? after: l.next.next ~ result { none }"
+            )
+
+    def test_after_with_consumed_param_rejected(self):
+        with pytest.raises(AnnotationError):
+            ftype_of(
+                "def f(a, b : node) : unit consumes b after: b ~ a { () }"
+            )
+
+    def test_after_result_on_prim_return_rejected(self):
+        with pytest.raises(AnnotationError):
+            ftype_of("def f(a : node) : int after: a ~ result { 0 }")
+
+    def test_after_unknown_field_rejected(self):
+        with pytest.raises(AnnotationError):
+            ftype_of("def f(l : node) : node? after: l.zzz ~ result { none }")
+
+
+class TestEndToEnd:
+    def test_get_nth_shape(self):
+        # fig 14's annotation produces exactly one output-tracking entry
+        # whose target is the result region.
+        program = parse_program(
+            STRUCTS
+            + "def g(l : node, pos : int) : node? after: l.next ~ result { none }"
+        )
+        ft = elaborate(program.funcs["g"], program)
+        assert ft.output_region["l"] == ft.input_region["l"]
+        assert ft.output_tracking[0].target == ft.result_region
+        assert ft.result_region in ft.output_region_vars

@@ -1,0 +1,172 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds(" \t\n\r ") == [TokenKind.EOF]
+
+    def test_integer(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT
+        assert toks[0].text == "42"
+
+    def test_identifier(self):
+        toks = tokenize("foo_bar2")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == "foo_bar2"
+
+    def test_identifier_with_leading_underscore(self):
+        assert tokenize("_x")[0].kind is TokenKind.IDENT
+
+    def test_keywords(self):
+        source = "struct def iso let in if else while some none send recv"
+        expected = [
+            TokenKind.STRUCT,
+            TokenKind.DEF,
+            TokenKind.ISO,
+            TokenKind.LET,
+            TokenKind.IN,
+            TokenKind.IF,
+            TokenKind.ELSE,
+            TokenKind.WHILE,
+            TokenKind.SOME,
+            TokenKind.NONE,
+            TokenKind.SEND,
+            TokenKind.RECV,
+            TokenKind.EOF,
+        ]
+        assert kinds(source) == expected
+
+    def test_disconnected_keyword(self):
+        assert kinds("if disconnected")[:2] == [
+            TokenKind.IF,
+            TokenKind.DISCONNECTED,
+        ]
+
+    def test_annotation_keywords(self):
+        assert kinds("consumes after before result")[:-1] == [
+            TokenKind.CONSUMES,
+            TokenKind.AFTER,
+            TokenKind.BEFORE,
+            TokenKind.RESULT,
+        ]
+
+    def test_type_keywords(self):
+        assert kinds("int bool unit")[:-1] == [
+            TokenKind.INT_KW,
+            TokenKind.BOOL_KW,
+            TokenKind.UNIT_KW,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        # "iso1" and "letx" are identifiers, not keywords.
+        toks = tokenize("iso1 letx")
+        assert all(t.kind is TokenKind.IDENT for t in toks[:-1])
+
+
+class TestOperators:
+    def test_single_char_operators(self):
+        assert kinds("{ } ( ) ; : , . ? ~ =")[:-1] == [
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.SEMI,
+            TokenKind.COLON,
+            TokenKind.COMMA,
+            TokenKind.DOT,
+            TokenKind.QUESTION,
+            TokenKind.TILDE,
+            TokenKind.ASSIGN,
+        ]
+
+    def test_two_char_operators(self):
+        assert kinds("== != <= >= && ||")[:-1] == [
+            TokenKind.EQ,
+            TokenKind.NEQ,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.AND,
+            TokenKind.OR,
+        ]
+
+    def test_maximal_munch(self):
+        # "==" is one token; "= =" is two.
+        assert kinds("==")[:-1] == [TokenKind.EQ]
+        assert kinds("= =")[:-1] == [TokenKind.ASSIGN, TokenKind.ASSIGN]
+
+    def test_arithmetic(self):
+        assert kinds("+ - * / %")[:-1] == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.PERCENT,
+        ]
+
+    def test_comparison_vs_shift_like(self):
+        assert kinds("< > <= >=")[:-1] == [
+            TokenKind.LT,
+            TokenKind.GT,
+            TokenKind.LE,
+            TokenKind.GE,
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("a // no newline") == ["a"]
+
+    def test_block_comment(self):
+        assert texts("a /* stuff \n more */ b") == ["a", "b"]
+
+    def test_nested_looking_block_comment(self):
+        # Not nested: closes at the first */.
+        assert texts("a /* x /* y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        toks = tokenize("a\nbb\n  c")
+        assert toks[0].span.line == 1
+        assert toks[1].span.line == 2
+        assert toks[2].span.line == 3
+        assert toks[2].span.column == 3
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("ok\n  @")
+        assert err.value.line == 2
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("#")
+
+    def test_unicode_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("§")

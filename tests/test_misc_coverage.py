@@ -1,0 +1,105 @@
+"""Assorted coverage: pinned-element guards, checker mode parity, the
+REPL CLI subcommand, and derivation rendering."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.checker import Checker, DEFAULT_PROFILE
+from repro.core.contexts import ContextError, StaticContext
+from repro.core.errors import PinnedViolation, TypeError_
+from repro.core.regions import RegionSupply
+from repro.corpus import corpus_names, load_program
+from repro.lang import ast
+
+
+class TestPinnedGuards:
+    def _focused(self):
+        ctx = StaticContext(RegionSupply())
+        r = ctx.fresh_region()
+        ctx.bind("x", ast.StructType("node"), r)
+        ctx.focus("x")
+        return ctx, r
+
+    def test_explore_pinned_var(self):
+        ctx, _ = self._focused()
+        ctx.tracked_var("x").pinned = True
+        with pytest.raises(PinnedViolation):
+            ctx.explore("x", "f")
+
+    def test_unfocus_pinned_var(self):
+        ctx, _ = self._focused()
+        ctx.tracked_var("x").pinned = True
+        with pytest.raises(PinnedViolation):
+            ctx.unfocus("x")
+
+    def test_retract_pinned_target(self):
+        ctx, _ = self._focused()
+        target = ctx.explore("x", "f")
+        ctx.tracking(target).pinned = True
+        with pytest.raises(PinnedViolation):
+            ctx.retract("x", "f")
+
+    def test_set_field_on_pinned_var(self):
+        ctx, _ = self._focused()
+        target = ctx.explore("x", "f")
+        ctx.tracked_var("x").pinned = True
+        with pytest.raises(PinnedViolation):
+            ctx.set_field_target("x", "f", target)
+
+    def test_send_pinned_region(self):
+        ctx = StaticContext(RegionSupply())
+        r = ctx.fresh_region()
+        ctx.tracking(r).pinned = True
+        with pytest.raises(PinnedViolation):
+            ctx.consume_region_for_send(r)
+
+
+class TestCheckerModeParity:
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_recording_does_not_change_acceptance(self, name):
+        program = load_program(name)
+        Checker(program, DEFAULT_PROFILE, record=True).check_program()
+        Checker(program, DEFAULT_PROFILE, record=False).check_program()
+
+    def test_rejections_agree(self):
+        from repro.corpus.negative import NEGATIVE_CASES
+        from repro.lang import parse_program
+
+        for case in NEGATIVE_CASES[:8]:
+            for record in (True, False):
+                with pytest.raises(TypeError_):
+                    Checker(
+                        parse_program(case.source), DEFAULT_PROFILE, record=record
+                    ).check_program()
+
+
+class TestReplCli:
+    def test_repl_subcommand(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "repl"],
+            input="let d = new data(v = 20)\nd.v * 2 + 2\n:quit\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "42 : int" in proc.stdout
+
+
+class TestDerivationRendering:
+    def test_render_contains_rules_and_steps(self):
+        program = load_program("dll")
+        derivation = Checker(program).check_program()
+        text = derivation.funcs["remove_tail"].body.render()
+        assert "T15-If-Disconnected" in text
+        assert "V1-Focus" in text
+        assert "T7-SetField" in text
+
+    def test_node_count_positive_everywhere(self):
+        for name in corpus_names():
+            program = load_program(name)
+            derivation = Checker(program).check_program()
+            for fd in derivation.funcs.values():
+                assert fd.body.node_count() >= 1

@@ -1,0 +1,94 @@
+"""Every negative-corpus program is rejected with the expected error class,
+and none of them are near-misses (a minimally fixed variant is accepted
+where one exists)."""
+
+import pytest
+
+from repro.core.checker import Checker, check_source
+from repro.core.errors import TypeError_
+from repro.corpus.negative import NEGATIVE_CASES, case_names, get_case
+from repro.lang import parse_program
+
+
+@pytest.mark.parametrize("name", case_names())
+def test_rejected_with_expected_error(name):
+    case = get_case(name)
+    with pytest.raises(case.error):
+        check_source(case.source)
+
+
+def test_catalog_is_nontrivial():
+    assert len(NEGATIVE_CASES) >= 18
+
+
+#: (negative case, accepted repaired variant) — demonstrating each
+#: rejection is precise, not a blanket refusal.
+REPAIRS = {
+    "use-after-send": """
+struct data { v : int; }
+def f() : int {
+  let d = new data(v = 1);
+  let value = d.v;
+  send(d);
+  value
+}
+""",
+    "param-stashed-without-consumes": """
+struct data { v : int; }
+struct box { iso inner : data?; }
+def stash(b : box, d : data) : unit consumes d {
+  b.inner = some(d)
+}
+""",
+    "aliased-arguments": """
+struct data { v : int; }
+def two(a, b : data) : unit before: a ~ b { () }
+def f(d : data) : unit { two(d, d) }
+""",
+    "escaping-interior-reference": """
+struct data { v : int; }
+struct box { iso inner : data?; }
+def leak(b : box) : data? after: b.inner ~ result {
+  b.inner
+}
+""",
+    "invalidated-field-read": """
+struct data { v : int; }
+struct box { iso inner : data?; }
+def eat(m : data?) : unit consumes m { () }
+def f(b : box) : unit {
+  eat(b.inner);
+  b.inner = none;
+  let x = b.inner;
+  ()
+}
+""",
+    "keep-and-return": """
+struct data { v : int; }
+def identity(d : data) : data after: d ~ result { d }
+""",
+    "pinned-iso-access": """
+struct data { v : int; }
+struct box { iso inner : data?; }
+def f(b : box) : unit {
+  let m = b.inner;
+  ()
+}
+""",
+    "none-without-context": """
+struct data { v : int; }
+struct box { iso inner : data?; }
+def f(b : box) : unit {
+  b.inner = none
+}
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(REPAIRS))
+def test_repaired_variant_accepted(name):
+    # The corresponding negative case is rejected ...
+    with pytest.raises(get_case(name).error):
+        check_source(get_case(name).source)
+    # ... while the minimally repaired version checks.
+    check_source(REPAIRS[name])

@@ -1,0 +1,152 @@
+"""The `pinned` parameter annotation (§4.7's pinning, §4.9's surface form).
+
+A pinned parameter gives the callee a *partial* view of the argument's
+region: the callee may read non-iso state but may not focus, attach, or
+consume anything there — and in exchange, the call site does not have to
+empty the region's tracking context before the call (TS2 framing).
+"""
+
+import pytest
+
+from repro.core.checker import Checker, check_source
+from repro.core.errors import AnnotationError, TypeError_
+from repro.lang import parse_program
+from repro.verifier import Verifier
+
+STRUCTS = """
+struct data { v : int; }
+struct cell { other : cell; tag : int; }
+struct holder { iso spine : cell?; }
+"""
+
+
+def accept(src):
+    program = parse_program(STRUCTS + src)
+    derivation = Checker(program).check_program()
+    Verifier(program).verify_program(derivation)
+
+
+def reject(exc, src):
+    with pytest.raises(exc):
+        check_source(STRUCTS + src)
+
+
+class TestParsing:
+    def test_pinned_param_parses(self):
+        program = parse_program(STRUCTS + "def f(pinned c : cell) : int { c.tag }")
+        assert program.funcs["f"].params[0].pinned
+
+    def test_pretty_roundtrip(self):
+        from repro.lang import pretty_program
+
+        program = parse_program(STRUCTS + "def f(pinned c : cell) : int { c.tag }")
+        text = pretty_program(program)
+        assert "pinned c : cell" in text
+        again = parse_program(text)
+        assert again.funcs["f"].params[0].pinned
+
+
+class TestCalleeRestrictions:
+    def test_non_iso_reads_allowed(self):
+        accept("def peek(pinned c : cell) : int { c.tag + c.other.tag }")
+
+    def test_prim_writes_allowed(self):
+        accept("def poke(pinned c : cell) : unit { c.tag = 5 }")
+
+    def test_iso_access_rejected(self):
+        # Focusing inside a pinned region is impossible.
+        reject(
+            TypeError_,
+            "def bad(pinned h : holder) : unit { let s = h.spine; () }",
+        )
+
+    def test_send_rejected(self):
+        reject(TypeError_, "def bad(pinned c : cell) : unit { send(c) }")
+
+    def test_attach_into_pinned_rejected(self):
+        reject(
+            TypeError_,
+            """
+            def bad(pinned c : cell) : unit {
+              let fresh = new cell();
+              c.other = fresh
+            }
+            """,
+        )
+
+
+class TestAnnotationValidation:
+    def test_pinned_primitive_rejected(self):
+        reject(AnnotationError, "def f(pinned k : int) : int { k }")
+
+    def test_pinned_consumed_rejected(self):
+        reject(
+            AnnotationError,
+            "def f(pinned c : cell) : unit consumes c { () }",
+        )
+
+    def test_pinned_in_after_rejected(self):
+        reject(
+            AnnotationError,
+            "def f(pinned c : cell, d : cell) : unit after: c ~ d { () }",
+        )
+
+
+class TestCallSites:
+    def test_call_with_live_tracking_in_arg_region(self):
+        # The whole point: helper(pinned n) can be called while h.spine is
+        # tracked and its target region holds the live cursor `n` — no
+        # emptying required.  The unpinned version of the same program is
+        # rejected.
+        pinned_src = """
+        def peek(pinned n : cell) : int { n.tag }
+        def walk(h : holder) : int {
+          let some(n) = h.spine in {
+            let a = peek(n);
+            let b = n.tag;
+            a + b
+          } else { 0 }
+        }
+        """
+        accept(pinned_src)
+
+    def test_unpinned_version_also_ok_when_droppable(self):
+        # Without `pinned`, the call forces the region's tracking to be
+        # emptied; here that is possible (the tracking is re-established
+        # afterwards on demand), so both typings exist — pinning is about
+        # *not disturbing* the call-site context.
+        accept(
+            """
+            def peek(n : cell) : int { n.tag }
+            def walk(h : holder) : int {
+              let some(n) = h.spine in { peek(n) } else { 0 }
+            }
+            """
+        )
+
+    def test_pinned_callee_preserves_call_site_tracking(self):
+        # After the call, h.spine's tracking survives, so the cursor is
+        # still in the *same* region as before — provable by storing it
+        # back without re-reading h.spine.
+        accept(
+            """
+            def peek(pinned n : cell) : int { n.tag }
+            def reuse(h : holder) : unit {
+              let some(n) = h.spine in {
+                peek(n);
+                h.spine = some(n)
+              } else { () }
+            }
+            """
+        )
+
+    def test_pinned_arg_still_needs_separation(self):
+        from repro.core.errors import SeparationError
+
+        reject(
+            SeparationError,
+            """
+            def two(pinned a : cell, b : cell) : unit { () }
+            def f(c : cell) : unit { two(c, c) }
+            """,
+        )

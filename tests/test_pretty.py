@@ -1,0 +1,130 @@
+"""Pretty-printer round-trip tests, including a hypothesis program generator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang import ast, parse_program, pretty_expr, pretty_program
+from repro.corpus import corpus_names, load_program
+
+
+def roundtrips(program: ast.Program) -> bool:
+    text = pretty_program(program)
+    again = parse_program(text)
+    return pretty_program(again) == text
+
+
+class TestManualRoundTrips:
+    def test_corpus_round_trips(self):
+        for name in corpus_names():
+            assert roundtrips(load_program(name)), name
+
+    def test_annotations_survive(self):
+        src = (
+            "def f(a, b : node) : node? consumes b "
+            "before: a ~ b after: a.hd ~ result { none }"
+        )
+        program = parse_program("struct node { iso hd : node?; }" + src)
+        text = pretty_program(program)
+        again = parse_program(text)
+        f = again.funcs["f"]
+        assert f.consumes == ["b"]
+        assert f.before == [(("a",), ("b",))]
+        assert f.after == [(("a", "hd"), ("result",))]
+
+    def test_expression_rendering(self):
+        from repro.lang import parse_expr
+
+        cases = [
+            "(1 + (2 * 3))",
+            "some(x)",
+            "is_none(x.f)",
+            "send(d)",
+            "recv(data)",
+            "new t(a = 1)",
+        ]
+        for text in cases:
+            assert pretty_expr(parse_expr(text)) == text
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: generate random small programs, pretty-print, re-parse.
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y", "z"])
+_fields = st.sampled_from(["f", "g", "payload", "next"])
+
+
+def _operands(depth):
+    """Expressions valid in operand position (no let/if/while heads: the
+    grammar stratifies those to statement position)."""
+    leaf = st.one_of(
+        st.integers(min_value=0, max_value=99).map(lambda v: ast.IntLit(v)),
+        st.booleans().map(lambda v: ast.BoolLit(v)),
+        st.just(ast.UnitLit()),
+        st.just(ast.NoneLit()),
+        _names.map(lambda n: ast.VarRef(n)),
+    )
+    if depth == 0:
+        return leaf
+    sub = _operands(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, sub).map(lambda t: ast.Binop("+", t[0], t[1])),
+        st.tuples(sub, sub).map(lambda t: ast.Binop("==", t[0], t[1])),
+        sub.map(lambda e: ast.SomeExpr(e) if not isinstance(e, ast.NoneLit) else e),
+        st.tuples(_names, _fields).map(
+            lambda t: ast.FieldRef(ast.VarRef(t[0]), t[1])
+        ),
+        st.lists(sub, min_size=1, max_size=2).map(
+            lambda args: ast.Call("f", args)
+        ),
+        sub.map(lambda e: ast.IsNone(e)),
+    )
+
+
+def _stmts(depth):
+    operand = _operands(max(depth - 1, 0))
+    if depth == 0:
+        return operand
+    sub = _stmts(depth - 1)
+    block = st.lists(sub, min_size=0, max_size=3).map(lambda es: ast.Block(es))
+    return st.one_of(
+        operand,
+        st.tuples(_names, operand).map(lambda t: ast.LetBind(t[0], t[1])),
+        st.tuples(operand, block, block).map(
+            lambda t: ast.If(t[0], t[1], t[2])
+        ),
+        st.tuples(_names, operand, block, block).map(
+            lambda t: ast.LetSome(t[0], t[1], t[2], t[3])
+        ),
+        st.tuples(operand, block).map(lambda t: ast.While(t[0], t[1])),
+        st.tuples(_names, operand).map(
+            lambda t: ast.Assign(ast.VarRef(t[0]), t[1])
+        ),
+        block,
+    )
+
+
+@st.composite
+def _programs(draw):
+    body = draw(_stmts(3))
+    fdef = ast.FuncDef(
+        name="f",
+        params=[ast.Param("a", ast.INT)],
+        return_type=ast.UNIT,
+        body=ast.Block([body]),
+    )
+    sdef = ast.StructDef(
+        name="t",
+        fields=[ast.FieldDecl("f", ast.MaybeType(ast.StructType("t")), True)],
+    )
+    return ast.Program(structs={"t": sdef}, funcs={"f": fdef})
+
+
+@given(_programs())
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_random_programs(program):
+    # pretty → parse → pretty is a fixpoint.
+    text = pretty_program(program)
+    reparsed = parse_program(text)
+    assert pretty_program(reparsed) == text

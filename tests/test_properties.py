@@ -1,0 +1,171 @@
+"""Property-based end-to-end tests.
+
+The paper's soundness theorem says well-typed programs never get stuck on a
+reservation check.  We drive long random operation sequences through the
+(type-checked) corpus data structures with all dynamic checks enabled and
+assert: no reservation violations, exact stored refcounts (§5.2), iso
+domination in the reachable heap (invariant I2), and functional agreement
+with plain Python model structures.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import check_iso_domination, check_refcounts
+from repro.corpus import load_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import run_function
+from repro.runtime.values import NONE
+
+LIMIT = 1 << 30
+
+
+# ---------------------------------------------------------------------------
+# Singly linked list vs Python list model
+# ---------------------------------------------------------------------------
+
+_sll_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(min_value=0, max_value=99)),
+        st.just(("pop",)),
+        st.just(("remove_tail",)),
+        st.just(("reverse",)),
+        st.just(("check",)),
+    ),
+    max_size=30,
+)
+
+
+@given(_sll_ops)
+@settings(max_examples=120, deadline=None)
+def test_sll_agrees_with_model(ops):
+    program = load_program("sll")
+    heap = Heap()
+    lst, _ = run_function(program, "make_list", [0], heap=heap)
+    model = []
+    for op in ops:
+        if op[0] == "push":
+            d = heap.alloc(program.structs["data"], {"v": op[1]})
+            run_function(program, "push", [lst, d], heap=heap)
+            model.insert(0, op[1])
+        elif op[0] == "pop":
+            got, _ = run_function(program, "pop", [lst], heap=heap)
+            if model:
+                expected = model.pop(0)
+                assert heap.obj(got).fields["v"] == expected
+            else:
+                assert got is NONE
+        elif op[0] == "remove_tail":
+            head = heap.obj(lst).fields["hd"]
+            if head is NONE:
+                continue
+            got, _ = run_function(program, "remove_tail", [head], heap=heap)
+            if len(model) >= 2:
+                expected = model.pop()
+                assert heap.obj(got).fields["v"] == expected
+            else:
+                assert got is NONE  # size-1 lists cannot be split (fig 2)
+        elif op[0] == "reverse":
+            run_function(program, "reverse", [lst], heap=heap)
+            model.reverse()
+        elif op[0] == "check":
+            assert (
+                run_function(program, "list_length", [lst], heap=heap)[0]
+                == len(model)
+            )
+            assert run_function(program, "sum", [lst], heap=heap)[0] == sum(model)
+    check_refcounts(heap)
+    check_iso_domination(heap, [lst])
+
+
+# ---------------------------------------------------------------------------
+# Circular doubly linked list vs collections.deque-ish model
+# ---------------------------------------------------------------------------
+
+_dll_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push_front"), st.integers(min_value=0, max_value=99)),
+        st.just(("remove_tail",)),
+        st.just(("check",)),
+    ),
+    max_size=24,
+)
+
+
+@given(_dll_ops)
+@settings(max_examples=120, deadline=None)
+def test_dll_agrees_with_model(ops):
+    program = load_program("dll")
+    heap = Heap()
+    lst, _ = run_function(program, "make_dll", [0], heap=heap)
+    model = []
+    for op in ops:
+        if op[0] == "push_front":
+            d = heap.alloc(program.structs["data"], {"v": op[1]})
+            run_function(program, "push_front", [lst, d], heap=heap)
+            model.insert(0, op[1])
+        elif op[0] == "remove_tail":
+            got, _ = run_function(program, "remove_tail", [lst], heap=heap)
+            if model:
+                assert heap.obj(got).fields["v"] == model.pop()
+            else:
+                assert got is NONE
+        elif op[0] == "check":
+            assert (
+                run_function(program, "dll_length", [lst], heap=heap)[0]
+                == len(model)
+            )
+            assert (
+                run_function(program, "dll_sum", [lst], heap=heap)[0]
+                == sum(model)
+            )
+    check_refcounts(heap)
+    check_iso_domination(heap, [lst])
+
+
+# ---------------------------------------------------------------------------
+# Red-black tree vs Python set
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), max_size=50),
+    st.lists(st.integers(min_value=0, max_value=200), max_size=10),
+)
+@settings(max_examples=80, deadline=None)
+def test_rbtree_agrees_with_set(keys, probes):
+    program = load_program("rbtree")
+    heap = Heap()
+    tree, _ = run_function(program, "rb_new", [], heap=heap)
+    model = set()
+    for k in keys:
+        run_function(program, "rb_insert", [tree, k], heap=heap)
+        model.add(k)
+    assert run_function(program, "tree_size", [tree], heap=heap)[0] == len(model)
+    assert run_function(program, "rb_valid", [tree, -1, LIMIT], heap=heap)[0]
+    for probe in probes + keys[:5]:
+        got = run_function(program, "rb_contains", [tree, probe], heap=heap)[0]
+        assert got == (probe in model)
+    check_refcounts(heap)
+    check_iso_domination(heap, [tree])
+
+
+# ---------------------------------------------------------------------------
+# Black-box: reservation checks never fire on well-typed corpus programs
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=12))
+@settings(max_examples=40, deadline=None)
+def test_no_stuck_states_in_concurrent_runs(seed, items):
+    from repro.runtime.machine import Machine
+
+    program = load_program("queue")
+    machine = Machine(program, seed=seed)
+    machine.spawn("source", [items])
+    machine.spawn("relay", [items])
+    sink = machine.spawn("sink", [items])
+    machine.run()  # any ReservationViolation would propagate and fail
+    assert sink.result == items * (items + 1) // 2
+    assert machine.reservations_disjoint()

@@ -1,0 +1,118 @@
+"""Dynamic region-graph discovery tests (fig 8's structure, computed)."""
+
+from repro.analysis import build_region_graph, to_networkx
+from repro.corpus import load_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import run_function
+
+
+class TestDllRegions:
+    def test_spine_is_one_region(self):
+        program = load_program("dll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_dll", [5], heap=heap)
+        graph = build_region_graph(heap, [lst])
+        # Regions: the dll handle, the spine, and 5 payloads = 7.
+        assert len(graph.regions) == 7
+        sizes = sorted(len(r) for r in graph.regions)
+        assert sizes == [1, 1, 1, 1, 1, 1, 5]
+
+    def test_spine_nodes_share_region(self):
+        program = load_program("dll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_dll", [3], heap=heap)
+        hd = heap.obj(lst).fields["hd"]
+        nxt = heap.obj(hd).fields["next"]
+        graph = build_region_graph(heap, [lst])
+        assert graph.same_region(hd, nxt)
+        assert not graph.same_region(lst, hd)
+
+    def test_region_graph_is_tree(self):
+        program = load_program("dll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_dll", [4], heap=heap)
+        graph = build_region_graph(heap, [lst])
+        assert graph.is_tree()
+
+    def test_iso_edges_count(self):
+        program = load_program("dll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_dll", [4], heap=heap)
+        graph = build_region_graph(heap, [lst])
+        # One hd edge + four payload edges.
+        assert len(graph.edges) == 5
+
+
+class TestSllRegions:
+    def test_every_node_is_a_region(self):
+        program = load_program("sll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_list", [4], heap=heap)
+        graph = build_region_graph(heap, [lst])
+        # handle + 4 nodes + 4 payloads: all singleton regions.
+        assert len(graph.regions) == 9
+        assert all(len(r) == 1 for r in graph.regions)
+        assert graph.is_tree()
+
+
+class TestSharedStructure:
+    def test_double_iso_reference_breaks_tree(self):
+        from repro.lang import parse_program
+
+        program = parse_program(
+            "struct data { v : int; } struct box { iso inner : data?; }"
+        )
+        heap = Heap()
+        b1 = heap.alloc(program.structs["box"], {})
+        b2 = heap.alloc(program.structs["box"], {})
+        d = heap.alloc(program.structs["data"], {"v": 1})
+        heap.write_field(b1, "inner", d)
+        heap.write_field(b2, "inner", d)
+        graph = build_region_graph(heap, [b1, b2])
+        assert not graph.is_tree()
+
+
+class TestNetworkx:
+    def test_export(self):
+        program = load_program("dll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_dll", [3], heap=heap)
+        graph = build_region_graph(heap, [lst])
+        g = to_networkx(graph)
+        assert g.number_of_nodes() == len(graph.regions)
+        assert g.number_of_edges() == len(graph.edges)
+
+
+class TestDot:
+    def test_dot_export(self):
+        from repro.analysis import to_dot
+
+        program = load_program("dll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_dll", [2], heap=heap)
+        graph = build_region_graph(heap, [lst])
+        dot = to_dot(graph, heap)
+        assert dot.startswith("digraph regions {")
+        assert dot.rstrip().endswith("}")
+        assert "subgraph cluster_0" in dot
+        assert 'label="payload"' in dot   # iso edge
+        assert "style=dashed" in dot      # intra-region edge
+        assert dot.count("subgraph") == len(graph.regions)
+
+    def test_dot_without_heap(self):
+        from repro.analysis import to_dot
+
+        program = load_program("sll")
+        heap = Heap()
+        lst, _ = run_function(program, "make_list", [2], heap=heap)
+        graph = build_region_graph(heap, [lst])
+        dot = to_dot(graph)
+        assert "digraph" in dot
+
+    def test_cli_dot(self, capsys):
+        from repro.cli import main
+        from pathlib import Path
+
+        corpus = Path(__file__).parent.parent / "src" / "repro" / "corpus"
+        assert main(["regions", str(corpus / "dll.fcl"), "make_dll", "2", "--dot"]) == 0
+        assert "digraph regions" in capsys.readouterr().out

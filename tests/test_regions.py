@@ -1,0 +1,80 @@
+"""Region and renaming primitives."""
+
+import pytest
+
+from repro.core.regions import Region, RegionRenaming, RegionSupply
+
+
+class TestRegion:
+    def test_identity(self):
+        assert Region(1) == Region(1)
+        assert Region(1) != Region(2)
+
+    def test_ordering(self):
+        assert Region(1) < Region(2)
+        assert sorted([Region(3), Region(1)]) == [Region(1), Region(3)]
+
+    def test_str(self):
+        assert str(Region(7)) == "r7"
+
+    def test_hashable(self):
+        assert len({Region(1), Region(1), Region(2)}) == 2
+
+
+class TestSupply:
+    def test_fresh_are_distinct(self):
+        supply = RegionSupply()
+        seen = {supply.fresh() for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_start_offset(self):
+        supply = RegionSupply(start=10)
+        assert supply.fresh() == Region(10)
+
+    def test_next_id_tracks(self):
+        supply = RegionSupply()
+        supply.fresh()
+        supply.fresh()
+        assert supply.next_id == 2
+
+
+class TestRenaming:
+    def test_bind_and_apply(self):
+        r = RegionRenaming()
+        assert r.bind(Region(1), Region(5))
+        assert r.apply(Region(1)) == Region(5)
+        assert r.apply(Region(9)) == Region(9)  # identity off-domain
+
+    def test_idempotent_rebind(self):
+        r = RegionRenaming()
+        assert r.bind(Region(1), Region(5))
+        assert r.bind(Region(1), Region(5))
+
+    def test_conflicting_source(self):
+        r = RegionRenaming()
+        assert r.bind(Region(1), Region(5))
+        assert not r.bind(Region(1), Region(6))
+
+    def test_conflicting_target_keeps_injectivity(self):
+        r = RegionRenaming()
+        assert r.bind(Region(1), Region(5))
+        assert not r.bind(Region(2), Region(5))
+
+    def test_inverse(self):
+        r = RegionRenaming()
+        r.bind(Region(1), Region(5))
+        assert r.inverse(Region(5)) == Region(1)
+        assert r.has_target(Region(5))
+        assert not r.has_target(Region(1))
+
+    def test_lookup_raises_off_domain(self):
+        r = RegionRenaming()
+        with pytest.raises(KeyError):
+            r.lookup(Region(3))
+
+    def test_items_and_len(self):
+        r = RegionRenaming()
+        r.bind(Region(1), Region(2))
+        r.bind(Region(3), Region(4))
+        assert len(r) == 2
+        assert dict(r.items()) == {Region(1): Region(2), Region(3): Region(4)}

@@ -1,0 +1,113 @@
+"""Exhaustive schedule exploration tests (small-scope model checking)."""
+
+import pytest
+
+from repro.analysis.schedules import explore_all_schedules
+from repro.corpus import load_program
+from repro.lang import parse_program
+
+TWO_PRODUCERS = """
+struct data { v : int; }
+def producer(v : int, n : int) : unit {
+  while (n > 0) { let d = new data(v = v); send(d); n = n - 1 }
+}
+def consumer(n : int) : int {
+  let total = 0;
+  while (n > 0) { let d = recv(data); total = total + d.v; n = n - 1 };
+  total
+}
+def first_only(n : int) : int {
+  let d = recv(data);
+  let keep = d.v;
+  n = n - 1;
+  while (n > 0) { let e = recv(data); n = n - 1 };
+  keep
+}
+"""
+
+
+class TestExploration:
+    def test_pipeline_is_schedule_deterministic(self):
+        program = load_program("queue")
+        report = explore_all_schedules(
+            program, [("source", [3]), ("relay", [3]), ("sink", [3])]
+        )
+        # The staged pipeline admits exactly one rendezvous ordering.
+        assert report.schedules_explored == 1
+        assert report.all_agree()
+        assert report.distinct_results().pop()[-1] == 6
+
+    def test_two_producers_all_interleavings(self):
+        program = parse_program(TWO_PRODUCERS)
+        report = explore_all_schedules(
+            program,
+            [("producer", [1, 2]), ("producer", [10, 2]), ("consumer", [4])],
+        )
+        # Interleavings of 2+2 sends: C(4,2) = 6.
+        assert report.schedules_explored == 6
+        assert not report.violations
+        # The *sum* is schedule-independent.
+        assert report.distinct_results() == {(None, None, 22)} or all(
+            r[-1] == 22 for r in report.distinct_results()
+        )
+
+    def test_order_sensitive_consumer_diverges_without_racing(self):
+        # A consumer that keeps only the first value is schedule-*sensitive*
+        # (allowed nondeterminism) yet still race-free: the explorer sees
+        # multiple results but zero violations.
+        program = parse_program(TWO_PRODUCERS)
+        report = explore_all_schedules(
+            program,
+            [("producer", [1, 1]), ("producer", [10, 1]), ("first_only", [2])],
+        )
+        assert report.schedules_explored == 2
+        assert not report.violations
+        finals = {r[-1] for r in report.distinct_results()}
+        assert finals == {1, 10}
+
+    def test_racy_program_violates_on_every_schedule(self):
+        racy = """
+        struct data { v : int; }
+        def bad() : int { let d = new data(v = 1); send(d); d.v }
+        def ok() : int { let d = recv(data); d.v }
+        """
+        program = parse_program(racy)
+        report = explore_all_schedules(program, [("bad", []), ("ok", [])])
+        assert report.violations
+        assert not report.outcomes
+
+    def test_deadlock_recorded(self):
+        src = """
+        struct data { v : int; }
+        def r() : int { let d = recv(data); d.v }
+        """
+        program = parse_program(src)
+        report = explore_all_schedules(program, [("r", [])])
+        assert report.schedules_explored == 1
+        assert report.outcomes[0].deadlocked
+        assert not report.all_agree() or report.outcomes[0].deadlocked
+
+    def test_truncation(self):
+        program = parse_program(TWO_PRODUCERS)
+        report = explore_all_schedules(
+            program,
+            [("producer", [1, 3]), ("producer", [2, 3]), ("consumer", [6])],
+            max_schedules=3,
+        )
+        assert report.truncated
+
+    def test_ntree_scatter_gather_exhaustive(self):
+        from repro.corpus import load_source
+
+        source = load_source("ntree") + """
+def scatterer() : int {
+  let t = build(2, 2, 0);
+  scatter(t)
+}
+"""
+        program = parse_program(source)
+        report = explore_all_schedules(
+            program, [("scatterer", []), ("gather", [2])]
+        )
+        assert report.all_agree()
+        assert not report.violations

@@ -1,0 +1,54 @@
+"""Derivation JSON round-trip: the prover→verifier boundary as data."""
+
+import pytest
+
+from repro.core.checker import Checker
+from repro.core.serialize import (
+    program_derivation_from_json,
+    program_derivation_to_json,
+)
+from repro.corpus import corpus_names, load_program
+from repro.verifier import VerificationError, Verifier
+
+
+@pytest.mark.parametrize("name", corpus_names())
+def test_roundtrip_verifies(name):
+    # Check in one "process", serialize, deserialize, verify the copy.
+    program = load_program(name)
+    derivation = Checker(program).check_program()
+    text = program_derivation_to_json(derivation)
+    revived = program_derivation_from_json(text)
+    verifier = Verifier(program)
+    assert verifier.verify_program(revived) == verifier.verify_program(derivation)
+    assert verifier.verify_program(revived) > 0
+
+
+def test_roundtrip_is_faithful():
+    program = load_program("sll")
+    derivation = Checker(program).check_program()
+    text = program_derivation_to_json(derivation, indent=1)
+    revived = program_derivation_from_json(text)
+    again = program_derivation_to_json(revived, indent=1)
+    assert text == again
+
+
+def test_tampered_json_rejected():
+    program = load_program("queue")
+    derivation = Checker(program).check_program()
+    text = program_derivation_to_json(derivation)
+    # Forge a region id inside the JSON.
+    tampered = text.replace('"region": 0', '"region": 424242', 1)
+    revived = program_derivation_from_json(tampered)
+    with pytest.raises(VerificationError):
+        Verifier(program).verify_program(revived)
+
+
+def test_steps_survive():
+    program = load_program("dll")
+    derivation = Checker(program).check_program()
+    revived = program_derivation_from_json(
+        program_derivation_to_json(derivation)
+    )
+    original = derivation.funcs["remove_tail"].body
+    copy = revived.funcs["remove_tail"].body
+    assert original.render() == copy.render()

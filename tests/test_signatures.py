@@ -1,0 +1,107 @@
+"""The signature gallery corpus (§8's trivial-to-pathological function
+abstractions): checks, verifies, and behaves."""
+
+import pytest
+
+from repro.core.checker import Checker
+from repro.core.errors import TypeError_
+from repro.corpus import load_program, load_source
+from repro.lang import parse_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import run_function
+from repro.runtime.values import NONE
+from repro.verifier import Verifier
+
+
+@pytest.fixture(scope="module")
+def program():
+    return load_program("signatures")
+
+
+def mkbox(program, heap, v):
+    d = heap.alloc(program.structs["data"], {"v": v})
+    return heap.alloc(program.structs["box"], {"inner": d})
+
+
+class TestGalleryChecks:
+    def test_all_check_and_verify(self, program):
+        derivation = Checker(program).check_program()
+        assert Verifier(program).verify_program(derivation) > 100
+
+    def test_ident_without_after_rejected(self, program):
+        source = load_source("signatures").replace(
+            "def ident(d : data) : data after: d ~ result { d }",
+            "def ident(d : data) : data { d }",
+        )
+        with pytest.raises(TypeError_):
+            Checker(parse_program(source)).check_program()
+
+    def test_may_alias_without_before_rejected_for_aliases(self, program):
+        source = load_source("signatures") + """
+def caller(d : data) : int {
+  let e = d;
+  may_alias(d, e)
+}
+"""
+        Checker(parse_program(source)).check_program()  # before: permits it
+        stripped = source.replace(" before: a ~ b", "")
+        with pytest.raises(TypeError_):
+            Checker(parse_program(stripped)).check_program()
+
+
+class TestGalleryBehaviour:
+    def test_swap_detaches_old_payload(self, program):
+        heap = Heap()
+        box = mkbox(program, heap, 2)
+        new_payload = heap.alloc(program.structs["data"], {"v": 9})
+        old, _ = run_function(program, "swap", [box, new_payload], heap=heap)
+        assert heap.obj(old).fields["v"] == 2
+        assert old not in heap.live_set(box)
+
+    def test_swap_into_empty(self, program):
+        heap = Heap()
+        box = heap.alloc(program.structs["box"], {})
+        payload = heap.alloc(program.structs["data"], {"v": 5})
+        old, _ = run_function(program, "swap", [box, payload], heap=heap)
+        assert old is NONE
+
+    def test_rotate3(self, program):
+        heap = Heap()
+        boxes = [mkbox(program, heap, v) for v in (1, 2, 3)]
+        run_function(program, "rotate3", boxes, heap=heap)
+        values = [
+            heap.obj(heap.obj(b).fields["inner"]).fields["v"] for b in boxes
+        ]
+        assert values == [2, 3, 1]
+
+    def test_transfer(self, program):
+        heap = Heap()
+        src = mkbox(program, heap, 7)
+        dst = heap.alloc(program.structs["box"], {})
+        run_function(program, "transfer", [src, dst], heap=heap)
+        assert heap.obj(src).fields["inner"] is NONE
+        assert heap.obj(heap.obj(dst).fields["inner"]).fields["v"] == 7
+
+    def test_pick_left(self, program):
+        heap = Heap()
+        a = heap.alloc(program.structs["data"], {"v": 1})
+        b = heap.alloc(program.structs["data"], {"v": 2})
+        result, interp = run_function(
+            program, "pick_left", [a, b], heap=heap, sink_sends=True
+        )
+        assert result == a
+        assert b not in interp.reservation  # sent away
+
+    def test_merge_and_return(self, program):
+        heap = Heap()
+        a = heap.alloc(program.structs["data"], {"v": 10})
+        b = heap.alloc(program.structs["data"], {"v": 4})
+        result, _ = run_function(program, "merge_and_return", [a, b], heap=heap)
+        assert result == a
+
+    def test_pinned_counter(self, program):
+        heap = Heap()
+        c = heap.alloc(program.structs["counter"], {"hits": 0})
+        run_function(program, "bump", [c], heap=heap)
+        run_function(program, "bump", [c], heap=heap)
+        assert run_function(program, "observe", [c], heap=heap)[0] == 2

@@ -1,0 +1,166 @@
+"""The soundness theorem, fuzzed.
+
+Programs are generated from a grammar that mixes safe statements with
+deliberately dangerous ones (use-after-send, aliasing, asymmetric branch
+consumption, iso cycles).  For every generated program:
+
+* if the checker **accepts**, the derivation must verify and the program
+  must run to completion under full dynamic reservation checking, with
+  exact refcounts afterwards — no accepted program may get stuck
+  (progress + preservation, executably);
+* if the checker **rejects**, the error must be a well-formed
+  :class:`TypeError_` (the checker never crashes).
+
+The run also reports (via hypothesis `note`) how many programs were
+accepted vs rejected so the mix stays meaningful.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, note, settings
+
+from repro.analysis import check_refcounts
+from repro.core.checker import Checker
+from repro.core.errors import TypeError_
+from repro.lang import parse_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import ReservationViolation, run_function
+from repro.verifier import Verifier
+
+HEADER = """
+struct data { v : int; }
+struct box { iso inner : data?; tag : int; }
+struct cell { other : cell; tag : int; }
+
+def sink(d : data) : unit consumes d { send(d) }
+def reader(d : data) : int { d.v }
+def pair(a, b : data) : int { a.v + b.v }
+"""
+
+
+@st.composite
+def wild_programs(draw):
+    names_data = []
+    names_box = []
+    lines = []
+
+    names_cell = []
+
+    def stmt(depth):
+        kind = draw(
+            st.sampled_from(
+                [
+                    "new_data",
+                    "new_box",
+                    "new_cell",
+                    "fill",
+                    "read",
+                    "send_var",       # may be a use-after-send setup
+                    "use_var",        # may use a consumed variable
+                    "alias_call",     # may alias arguments
+                    "reader_call",
+                    "branchy",
+                    "iso_cycleish",
+                    "link_cells",     # region merges
+                    "disconnected",   # region splits (T15)
+                ]
+            )
+        )
+        pad = "  " * (depth + 1)
+        if kind == "new_data":
+            name = f"d{len(names_data)}"
+            names_data.append(name)
+            lines.append(f"{pad}let {name} = new data(v = {len(names_data)});")
+        elif kind == "new_box":
+            name = f"b{len(names_box)}"
+            names_box.append(name)
+            lines.append(f"{pad}let {name} = new box();")
+        elif kind == "fill" and names_box and names_data:
+            box = draw(st.sampled_from(names_box))
+            d = draw(st.sampled_from(names_data))
+            lines.append(f"{pad}{box}.inner = some({d});")
+        elif kind == "read" and names_box:
+            box = draw(st.sampled_from(names_box))
+            lines.append(
+                f"{pad}acc = acc + (let some(x) = {box}.inner in {{ x.v }} "
+                f"else {{ 0 }});"
+            )
+        elif kind == "send_var" and names_data:
+            d = draw(st.sampled_from(names_data))
+            lines.append(f"{pad}sink({d});")
+        elif kind == "use_var" and names_data:
+            d = draw(st.sampled_from(names_data))
+            lines.append(f"{pad}acc = acc + {d}.v;")
+        elif kind == "alias_call" and names_data:
+            a = draw(st.sampled_from(names_data))
+            b = draw(st.sampled_from(names_data))
+            lines.append(f"{pad}acc = acc + pair({a}, {b});")
+        elif kind == "reader_call" and names_data:
+            d = draw(st.sampled_from(names_data))
+            lines.append(f"{pad}acc = acc + reader({d});")
+        elif kind == "branchy" and depth < 1:
+            lines.append(f"{pad}if (acc > 2) {{")
+            stmt(depth + 1)
+            lines.append(f"{pad}}} else {{")
+            stmt(depth + 1)
+            lines.append(f"{pad}}};")
+        elif kind == "iso_cycleish" and names_box and names_data:
+            box = draw(st.sampled_from(names_box))
+            lines.append(f"{pad}{box}.inner = none;")
+        elif kind == "new_cell":
+            name = f"c{len(names_cell)}"
+            names_cell.append(name)
+            lines.append(f"{pad}let {name} = new cell();")
+        elif kind == "link_cells" and len(names_cell) >= 2:
+            a = draw(st.sampled_from(names_cell))
+            b = draw(st.sampled_from(names_cell))
+            lines.append(f"{pad}{a}.other = {b};")
+        elif kind == "disconnected" and len(names_cell) >= 2 and depth < 1:
+            a = draw(st.sampled_from(names_cell))
+            b = draw(st.sampled_from(names_cell))
+            # May or may not share a region (depending on earlier links):
+            # the checker must reject cross-region uses and accept
+            # same-region ones; dynamically either branch may run.
+            lines.append(f"{pad}if disconnected({a}, {b}) {{")
+            lines.append(f"{pad}  acc = acc + 1;")
+            lines.append(f"{pad}}} else {{")
+            lines.append(f"{pad}  acc = acc + 2;")
+            lines.append(f"{pad}}};")
+        else:
+            lines.append(f"{pad}();")
+
+    count = draw(st.integers(min_value=2, max_value=12))
+    lines.append("  let acc = 0;")
+    for _ in range(count):
+        stmt(0)
+    lines.append("  acc")
+    return HEADER + "def main() : int {\n" + "\n".join(lines) + "\n}\n"
+
+
+ACCEPTED = {"count": 0}
+REJECTED = {"count": 0}
+
+
+@given(wild_programs())
+@settings(max_examples=250, deadline=None)
+def test_accepted_implies_safe_rejected_implies_typeerror(source):
+    program = parse_program(source)
+    try:
+        derivation = Checker(program).check_program()
+    except TypeError_:
+        REJECTED["count"] += 1
+        return  # a proper, typed rejection
+    ACCEPTED["count"] += 1
+    note(f"accepted so far: {ACCEPTED['count']}, rejected: {REJECTED['count']}")
+    # Accepted ⇒ verifiable and dynamically safe.
+    Verifier(program).verify_program(derivation)
+    heap = Heap()
+    result, _ = run_function(program, "main", heap=heap, sink_sends=True)
+    assert isinstance(result, int)
+    check_refcounts(heap)
+
+
+def test_fuzzer_produced_a_meaningful_mix():
+    # Runs after the fuzz test in file order: both outcomes must occur.
+    assert ACCEPTED["count"] > 0
+    assert REJECTED["count"] > 0

@@ -1,0 +1,68 @@
+"""Heap tracer tests."""
+
+from repro.corpus import load_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import run_function
+from repro.runtime.trace import ALLOC, READ, WRITE, Tracer
+from repro.runtime.values import Loc
+
+
+def traced_run(n=3):
+    tracer = Tracer(capacity=10_000)
+    heap = Heap(tracer=tracer)
+    program = load_program("sll")
+    lst, _ = run_function(program, "make_list", [n], heap=heap)
+    return program, heap, tracer, lst
+
+
+class TestRecording:
+    def test_allocs_recorded(self):
+        _, heap, tracer, _ = traced_run(3)
+        allocs = tracer.events(kind=ALLOC)
+        # 1 sll + 3 nodes + 3 payloads
+        assert len(allocs) == 7
+        assert {e.struct for e in allocs} == {"sll", "sll_node", "data"}
+
+    def test_reads_and_writes_match_counters(self):
+        _, heap, tracer, _ = traced_run(4)
+        assert len(tracer.events(kind=READ)) == heap.reads
+        assert len(tracer.events(kind=WRITE)) == heap.writes
+
+    def test_write_records_old_value(self):
+        program, heap, tracer, lst = traced_run(2)
+        writes = tracer.events(kind=WRITE, loc=lst, fieldname="hd")
+        assert len(writes) == 2  # two pushes onto the front
+        assert writes[1].old == writes[0].value
+
+    def test_history_of_location(self):
+        program, heap, tracer, lst = traced_run(2)
+        head = heap.obj(lst).fields["hd"]
+        history = tracer.history_of(head)
+        kinds = [e.kind for e in history]
+        assert kinds[0] == ALLOC  # its own birth
+        assert WRITE in kinds  # stored into l.hd
+
+    def test_filtering(self):
+        _, _, tracer, lst = traced_run(2)
+        only_hd = tracer.events(fieldname="hd")
+        assert only_hd and all(e.fieldname == "hd" for e in only_hd)
+
+
+class TestRingBuffer:
+    def test_capacity_bound(self):
+        tracer = Tracer(capacity=5)
+        heap = Heap(tracer=tracer)
+        program = load_program("sll")
+        run_function(program, "make_list", [10], heap=heap)
+        assert len(tracer) == 5
+        assert tracer.dropped > 0
+        assert "earlier events dropped" in tracer.render()
+
+    def test_render(self):
+        _, _, tracer, _ = traced_run(1)
+        text = tracer.render(last=3)
+        assert text.count("\n") == 2
+        assert "#" in text
+
+    def test_empty_render(self):
+        assert Tracer().render() == "(no heap events)"

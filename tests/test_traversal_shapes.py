@@ -1,0 +1,135 @@
+"""Traversal shapes and the tempered-domination invariant.
+
+Why is fig 2 recursive?  An *iterative* cursor over the recursively-iso
+singly linked list would need the entire chain of `next` fields between
+the list head and the cursor to stay tracked — a tracking context that
+grows with every iteration, so no finite loop invariant exists.  Each
+recursive call frame instead holds exactly one tracking level.  The
+implementation reproduces this boundary:
+
+* recursive sll traversal: accepted (fig 2, corpus `length`/`sum_node`);
+* iterative sll traversal with a cursor: rejected at the loop invariant;
+* iterative dll traversal: accepted — the whole spine is one region, the
+  cursor needs no tracking at all (fig 14's get_nth_node).
+"""
+
+import pytest
+
+from repro.core.checker import check_source
+from repro.core.errors import TypeError_, UnificationError
+
+SLL = """
+struct data { v : int; }
+struct sll_node { iso payload : data; iso next : sll_node?; }
+struct sll { iso hd : sll_node?; }
+"""
+
+DLL = """
+struct data { v : int; }
+struct dll_node { iso payload : data; next : dll_node; prev : dll_node; }
+struct dll { iso hd : dll_node?; }
+"""
+
+
+class TestRecursiveIsoTraversal:
+    def test_recursive_accepted(self):
+        check_source(
+            SLL
+            + """
+def total(n : sll_node) : int {
+  let d = n.payload;
+  let some(next) = n.next in { d.v + total(next) } else { d.v }
+}
+"""
+        )
+
+    def test_iterative_cursor_rejected(self):
+        # The loop invariant would need unbounded tracking: every iteration
+        # moves the cursor one dominated region deeper.
+        with pytest.raises(TypeError_):
+            check_source(
+                SLL
+                + """
+def total(l : sll) : int {
+  let acc = 0;
+  let cur = l.hd;
+  let going = is_some(cur);
+  while (going) {
+    let some(node) = cur in {
+      let d = node.payload;
+      acc = acc + d.v;
+      cur = node.next;
+      going = is_some(cur)
+    } else { going = false }
+  };
+  acc
+}
+"""
+            )
+
+    def test_iterative_destructive_cursor_accepted(self):
+        # The iterative form prior systems are forced into: consume the
+        # list as you go (each node is detached from the spine before the
+        # cursor advances).  This type-checks — but destroys the list,
+        # which is exactly the §9.1 critique.
+        check_source(
+            SLL
+            + """
+def drain_total(l : sll) : int {
+  let acc = 0;
+  let going = true;
+  while (going) {
+    let some(node) = l.hd in {
+      l.hd = node.next;
+      let d = node.payload;
+      acc = acc + d.v
+    } else { going = false }
+  };
+  acc
+}
+"""
+        )
+
+
+class TestSingleRegionTraversal:
+    def test_iterative_dll_cursor_accepted(self):
+        # The dll spine is one region: the cursor is an ordinary intra-
+        # region reference, no tracking needed, trivial loop invariant.
+        check_source(
+            DLL
+            + """
+def walk(l : dll, steps : int) : int {
+  let some(node) = l.hd in {
+    while (steps > 0) {
+      node = node.next;
+      steps = steps - 1
+    };
+    let d = node.payload;
+    d.v
+  } else { 0 }
+}
+"""
+        )
+
+    def test_iterative_dll_sum_with_refocusing(self):
+        # Reading payloads while iterating: the focus hops from node to
+        # node (unfocus the previous, focus the current) — finite invariant
+        # because only ONE level of tracking is ever live.
+        check_source(
+            DLL
+            + """
+def total(l : dll) : int {
+  let some(hd) = l.hd in {
+    let d0 = hd.payload;
+    let acc = d0.v;
+    let cur = hd.next;
+    while (cur != hd) {
+      let d = cur.payload;
+      acc = acc + d.v;
+      cur = cur.next
+    };
+    acc
+  } else { 0 }
+}
+"""
+        )

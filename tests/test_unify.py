@@ -1,0 +1,230 @@
+"""Pruning, unification, step replay, and the backtracking fallback (§4.6, §5.1)."""
+
+import pytest
+
+from repro.core.contexts import ContextError, StaticContext
+from repro.core.errors import UnificationError
+from repro.core.regions import Region, RegionSupply
+from repro.core.unify import (
+    Step,
+    apply_step,
+    match_contexts,
+    prune,
+    search_unify,
+)
+from repro.lang import ast
+
+NODE = ast.StructType("node")
+
+
+def base_ctx():
+    ctx = StaticContext(RegionSupply())
+    region = ctx.fresh_region()
+    ctx.bind("x", NODE, region)
+    return ctx, region
+
+
+class TestPrune:
+    def test_drops_dead_vars(self):
+        ctx, region = base_ctx()
+        ctx.bind("dead", NODE, region)
+        prune(ctx, frozenset({"x"}))
+        assert not ctx.has_var("dead")
+        assert ctx.has_var("x")
+
+    def test_drops_dead_regions(self):
+        ctx, region = base_ctx()
+        orphan = ctx.fresh_region()
+        prune(ctx, frozenset({"x"}))
+        assert not ctx.has_region(orphan)
+        assert ctx.has_region(region)
+
+    def test_retracts_dead_tracking(self):
+        ctx, region = base_ctx()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        steps = prune(ctx, frozenset({"x"}))
+        assert ctx.tracked_region_of("x") is None
+        assert not ctx.has_region(target)
+        rules = [s.rule for s in steps]
+        assert "V4-Retract" in rules and "V2-Unfocus" in rules
+
+    def test_keeps_tracking_into_live_regions(self):
+        ctx, region = base_ctx()
+        ctx.focus("x")
+        target = ctx.explore("x", "f")
+        ctx.bind("y", NODE, target)
+        prune(ctx, frozenset({"x", "y"}))
+        assert ctx.tracked_var("x").fields["f"] == target
+        assert ctx.has_region(target)
+
+    def test_protect_keeps_regions_alive(self):
+        ctx, region = base_ctx()
+        orphan = ctx.fresh_region()
+        prune(ctx, frozenset({"x"}), protect=frozenset({orphan}))
+        assert ctx.has_region(orphan)
+
+    def test_cleans_ghost_tracking_chains(self):
+        # Region chain x -> f -> (ghost y) -> g -> r; everything dead is
+        # dismantled bottom-up.
+        ctx, region = base_ctx()
+        ctx.focus("x")
+        t1 = ctx.explore("x", "f")
+        ctx.bind("y", NODE, t1)
+        ctx.focus("y")
+        t2 = ctx.explore("y", "g")
+        ctx.drop_var("y")  # y out of scope, tracking becomes a ghost
+        prune(ctx, frozenset({"x"}))
+        assert ctx.tracked_region_of("x") is None
+        assert not ctx.has_region(t1)
+        assert not ctx.has_region(t2)
+
+    def test_pinned_left_alone(self):
+        ctx, region = base_ctx()
+        ctx.focus("x")
+        ctx.tracked_var("x").pinned = True
+        ctx.tracking(region).pinned = True
+        prune(ctx, frozenset({"x"}))
+        assert ctx.tracked_region_of("x") == region
+
+
+class TestMatchContexts:
+    def test_identical_contexts(self):
+        a, _ = base_ctx()
+        b = a.clone()
+        _ren, sa, sb = match_contexts(a, b, frozenset({"x"}))
+        assert a.snapshot() == b.snapshot()
+
+    def test_renaming_alignment(self):
+        a, _ = base_ctx()
+        b, _ = base_ctx()
+        # Different supplies would clash; rebuild b with offset ids.
+        b = StaticContext(RegionSupply(100))
+        rb = b.fresh_region()
+        b.bind("x", NODE, rb)
+        _ren, sa, sb = match_contexts(a, b, frozenset({"x"}))
+        assert a.snapshot() == b.snapshot()
+        assert any(s.rule == "W-RenameAll" for s in sb)
+
+    def test_tracking_mismatch_reconciled_by_retract(self):
+        a, ra = base_ctx()
+        b = a.clone()
+        a.focus("x")
+        a.explore("x", "f")
+        _ren, sa, sb = match_contexts(a, b, frozenset({"x"}))
+        assert a.snapshot() == b.snapshot()
+        assert a.tracked_region_of("x") is None  # richer side weakened
+
+    def test_partition_coarsening(self):
+        # Side A: x,y share a region; side B: separate regions → B attaches.
+        a = StaticContext(RegionSupply())
+        r = a.fresh_region()
+        a.bind("x", NODE, r)
+        a.bind("y", NODE, r)
+        b = StaticContext(RegionSupply(10))
+        b.bind("x", NODE, b.fresh_region())
+        b.bind("y", NODE, b.fresh_region())
+        _ren, sa, sb = match_contexts(a, b, frozenset({"x", "y"}))
+        assert a.snapshot() == b.snapshot()
+        assert any(s.rule == "V5-Attach" for s in sb)
+
+    def test_type_mismatch_rejected(self):
+        a, _ = base_ctx()
+        b = StaticContext(RegionSupply(10))
+        b.bind("x", ast.StructType("other"), b.fresh_region())
+        with pytest.raises(UnificationError):
+            match_contexts(a, b, frozenset({"x"}))
+
+    def test_live_divergence_rejected(self):
+        a, _ = base_ctx()
+        b = StaticContext(RegionSupply(10))  # x missing on side B
+        with pytest.raises(UnificationError):
+            match_contexts(a, b, frozenset({"x"}))
+
+    def test_bottom_fields_aligned(self):
+        a, _ = base_ctx()
+        b = a.clone()
+        for ctx in (a, b):
+            ctx.focus("x")
+            ctx.explore("x", "f")
+        a.invalidate_field("x", "f")
+        # Keep f's target alive on b so it cannot just be retracted.
+        b.bind("y", NODE, b.tracked_var("x").fields["f"])
+        a.bind("y", NODE, a.fresh_region())
+        _ren, sa, sb = match_contexts(a, b, frozenset({"x", "y"}))
+        assert a.snapshot() == b.snapshot()
+
+
+class TestStepReplay:
+    def test_all_steps_replayable(self):
+        ctx, region = base_ctx()
+        trace = [
+            Step("V1-Focus", ("x",)),
+            Step("V3-Explore", ("x", "f", Region(77))),
+            Step("W-Bind", ("y", "node", Region(77))),
+            Step("W-InvalidateField", ("x", "f")),
+            Step("W-DropVar", ("y",)),
+        ]
+        for step in trace:
+            apply_step(ctx, step)
+        assert ctx.tracked_var("x").fields["f"] is None
+
+    def test_replay_rejects_violations(self):
+        ctx, region = base_ctx()
+        with pytest.raises(ContextError):
+            apply_step(ctx, Step("V2-Unfocus", ("x",)))  # not focused
+
+    def test_fresh_region_collision_rejected(self):
+        ctx, region = base_ctx()
+        with pytest.raises(ContextError):
+            apply_step(ctx, Step("W-FreshRegion", (region,)))
+
+    def test_unknown_step_rejected(self):
+        ctx, _ = base_ctx()
+        with pytest.raises(ContextError):
+            apply_step(ctx, Step("V9-Nonsense", ()))
+
+    def test_rename_all_requires_injectivity(self):
+        ctx, region = base_ctx()
+        other = ctx.fresh_region()
+        with pytest.raises(ContextError):
+            apply_step(
+                ctx,
+                Step("W-RenameAll", (((region, Region(50)), (other, Region(50))),)),
+            )
+
+
+class TestSearchUnify:
+    def test_search_finds_simple_unifier(self):
+        a, _ = base_ctx()
+        b = a.clone()
+        a.focus("x")
+        found_a, found_b, pa, pb = search_unify(a, b, frozenset({"x"}))
+        assert found_a.snapshot() == found_b.snapshot()
+
+    def test_search_matches_greedy_on_tracking(self):
+        a, _ = base_ctx()
+        b = a.clone()
+        a.focus("x")
+        a.explore("x", "f")
+        found_a, found_b, pa, pb = search_unify(a, b, frozenset({"x"}))
+        assert found_a.snapshot() == found_b.snapshot()
+
+    def test_search_failure_raises(self):
+        a, _ = base_ctx()
+        b = StaticContext(RegionSupply(10))
+        b.bind("x", NODE, b.fresh_region())
+        b.bind("w", NODE, b.fresh_region())
+        with pytest.raises(UnificationError):
+            # Γ domains differ and weakening of live vars is not allowed.
+            search_unify(a, b, frozenset({"x", "w"}), max_depth=2)
+
+    def test_search_records_replayable_paths(self):
+        a, _ = base_ctx()
+        b = a.clone()
+        a.focus("x")
+        found_a, found_b, pa, pb = search_unify(a, b, frozenset({"x"}))
+        replay = a.clone()
+        for step in pa:
+            apply_step(replay, step)
+        assert replay.snapshot() == found_a.snapshot()

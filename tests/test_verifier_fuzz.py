@@ -1,0 +1,110 @@
+"""Property-based verifier adversary: random load-bearing mutations of
+valid derivations must always be rejected.
+
+Mutations chosen to be semantically load-bearing (not cosmetic):
+
+* forging a node's result region to a region that does not exist;
+* deleting a recorded virtual-transformation step — restricted to step
+  kinds that always change the context (a ``W-Bind`` re-binding a variable
+  to its current region, or a ``T7-SetField`` re-pointing a field at its
+  current target, is a genuine no-op: dropping it leaves the derivation
+  *valid*, and the verifier rightly accepts it);
+* re-pointing a node's post snapshot at its pre snapshot when the node has
+  steps (claiming the steps had no effect).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.checker import Checker
+from repro.core.derivation import Derivation
+from repro.corpus import corpus_names, load_program
+from repro.verifier import VerificationError, Verifier
+
+
+def _all_nodes(pd):
+    out = []
+
+    def walk(node: Derivation):
+        out.append(node)
+        for child in node.children:
+            walk(child)
+
+    for fd in pd.funcs.values():
+        walk(fd.body)
+    return out
+
+
+def _fresh_derivation(name):
+    program = load_program(name)
+    return program, Checker(program).check_program()
+
+
+@given(
+    st.sampled_from(corpus_names()),
+    st.randoms(use_true_random=False),
+    st.sampled_from(["forge_region", "drop_step", "flatten_effect"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_mutations_rejected(name, rng, mutation):
+    program, pd = _fresh_derivation(name)
+    nodes = _all_nodes(pd)
+
+    if mutation == "forge_region":
+        candidates = [n for n in nodes if n.region is not None]
+        if not candidates:
+            return
+        node = rng.choice(candidates)
+        node.region = 424_242
+    elif mutation == "drop_step":
+        effectful = (
+            "V1-Focus",
+            "V2-Unfocus",
+            "V3-Explore",
+            "V4-Retract",
+            "V5-Attach",
+            "W-FreshRegion",
+            "W-DropRegion",
+            "W-InvalidateField",
+            "T16-ConsumeRegion",
+            "W-GhostRename",
+        )
+        candidates = [
+            (n, i)
+            for n in nodes
+            for i, s in enumerate(n.steps)
+            if s.rule in effectful
+            # Unfocusing a variable right before its whole region is
+            # dropped is pure bookkeeping: removing such a step yields a
+            # *valid* alternative derivation (W-DropRegion subsumes it), so
+            # exits that end in region drops are excluded.
+            and not (
+                s.rule == "V2-Unfocus"
+                and n.rule == "T0-Function-Definition"
+            )
+        ]
+        if not candidates:
+            return
+        node, index = rng.choice(candidates)
+        steps = list(node.steps)
+        steps.pop(index)
+        node.steps = tuple(steps)
+    else:  # flatten_effect
+        candidates = [
+            n for n in nodes if n.steps and n.pre != n.post
+        ]
+        if not candidates:
+            return
+        node = rng.choice(candidates)
+        node.post = node.pre
+
+    with pytest.raises(VerificationError):
+        Verifier(program).verify_program(pd)
+
+
+@given(st.sampled_from(corpus_names()))
+@settings(max_examples=10, deadline=None)
+def test_unmutated_always_verifies(name):
+    program, pd = _fresh_derivation(name)
+    assert Verifier(program).verify_program(pd) > 0
