@@ -1,16 +1,28 @@
 #!/usr/bin/env python3
 """Regenerate every table/figure-level result (the EXPERIMENTS.md data).
 
-Runs the E1–E7 experiment series directly (no pytest) and prints the
+Runs the E1–E8 experiment series directly (no pytest) and prints the
 tables; `python benchmarks/run_experiments.py`.
+
+Every experiment runs inside a fresh telemetry registry and writes its
+metrics as structured JSON (`E1_metrics.json`, ...) to ``--metrics-dir``
+(default: ``benchmarks/metrics/``); the documents follow
+``benchmarks/metrics.schema.json``.  A failing experiment no longer takes
+the others down: failures are collected, reported, and turn into a
+nonzero exit status.
+
+    python benchmarks/run_experiments.py [--only E2,E4] [--metrics-dir DIR]
 """
 
+import argparse
 import sys
 import time
+import traceback
 from pathlib import Path
 
 sys.setrecursionlimit(100_000)
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 
 def e1_table1():
@@ -233,17 +245,75 @@ def e8_semantics_agreement():
     print()
 
 
-def main() -> None:
-    e1_table1()
-    e2_checker_speed()
-    e3_disconnected()
-    e4_search()
-    e5_reservation_overhead()
-    e6_writes()
-    e7_concurrency()
-    e8_semantics_agreement()
+EXPERIMENTS = (
+    ("E1", e1_table1),
+    ("E2", e2_checker_speed),
+    ("E3", e3_disconnected),
+    ("E4", e4_search),
+    ("E5", e5_reservation_overhead),
+    ("E6", e6_writes),
+    ("E7", e7_concurrency),
+    ("E8", e8_semantics_agreement),
+)
+
+
+def main(argv=None) -> int:
+    from repro import telemetry
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="IDS",
+        help="comma-separated experiment ids to run (e.g. E2,E4)",
+    )
+    parser.add_argument(
+        "--metrics-dir",
+        default=str(Path(__file__).resolve().parent / "metrics"),
+        metavar="DIR",
+        help="where to write the per-experiment *_metrics.json documents",
+    )
+    args = parser.parse_args(argv)
+
+    selected = EXPERIMENTS
+    if args.only:
+        wanted = {ident.strip().upper() for ident in args.only.split(",")}
+        unknown = wanted - {ident for ident, _fn in EXPERIMENTS}
+        if unknown:
+            parser.error(f"unknown experiment ids: {sorted(unknown)}")
+        selected = [(i, fn) for i, fn in EXPERIMENTS if i in wanted]
+
+    metrics_dir = Path(args.metrics_dir)
+    metrics_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = []
+    for ident, experiment in selected:
+        # Fresh registry per experiment so each JSON document holds one
+        # experiment's metrics only.
+        reg = telemetry.enable()
+        t0 = time.perf_counter()
+        try:
+            experiment()
+        except Exception:
+            failures.append(ident)
+            print(f"!! {ident} FAILED:", file=sys.stderr)
+            traceback.print_exc()
+            print()
+        finally:
+            telemetry.disable()
+            reg.counter("experiment.wall_ms").value = int(
+                (time.perf_counter() - t0) * 1000
+            )
+            out = metrics_dir / f"{ident}_metrics.json"
+            out.write_text(telemetry.export_json(reg))
+
+    print(f"metrics written to {metrics_dir}/")
+    if failures:
+        print(f"FAILED experiments: {', '.join(failures)}", file=sys.stderr)
+        return 1
     print("all experiments regenerated")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

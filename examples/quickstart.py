@@ -22,6 +22,10 @@ struct sll_node {
 
 struct sll { iso hd : sll_node?; }
 
+// A non-iso container: `kept` lives in the box's own region, so storing
+// into it merges the payload's region with the box's (V5-Attach).
+struct box { kept : data?; }
+
 def make_list(n : int) : sll {
   let l = new sll();
   while (n > 0) {
@@ -47,8 +51,12 @@ def remove_tail(n : sll_node) : data? {
 
 def demo() : int {
   let l = make_list(5);
+  let b = new box();
   let some(h) = l.hd in {
-    let some(d) = remove_tail(h) in { d.v } else { 0 - 1 }
+    let some(d) = remove_tail(h) in {
+      b.kept = some(d);               // attach d's region into b's
+      let some(k) = b.kept in { k.v } else { 0 - 3 }
+    } else { 0 - 1 }
   } else { 0 - 2 }
 }
 """

@@ -6,9 +6,19 @@ Commands:
 * ``verify FILE``           — check, then independently verify the derivation.
 * ``run FILE FN [ARGS...]`` — run a function single-threaded (int/bool args).
 * ``derivation FILE FN``    — print the typing derivation of one function.
+* ``stats FILE [FN]``       — check + verify + run with telemetry, print metrics.
 * ``regions FILE FN [N]``   — run FN(N) and draw the dynamic region graph.
 * ``table1``                — regenerate the Table 1 comparison matrix.
 * ``corpus``                — list, check, and verify the bundled corpus.
+
+``check``/``run``/``verify``/``stats`` all accept ``--metrics-json FILE``
+to dump the telemetry registry as structured JSON (schema
+``repro-telemetry/1``; see docs/OBSERVABILITY.md), and ``run`` accepts
+``--trace-json FILE`` to export the heap-event trace as JSON lines.
+
+``FILE`` is normally FCL source; a ``.py`` file works too if it embeds its
+program in a module-level ``SOURCE = \"\"\"...\"\"\"`` literal (the style of
+``examples/``), so ``repro stats examples/quickstart.py`` just works.
 """
 
 from __future__ import annotations
@@ -31,11 +41,38 @@ from .verifier import VerificationError, Verifier
 _SOURCES: dict = {}
 
 
+def _extract_embedded_source(path: str, text: str) -> str:
+    """FCL source embedded in a Python example: the module-level
+    ``SOURCE = \"\"\"...\"\"\"`` string literal."""
+    import ast as pyast
+
+    try:
+        tree = pyast.parse(text)
+    except SyntaxError as exc:
+        raise SystemExit(f"error: {path}: not valid Python: {exc}")
+    for node in tree.body:
+        if not isinstance(node, pyast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, pyast.Name)
+                and target.id == "SOURCE"
+                and isinstance(node.value, pyast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                return node.value.value
+    raise SystemExit(
+        f"error: {path}: no module-level SOURCE string literal found"
+    )
+
+
 def _load(path: str):
     try:
         source = Path(path).read_text()
     except OSError as exc:
         raise SystemExit(f"error: cannot read {path}: {exc}")
+    if path.endswith(".py"):
+        source = _extract_embedded_source(path, source)
     _SOURCES[path] = source
     try:
         return parse_program(source)
@@ -145,7 +182,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             _report_type_error(args.file, exc)
             return 1
     tracer = None
-    if args.trace:
+    if args.trace or args.trace_json:
         from .runtime.trace import Tracer
 
         tracer = Tracer()
@@ -162,7 +199,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"runtime error: {exc}", file=sys.stderr)
         return 3
     print(_show(result, heap))
-    if tracer is not None:
+    if args.trace_json:
+        import json
+
+        try:
+            with open(args.trace_json, "w") as fh:
+                for event in tracer.to_dicts():
+                    fh.write(json.dumps(event) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.trace_json}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"wrote {len(tracer)} trace events to {args.trace_json}"
+            + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""),
+            file=sys.stderr,
+        )
+    if args.trace:
         print(tracer.render(last=args.trace), file=sys.stderr)
     if args.stats:
         print(
@@ -184,6 +236,61 @@ def cmd_derivation(args: argparse.Namespace) -> int:
         print(f"error: no function {args.function!r}", file=sys.stderr)
         return 1
     print(derivation.funcs[args.function].body.render())
+    return 0
+
+
+def _pick_entry(program) -> Optional[str]:
+    """The function ``repro stats`` runs when none is named: ``main`` or
+    ``demo`` if present, else the first zero-parameter function."""
+    for name in ("main", "demo"):
+        if name in program.funcs and not program.funcs[name].params:
+            return name
+    for name, fdef in program.funcs.items():
+        if not fdef.params:
+            return name
+    return None
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Check + verify + run one program with telemetry on; print the
+    metrics table (and export JSON via the shared --metrics-json flag)."""
+    from . import telemetry
+
+    program = _load(args.file)
+    try:
+        derivation = Checker(program).check_program()
+    except TypeError_ as exc:
+        _report_type_error(args.file, exc)
+        return 1
+    try:
+        nodes = Verifier(program).verify_program(derivation)
+    except VerificationError as exc:
+        print(f"{args.file}: VERIFICATION FAILED: {exc}", file=sys.stderr)
+        return 2
+    fname = args.function or _pick_entry(program)
+    ran = ""
+    if fname is not None:
+        if fname not in program.funcs:
+            print(f"error: no function {fname!r}", file=sys.stderr)
+            return 1
+        heap = Heap()
+        try:
+            run_function(
+                program,
+                fname,
+                _parse_args(args.args),
+                heap=heap,
+                sink_sends=True,
+            )
+        except Exception as exc:
+            print(f"runtime error in {fname}: {exc}", file=sys.stderr)
+            return 3
+        ran = f"; ran {fname}()"
+    print(
+        f"{args.file}: checked + verified ({nodes} derivation nodes){ran}"
+    )
+    print()
+    print(telemetry.render_table(telemetry.registry()))
     return 0
 
 
@@ -275,12 +382,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def metrics_flag(p):
+        p.add_argument(
+            "--metrics-json",
+            metavar="FILE",
+            default=None,
+            help="enable telemetry and write the registry as JSON to FILE",
+        )
+
     p = sub.add_parser("check", help="type-check an FCL program")
     p.add_argument("file")
+    metrics_flag(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("verify", help="check and independently verify")
     p.add_argument("file")
+    metrics_flag(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("run", help="run a function single-threaded")
@@ -307,12 +424,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also erase the dynamic reservation checks",
     )
+    p.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        default=None,
+        help="write the heap-event trace as JSON lines to FILE",
+    )
+    metrics_flag(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("derivation", help="print a typing derivation")
     p.add_argument("file")
     p.add_argument("function")
     p.set_defaults(func=cmd_derivation)
+
+    p = sub.add_parser(
+        "stats", help="check + verify + run with telemetry, print metrics"
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "function",
+        nargs="?",
+        default=None,
+        help="entry function to run (default: main/demo/first zero-arg)",
+    )
+    p.add_argument("args", nargs="*")
+    metrics_flag(p)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("prove", help="emit a JSON derivation certificate")
     p.add_argument("file")
@@ -350,15 +488,36 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     sys.setrecursionlimit(100_000)
     args = build_parser().parse_args(argv)
+    metrics_path = getattr(args, "metrics_json", None)
+    reg = None
+    if metrics_path or args.command == "stats":
+        from . import telemetry
+
+        reg = telemetry.enable()
     try:
-        return args.func(args)
+        code = args.func(args)
     except BrokenPipeError:
         # Output piped into a pager/head that exited early: not an error.
         try:
             sys.stdout.close()
         except OSError:
             pass
-        return 0
+        code = 0
+    finally:
+        if reg is not None:
+            from . import telemetry
+
+            telemetry.disable()
+    if reg is not None and metrics_path:
+        from . import telemetry
+
+        try:
+            Path(metrics_path).write_text(telemetry.export_json(reg))
+        except OSError as exc:
+            print(f"error: cannot write {metrics_path}: {exc}", file=sys.stderr)
+            return code or 1
+        print(f"wrote metrics to {metrics_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..lang import ast, pretty
+from ..telemetry import registry as _telemetry
 from .contexts import StaticContext
 from .derivation import Derivation, FuncDerivation, ProgramDerivation
 from .errors import (
@@ -98,14 +99,28 @@ class Checker:
 
     def check_program(self) -> ProgramDerivation:
         """Check every function; raises the first type error found."""
-        funcs = {
-            name: self.check_function(name) for name in sorted(self.program.funcs)
-        }
+        tel = _telemetry()
+        if not tel.enabled:
+            funcs = {
+                name: self.check_function(name)
+                for name in sorted(self.program.funcs)
+            }
+            return ProgramDerivation(funcs=funcs)
+        with tel.span("check.program"):
+            funcs = {
+                name: self.check_function(name)
+                for name in sorted(self.program.funcs)
+            }
+            tel.inc("checker.functions", len(funcs))
         return ProgramDerivation(funcs=funcs)
 
     def check_function(self, name: str) -> FuncDerivation:
         fdef = self.program.func(name)
-        return _FuncChecker(self, fdef).check()
+        tel = _telemetry()
+        if not tel.enabled:
+            return _FuncChecker(self, fdef).check()
+        with tel.span(f"check.fn.{name}"):
+            return _FuncChecker(self, fdef).check()
 
     # Convenience predicates used by examples/baselines.
 
@@ -130,6 +145,23 @@ class _FuncChecker:
         self.liveness = Liveness(fdef)
         self.supply = RegionSupply()
         self._ghost_counter = 0
+        self._tel = _telemetry()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def _note(self, rule: str, *step_seqs: Sequence[Step]) -> None:
+        """Account one rule application and every step it recorded.
+        Virtual transformations (V1–V5) get their own counter family."""
+        tel = self._tel
+        if not tel.enabled:
+            return
+        tel.inc(f"checker.rule.{rule}")
+        for steps in step_seqs:
+            for step in steps:
+                prefix = "checker.vt." if step.rule.startswith("V") else "checker.step."
+                tel.inc(prefix + step.rule)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -195,6 +227,7 @@ class _FuncChecker:
             if pname not in self.ftype.consumes
         ) | {RESULT}
         steps = self._unify_onto(target, ctx, live)
+        self._note("T0-Function-Definition", steps)
 
         output_snap = target.snapshot()
         deriv = Derivation(
@@ -225,14 +258,21 @@ class _FuncChecker:
     ) -> List[Step]:
         """Unify ``ctx`` onto the fixed ``target`` (function exit)."""
         declared = target.snapshot()
+        tel = self._tel
         if self.profile.use_liveness_oracle:
             try:
                 _renaming, _steps_t, steps_c = match_contexts(target, ctx, live)
                 if target.snapshot() == declared:
+                    if tel.enabled:
+                        tel.inc("checker.oracle.hits")
                     return steps_c
             except UnificationError:
                 pass
+            if tel.enabled:
+                tel.inc("checker.oracle.misses")
         try:
+            if tel.enabled:
+                tel.inc("checker.join.search_fallbacks")
             unified_t, _unified_c, _pa, steps_c = search_unify(target, ctx, live)
             if unified_t.snapshot() == declared:
                 return steps_c
@@ -261,6 +301,15 @@ class _FuncChecker:
         if handler is None:
             raise TypeError_(f"cannot type expression {type(node).__name__}", node.span)
         value, rule, steps, children, meta = handler(self, node, ctx, expected)
+        if self._tel.enabled:
+            self._note(
+                rule,
+                steps,
+                meta.get("intro_steps", ()),
+                meta.get("join_then", ()),
+                meta.get("join_else", ()),
+                meta.get("loop_steps", ()),
+            )
         deriv = Derivation(
             rule=rule,
             expr=_short(node),
@@ -559,6 +608,7 @@ class _FuncChecker:
         live_all = live | {RESULT}
 
         base_ctx = branches[0][1]
+        tel = self._tel
         if len(branches) == 2:
             other_ctx = branches[1][1]
             done = False
@@ -568,9 +618,14 @@ class _FuncChecker:
                     per_branch[0].extend(sa)
                     per_branch[1].extend(sb)
                     done = True
+                    if tel.enabled:
+                        tel.inc("checker.oracle.hits")
                 except UnificationError:
-                    pass
+                    if tel.enabled:
+                        tel.inc("checker.oracle.misses")
             if not done:
+                if tel.enabled:
+                    tel.inc("checker.join.search_fallbacks")
                 base_ctx, _other, sa, sb = search_unify(
                     base_ctx, other_ctx, live_all
                 )
@@ -651,17 +706,25 @@ class _FuncChecker:
             _val, body_deriv = self.check_expr(node.body, body_ctx, None)
             # The body's final context must re-establish the entry context.
             loop_steps: List[Step] = []
+            tel = self._tel
             if self.profile.use_liveness_oracle:
                 try:
                     _ren, sa, sb = match_contexts(ctx, body_ctx, live_loop)
                     steps.extend(sa)
                     loop_steps = sb
+                    if tel.enabled:
+                        tel.inc("checker.oracle.hits")
                 except UnificationError:
+                    if tel.enabled:
+                        tel.inc("checker.oracle.misses")
+                        tel.inc("checker.join.search_fallbacks")
                     unified_a, _b, sa, sb = search_unify(ctx, body_ctx, live_loop)
                     self._replace_ctx(ctx, unified_a)
                     steps.extend(sa)
                     loop_steps = sb
             else:
+                if tel.enabled:
+                    tel.inc("checker.join.search_fallbacks")
                 unified_a, _b, sa, sb = search_unify(ctx, body_ctx, live_loop)
                 self._replace_ctx(ctx, unified_a)
                 steps.extend(sa)
@@ -1079,6 +1142,7 @@ class _FuncChecker:
             for fieldname, region in iso_inits:
                 tv.fields[fieldname] = region
                 steps.append(Step("T7-SetField", (name, fieldname, region)))
+        self._note("T10-New-Loc", steps)
         deriv = Derivation(
             rule="T10-New-Loc",
             expr=_short(node),

@@ -28,6 +28,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
+from ..telemetry import registry as _telemetry
 from .contexts import ContextError, StaticContext
 from .errors import UnificationError
 from .regions import Region, RegionRenaming
@@ -533,18 +534,25 @@ def match_contexts(
     Returns the B→A renaming plus the steps applied per side.  Raises
     :class:`UnificationError` when the greedy procedure gets stuck.
     """
+    tel = _telemetry()
+    if tel.enabled:
+        tel.inc("unify.greedy.calls")
     steps_a = prune(ctx_a, live, protect)
     steps_b = prune(ctx_b, live, protect)
 
     if set(ctx_a.gamma) != set(ctx_b.gamma):
         only_a = set(ctx_a.gamma) - set(ctx_b.gamma)
         only_b = set(ctx_b.gamma) - set(ctx_a.gamma)
+        if tel.enabled:
+            tel.inc("unify.greedy.failures")
         raise UnificationError(
             "branches disagree on live variables: "
             f"only-left={sorted(only_a)} only-right={sorted(only_b)}"
         )
     for name in ctx_a.gamma:
         if str(ctx_a.gamma[name].ty) != str(ctx_b.gamma[name].ty):
+            if tel.enabled:
+                tel.inc("unify.greedy.failures")
             raise UnificationError(
                 f"variable {name!r} has type {ctx_a.gamma[name].ty} in one "
                 f"branch and {ctx_b.gamma[name].ty} in the other"
@@ -558,6 +566,9 @@ def match_contexts(
         renaming, merges_a, merges_b = _build_renaming(ctx_a, ctx_b)
         if not merges_a and not merges_b and _snapshots_match(ctx_a, ctx_b, renaming):
             _finish_match(ctx_a, ctx_b, renaming, steps_b)
+            if tel.enabled:
+                tel.inc("unify.greedy.matches")
+                tel.inc("unify.steps", len(steps_a) + len(steps_b))
             return renaming, steps_a, steps_b
         merged = False
         for ctx, merges, steps in (
@@ -584,7 +595,12 @@ def match_contexts(
     renaming, merges_a, merges_b = _build_renaming(ctx_a, ctx_b)
     if not merges_a and not merges_b and _snapshots_match(ctx_a, ctx_b, renaming):
         _finish_match(ctx_a, ctx_b, renaming, steps_b)
+        if tel.enabled:
+            tel.inc("unify.greedy.matches")
+            tel.inc("unify.steps", len(steps_a) + len(steps_b))
         return renaming, steps_a, steps_b
+    if tel.enabled:
+        tel.inc("unify.greedy.failures")
     raise UnificationError(
         "could not unify branch contexts:\n"
         f"  left : {ctx_a}\n  right: {ctx_b}"
@@ -639,6 +655,9 @@ def search_unify(
     contrast with the liveness-oracle greedy path, and by the checker as a
     fallback.
     """
+    tel = _telemetry()
+    if tel.enabled:
+        tel.inc("unify.search.calls")
     start_a = ctx_a.clone()
     start_b = ctx_b.clone()
     steps0_a = prune(start_a, live)
@@ -677,6 +696,9 @@ def search_unify(
     seen_b: Dict[Tuple, State] = dict(frontier_b)
 
     def finish(key: Tuple) -> Tuple[StaticContext, StaticContext, List[Step], List[Step]]:
+        if tel.enabled:
+            tel.inc("unify.search.matches")
+            tel.inc("unify.search.states", len(seen_a) + len(seen_b))
         found_a, path_a = seen_a[key]
         found_b, path_b = seen_b[key]
         # Align region names: both normalize to `key`, so mapping each
@@ -723,6 +745,9 @@ def search_unify(
     common = set(seen_a) & set(seen_b)
     if common:
         return finish(sorted(common)[0])
+    if tel.enabled:
+        tel.inc("unify.search.failures")
+        tel.inc("unify.search.states", len(seen_a) + len(seen_b))
     raise UnificationError("bounded search failed to unify branch contexts")
 
 

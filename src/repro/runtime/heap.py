@@ -105,7 +105,9 @@ class Heap:
             if not decl.is_iso and is_loc(value):
                 self.obj(value).stored_refcount += 1
         if self.tracer is not None:
-            self.tracer.record("alloc", loc, struct=sdef.name)
+            self.tracer.record(
+                "alloc", loc, struct=sdef.name, fields=dict(fields)
+            )
         return loc
 
     # -- field access -----------------------------------------------------------

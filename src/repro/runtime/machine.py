@@ -27,8 +27,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..lang import ast
+from ..telemetry import registry as _telemetry
 from .disconnect import DisconnectStats, efficient_disconnected, naive_disconnected
 from .heap import Heap
+from .trace import RECV as TRACE_RECV
+from .trace import SEND as TRACE_SEND
 from .values import NONE, UNIT, Loc, RuntimeValue, is_loc
 
 
@@ -85,7 +88,34 @@ class ThreadStats:
     steps: int = 0
     sends: int = 0
     recvs: int = 0
+    #: Dynamic reservation checks performed (fig 7's pervasive checks).
+    reservation_checks: int = 0
+    #: Cumulative cost of those checks: 1 per membership test, plus the
+    #: live-set size for each send's containment check.
+    reservation_cost: int = 0
+    #: Times the scheduler advanced this thread.
+    scheduled: int = 0
+    #: Scheduler iterations this thread spent blocked on send/recv.
+    blocked_ticks: int = 0
     disconnect_checks: List[DisconnectStats] = field(default_factory=list)
+
+
+def publish_thread_stats(stats: ThreadStats) -> None:
+    """Fold one thread's counters into the active telemetry registry
+    (no-op when telemetry is disabled)."""
+    tel = _telemetry()
+    if not tel.enabled:
+        return
+    tel.inc("machine.steps", stats.steps)
+    tel.inc("machine.sends", stats.sends)
+    tel.inc("machine.recvs", stats.recvs)
+    tel.inc("machine.reservation_checks", stats.reservation_checks)
+    tel.inc("machine.reservation_cost", stats.reservation_cost)
+    tel.inc("machine.scheduled", stats.scheduled)
+    tel.inc("machine.blocked_ticks", stats.blocked_ticks)
+    tel.inc("machine.disconnect_checks", len(stats.disconnect_checks))
+    for dstats in stats.disconnect_checks:
+        tel.observe("machine.disconnect.objects_visited", dstats.objects_visited)
 
 
 class Interpreter:
@@ -118,6 +148,8 @@ class Interpreter:
     def _guard(self, value: RuntimeValue) -> RuntimeValue:
         """The dynamic reservation check applied on every location use."""
         if self.check_reservations and is_loc(value):
+            self.stats.reservation_checks += 1
+            self.stats.reservation_cost += 1
             if value not in self.reservation:
                 raise ReservationViolation(
                     f"access to {value} outside the thread's reservation"
@@ -266,10 +298,14 @@ class Interpreter:
             value = yield from self._eval(node.value, env)
             root = self._as_loc(value, node)
             live = self.heap.live_set(root)
-            if self.check_reservations and not live <= self.reservation:
-                raise ReservationViolation(
-                    "send: the live set leaks outside the sender's reservation"
-                )
+            if self.check_reservations:
+                # The send containment check walks the whole live set.
+                self.stats.reservation_checks += 1
+                self.stats.reservation_cost += len(live)
+                if not live <= self.reservation:
+                    raise ReservationViolation(
+                        "send: the live set leaks outside the sender's reservation"
+                    )
             self.stats.sends += 1
             yield (EV_SEND, self.heap.obj(root).struct.name, root, live)
             return UNIT
@@ -388,6 +424,8 @@ class Machine:
         self.preemptive = preemptive
         self.rng = random.Random(seed)
         self.threads: List[Thread] = []
+        #: Completed send/recv pairings (EC3 steps).
+        self.rendezvous = 0
 
     def spawn(self, func: str, args: Iterable[RuntimeValue] = ()) -> Thread:
         interp = Interpreter(
@@ -431,6 +469,23 @@ class Machine:
         Raises DeadlockError when all remaining threads block, and
         re-raises the first thread failure (including reservation
         violations)."""
+        tel = _telemetry()
+        if not tel.enabled:
+            self._run(max_steps)
+            return
+        reads0, writes0 = self.heap.reads, self.heap.writes
+        try:
+            with tel.span("machine.run"):
+                self._run(max_steps)
+        finally:
+            tel.inc("machine.threads", len(self.threads))
+            tel.inc("machine.rendezvous", self.rendezvous)
+            tel.inc("machine.heap_reads", self.heap.reads - reads0)
+            tel.inc("machine.heap_writes", self.heap.writes - writes0)
+            for t in self.threads:
+                publish_thread_stats(t.interp.stats)
+
+    def _run(self, max_steps: int) -> None:
         for _ in range(max_steps):
             self._match_rendezvous()
             runnable = [t for t in self.threads if t.state == READY]
@@ -446,6 +501,9 @@ class Machine:
                     f"thread {t.ident}: {t.state}({t.pending[1]})" for t in blocked
                 )
                 raise DeadlockError(f"all threads blocked — {states}")
+            for t in self.threads:
+                if t.state in (BLOCKED_SEND, BLOCKED_RECV):
+                    t.interp.stats.blocked_ticks += 1
             thread = self.rng.choice(runnable)
             self._advance(thread)
             for t in self.threads:
@@ -454,6 +512,9 @@ class Machine:
         raise MachineError("scheduler step budget exhausted")
 
     def _advance(self, thread: Thread) -> None:
+        thread.interp.stats.scheduled += 1
+        if self.heap.tracer is not None:
+            self.heap.tracer.current_thread = thread.ident
         try:
             if thread.inbox is not None:
                 value, thread.inbox = thread.inbox, None
@@ -493,6 +554,14 @@ class Machine:
             receivers.remove(receiver)
             # EC3 Communication-Paired-Step (fig 15): the live set moves
             # from the sender's reservation to the receiver's.
+            self.rendezvous += 1
+            if self.heap.tracer is not None:
+                self.heap.tracer.record(
+                    TRACE_SEND, root, struct=sent_struct, thread=sender.ident
+                )
+                self.heap.tracer.record(
+                    TRACE_RECV, root, struct=sent_struct, thread=receiver.ident
+                )
             sender.reservation.difference_update(live)
             receiver.reservation.update(live)
             sender.inbox = UNIT
@@ -539,6 +608,11 @@ def run_function(
         disconnect=disconnect,
     )
     gen = interp.call(name, args)
+    tel = _telemetry()
+    reads0, writes0 = heap.reads, heap.writes
+    span = tel.span(f"machine.fn.{name}") if tel.enabled else None
+    if span is not None:
+        span.__enter__()
     try:
         event = None
         while True:
@@ -558,3 +632,11 @@ def run_function(
                 )
     except StopIteration as stop:
         return stop.value, interp
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
+        if tel.enabled:
+            publish_thread_stats(interp.stats)
+            tel.inc("machine.heap_reads", heap.reads - reads0)
+            tel.inc("machine.heap_writes", heap.writes - writes0)
+            tel.counter("machine.heap_objects").value = len(heap)

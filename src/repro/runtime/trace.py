@@ -1,61 +1,125 @@
-"""Heap tracing: a bounded event log of allocations, reads, and writes.
+"""Heap tracing: a bounded event log of allocations, reads, writes, and
+message transfers.
 
 Attach a :class:`Tracer` to a :class:`~repro.runtime.heap.Heap` and every
 heap operation is recorded in a ring buffer — the tool you want when a
 reservation violation fires and you need to know how the location got
-where it is.  Used by tests and available to examples/CLI users::
+where it is.  Events carry the id of the thread that performed them (the
+:class:`~repro.runtime.machine.Machine` stamps ``current_thread`` before
+advancing each thread), and rendezvous ``send``/``recv`` transfers are
+recorded as their own event kinds, so interleaved traces are attributable.
+Used by tests and available to examples/CLI users::
 
     tracer = Tracer(capacity=1000)
     heap = Heap(tracer=tracer)
     ...
     print(tracer.render(last=20))
+
+``repro run FILE FN --trace-json events.jsonl`` exports the buffer as one
+JSON object per event (see :meth:`TraceEvent.to_dict`).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional
+from typing import Any, Deque, Dict, Iterable, List, Optional
 
-from .values import Loc, RuntimeValue, is_loc
+from .values import NONE, UNIT, Loc, RuntimeValue, is_loc
 
 ALLOC = "alloc"
 READ = "read"
 WRITE = "write"
+SEND = "send"
+RECV = "recv"
 
 
 @dataclass(frozen=True)
 class TraceEvent:
     seq: int
-    kind: str  # alloc | read | write
+    kind: str  # alloc | read | write | send | recv
     loc: Loc
     fieldname: Optional[str] = None
     value: Optional[RuntimeValue] = None
     old: Optional[RuntimeValue] = None
     struct: Optional[str] = None
+    #: Initial field values of an alloc event (post-defaulting).
+    fields: Optional[Dict[str, RuntimeValue]] = None
+    #: Id of the thread that performed the operation (None outside a
+    #: Machine, e.g. single-threaded run_function).
+    thread: Optional[int] = None
 
     def render(self) -> str:
+        who = "" if self.thread is None else f" [t{self.thread}]"
         if self.kind == ALLOC:
-            return f"#{self.seq:<6d} alloc {self.loc} : {self.struct}"
+            inits = ""
+            if self.fields:
+                inits = (
+                    " {"
+                    + ", ".join(
+                        f"{k} = {_show(v)}" for k, v in self.fields.items()
+                    )
+                    + "}"
+                )
+            return f"#{self.seq:<6d} alloc {self.loc} : {self.struct}{inits}{who}"
         if self.kind == READ:
             return (
                 f"#{self.seq:<6d} read  {self.loc}.{self.fieldname} "
-                f"→ {_show(self.value)}"
+                f"→ {_show(self.value)}{who}"
             )
+        if self.kind == SEND:
+            return f"#{self.seq:<6d} send  {self.loc} : {self.struct}{who}"
+        if self.kind == RECV:
+            return f"#{self.seq:<6d} recv  {self.loc} : {self.struct}{who}"
         return (
             f"#{self.seq:<6d} write {self.loc}.{self.fieldname} "
-            f"= {_show(self.value)} (was {_show(self.old)})"
+            f"= {_show(self.value)} (was {_show(self.old)}){who}"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able form: one flat object per event; locations become
+        integers, unit/none become strings."""
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "loc": self.loc.ident,
+            "thread": self.thread,
+        }
+        if self.struct is not None:
+            out["struct"] = self.struct
+        if self.fieldname is not None:
+            out["field"] = self.fieldname
+        if self.kind == READ or self.kind == WRITE:
+            out["value"] = _json_value(self.value)
+        if self.kind == WRITE:
+            out["old"] = _json_value(self.old)
+        if self.fields is not None:
+            out["fields"] = {
+                name: _json_value(value) for name, value in self.fields.items()
+            }
+        return out
 
 
 def _show(value: Optional[RuntimeValue]) -> str:
-    from .values import NONE, UNIT
-
     if value is NONE:
         return "none"
     if value is UNIT:
         return "()"
     return str(value)
+
+
+def _json_value(value: Optional[RuntimeValue]) -> Any:
+    if is_loc(value):
+        return {"loc": value.ident}
+    if value is NONE:
+        return "none"
+    if value is UNIT:
+        return "unit"
+    return value
+
+
+def _references(value: Optional[RuntimeValue], loc: Loc) -> bool:
+    return is_loc(value) and value == loc
 
 
 class Tracer:
@@ -66,10 +130,14 @@ class Tracer:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._seq = 0
         self.dropped = 0
+        #: Stamped onto recorded events; the Machine sets this to the
+        #: ident of the thread it is about to advance.
+        self.current_thread: Optional[int] = None
 
     def record(self, event_kind: str, loc: Loc, **payload) -> None:
         if len(self._events) == self.capacity:
             self.dropped += 1
+        payload.setdefault("thread", self.current_thread)
         self._events.append(
             TraceEvent(seq=self._seq, kind=event_kind, loc=loc, **payload)
         )
@@ -80,8 +148,9 @@ class Tracer:
         kind: Optional[str] = None,
         loc: Optional[Loc] = None,
         fieldname: Optional[str] = None,
+        thread: Optional[int] = None,
     ) -> List[TraceEvent]:
-        """Events, optionally filtered by kind / location / field."""
+        """Events, optionally filtered by kind / location / field / thread."""
         out = []
         for event in self._events:
             if kind is not None and event.kind != kind:
@@ -90,15 +159,25 @@ class Tracer:
                 continue
             if fieldname is not None and event.fieldname != fieldname:
                 continue
+            if thread is not None and event.thread != thread:
+                continue
             out.append(event)
         return out
 
     def history_of(self, loc: Loc) -> List[TraceEvent]:
-        """Everything that ever happened to one location (also events whose
-        *value* references it — how did this location get stored there?)."""
+        """Everything that ever happened to one location — including events
+        whose *value* references it (how did this location get stored
+        there?) and allocations whose initial field values reference it."""
         out = []
         for event in self._events:
-            if event.loc == loc or (is_loc(event.value) and event.value == loc):
+            if (
+                event.loc == loc
+                or _references(event.value, loc)
+                or (
+                    event.fields is not None
+                    and any(_references(v, loc) for v in event.fields.values())
+                )
+            ):
                 out.append(event)
         return out
 
@@ -110,6 +189,10 @@ class Tracer:
         if self.dropped:
             lines.insert(0, f"... ({self.dropped} earlier events dropped)")
         return "\n".join(lines) if lines else "(no heap events)"
+
+    def to_dicts(self) -> Iterable[Dict[str, Any]]:
+        """All buffered events as JSON-able dicts (oldest first)."""
+        return [event.to_dict() for event in self._events]
 
     def __len__(self) -> int:
         return len(self._events)

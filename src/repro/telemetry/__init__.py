@@ -1,0 +1,59 @@
+"""Unified telemetry: counters, histograms/timers, nestable spans, and a
+structured JSON exporter — the observability layer for the checker, the
+runtime machine, and the verifier.
+
+Quick use::
+
+    from repro import telemetry
+
+    reg = telemetry.enable()          # fresh process-global registry
+    ...check / run / verify...
+    print(telemetry.render_table(reg))
+    Path("out.json").write_text(telemetry.export_json(reg))
+    telemetry.disable()
+
+Instrumented modules consult :func:`registry` and skip all work when the
+active registry is disabled (the default), so the off path costs one
+attribute check.  See ``docs/OBSERVABILITY.md`` for every metric name.
+"""
+
+from .export import (
+    SCHEMA,
+    doc_to_registry,
+    export_json,
+    load_json,
+    registry_to_doc,
+    render_table,
+)
+from .registry import (
+    Counter,
+    Histogram,
+    Registry,
+    SpanStats,
+    disable,
+    enable,
+    registry,
+    set_registry,
+    use,
+)
+from .schema import SchemaError, validate
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Histogram",
+    "Registry",
+    "SchemaError",
+    "SpanStats",
+    "disable",
+    "doc_to_registry",
+    "enable",
+    "export_json",
+    "load_json",
+    "registry",
+    "registry_to_doc",
+    "render_table",
+    "set_registry",
+    "use",
+    "validate",
+]

@@ -1,0 +1,9 @@
+"""``python -m repro.telemetry FILE [--schema PATH]`` — validate a metrics
+export document against the checked-in schema."""
+
+import sys
+
+from .schema import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Structured export of a telemetry :class:`Registry`.
+
+``registry_to_doc`` produces a plain-dict document (schema
+``repro-telemetry/1``, see ``benchmarks/metrics.schema.json``);
+``doc_to_registry`` reconstructs an equivalent registry, so exports round
+trip.  ``render_table`` is the human-facing form used by ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .registry import Histogram, Registry, SpanStats
+
+SCHEMA = "repro-telemetry/1"
+
+
+def registry_to_doc(reg: Registry) -> Dict[str, Any]:
+    """A JSON-able document with every counter, histogram, and span."""
+    spans = []
+    for (name, parent), stats in sorted(
+        reg.spans.items(), key=lambda item: (item[0][1] or "", item[0][0])
+    ):
+        spans.append(
+            {
+                "name": name,
+                "parent": parent,
+                "depth": stats.depth,
+                "count": stats.count,
+                "total_ms": stats.total_ms,
+                "min_ms": stats.min_ms,
+                "max_ms": stats.max_ms,
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "counters": {
+            name: counter.value for name, counter in sorted(reg.counters.items())
+        },
+        "histograms": {
+            name: {
+                "count": hist.count,
+                "total": hist.total,
+                "min": hist.min,
+                "max": hist.max,
+                "mean": hist.mean,
+            }
+            for name, hist in sorted(reg.histograms.items())
+        },
+        "spans": spans,
+    }
+
+
+def doc_to_registry(doc: Dict[str, Any]) -> Registry:
+    """Rebuild a registry from an exported document (inverse of
+    :func:`registry_to_doc` up to histogram mean, which is derived)."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported telemetry schema {doc.get('schema')!r}")
+    reg = Registry(enabled=True)
+    for name, value in doc.get("counters", {}).items():
+        reg.counter(name).value = int(value)
+    for name, summary in doc.get("histograms", {}).items():
+        hist = reg.histogram(name)
+        hist.count = int(summary["count"])
+        hist.total = float(summary["total"])
+        hist.min = summary["min"]
+        hist.max = summary["max"]
+    for entry in doc.get("spans", []):
+        key: Tuple[str, Optional[str]] = (entry["name"], entry.get("parent"))
+        stats = SpanStats(entry["name"], entry.get("parent"), int(entry["depth"]))
+        stats.count = int(entry["count"])
+        stats.total_ms = float(entry["total_ms"])
+        stats.min_ms = entry.get("min_ms")
+        stats.max_ms = entry.get("max_ms")
+        reg.spans[key] = stats
+    return reg
+
+
+def export_json(reg: Registry, indent: int = 1) -> str:
+    return json.dumps(registry_to_doc(reg), indent=indent, sort_keys=False)
+
+
+def load_json(text: str) -> Registry:
+    return doc_to_registry(json.loads(text))
+
+
+def render_table(reg: Registry) -> str:
+    """The metrics table printed by ``repro stats``."""
+    lines = []
+    if reg.counters:
+        lines.append("counters")
+        width = max(len(name) for name in reg.counters)
+        for name in sorted(reg.counters):
+            lines.append(f"  {name:<{width}s}  {reg.counters[name].value:>10d}")
+    if reg.histograms:
+        lines.append("histograms")
+        width = max(len(name) for name in reg.histograms)
+        for name in sorted(reg.histograms):
+            hist = reg.histograms[name]
+            lines.append(
+                f"  {name:<{width}s}  n={hist.count:<6d} mean={hist.mean:10.3f} "
+                f"min={_num(hist.min):>10s} max={_num(hist.max):>10s}"
+            )
+    if reg.spans:
+        lines.append("spans")
+        for (name, parent), stats in sorted(
+            reg.spans.items(), key=lambda item: (item[1].depth, item[0][1] or "", item[0][0])
+        ):
+            indent = "  " * (stats.depth + 1)
+            lines.append(
+                f"{indent}{name}  n={stats.count} total={stats.total_ms:.2f}ms"
+                + (f"  (under {parent})" if parent else "")
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _num(value) -> str:
+    return "-" if value is None else f"{value:.3f}"

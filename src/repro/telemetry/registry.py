@@ -1,0 +1,226 @@
+"""The telemetry registry: counters, histograms/timers, and nestable spans.
+
+Dependency-free instrumentation shared by the checker, the runtime machine,
+and the verifier.  Three primitives:
+
+* :class:`Counter` — a monotonically increasing integer (``inc``);
+* :class:`Histogram` — a streaming summary (count/total/min/max/mean) of
+  observed values; doubles as a timer via :meth:`Registry.time`;
+* spans — nestable wall-time scopes (:meth:`Registry.span`); completed
+  spans are aggregated per ``(name, parent)`` so the call structure is
+  preserved without unbounded event storage.
+
+The process-global registry is **disabled by default** and the disabled
+path is a single attribute check (``registry().enabled``), so instrumented
+code pays nothing measurable when telemetry is off.  Enable a fresh
+registry with :func:`enable`, or install a custom one with
+:func:`set_registry` (e.g. one registry per benchmark run).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A streaming summary of observed values (also the timer backend)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count} mean={self.mean:.3f})"
+
+
+class SpanStats:
+    """Aggregated completions of one span name under one parent."""
+
+    __slots__ = ("name", "parent", "depth", "count", "total_ms", "min_ms", "max_ms")
+
+    def __init__(self, name: str, parent: Optional[str], depth: int):
+        self.name = name
+        self.parent = parent
+        self.depth = depth
+        self.count = 0
+        self.total_ms = 0.0
+        self.min_ms: Optional[float] = None
+        self.max_ms: Optional[float] = None
+
+    def observe(self, ms: float) -> None:
+        self.count += 1
+        self.total_ms += ms
+        if self.min_ms is None or ms < self.min_ms:
+            self.min_ms = ms
+        if self.max_ms is None or ms > self.max_ms:
+            self.max_ms = ms
+
+
+class Registry:
+    """A bag of named metrics, swappable process-globally.
+
+    Not thread-safe by design: the repro runtime is a cooperative
+    single-OS-thread scheduler, and CPython int increments are atomic
+    enough for the crude cross-thread case.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.spans: Dict[Tuple[str, Optional[str]], SpanStats] = {}
+        self._span_stack: List[str] = []
+
+    # -- counters ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def inc(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        counter = self.counters.get(name)
+        return 0 if counter is None else counter.value
+
+    # -- histograms / timers ----------------------------------------------
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name)
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time a block into histogram ``name`` (milliseconds)."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, (time.perf_counter() - t0) * 1000.0)
+
+    # -- spans ------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """A nestable wall-time scope.  Completions aggregate per
+        ``(name, parent-span-name)`` so nesting survives aggregation."""
+        if not self.enabled:
+            yield
+            return
+        parent = self._span_stack[-1] if self._span_stack else None
+        depth = len(self._span_stack)
+        self._span_stack.append(name)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._span_stack.pop()
+            key = (name, parent)
+            stats = self.spans.get(key)
+            if stats is None:
+                stats = self.spans[key] = SpanStats(name, parent, depth)
+            stats.observe((time.perf_counter() - t0) * 1000.0)
+
+    # -- management -------------------------------------------------------
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+        self.spans.clear()
+        self._span_stack.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Registry(enabled={self.enabled}, {len(self.counters)} counters, "
+            f"{len(self.histograms)} histograms, {len(self.spans)} spans)"
+        )
+
+
+#: The permanently disabled default — instrumented code sees
+#: ``registry().enabled == False`` and skips all metric work.
+_NULL = Registry(enabled=False)
+_active = _NULL
+
+
+def registry() -> Registry:
+    """The currently active process-global registry."""
+    return _active
+
+
+def set_registry(reg: Registry) -> Registry:
+    """Install ``reg`` as the process-global registry; returns the old one."""
+    global _active
+    old = _active
+    _active = reg
+    return old
+
+
+def enable() -> Registry:
+    """Install and return a fresh enabled registry."""
+    return_new = Registry(enabled=True)
+    set_registry(return_new)
+    return return_new
+
+
+def disable() -> None:
+    """Restore the disabled default registry."""
+    set_registry(_NULL)
+
+
+@contextmanager
+def use(reg: Registry) -> Iterator[Registry]:
+    """Temporarily install ``reg`` as the global registry."""
+    old = set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(old)

@@ -1,0 +1,132 @@
+"""A minimal, dependency-free JSON Schema validator for metrics exports.
+
+Supports the subset of JSON Schema used by ``benchmarks/metrics.schema.json``
+(``type``, ``required``, ``properties``, ``additionalProperties``,
+``items``, ``enum``, ``const``, ``anyOf``) — enough for CI to validate
+``repro stats --metrics-json`` output against a checked-in schema without
+installing ``jsonschema``.
+
+Usage::
+
+    python -m repro.telemetry.schema out.json --schema benchmarks/metrics.schema.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, List
+
+
+class SchemaError(ValueError):
+    """The instance does not conform to the schema."""
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(instance: Any, ty: str) -> bool:
+    if ty == "number":
+        return isinstance(instance, (int, float)) and not isinstance(instance, bool)
+    if ty == "integer":
+        return isinstance(instance, int) and not isinstance(instance, bool)
+    expected = _TYPES.get(ty)
+    if expected is None:
+        raise SchemaError(f"unsupported schema type {ty!r}")
+    return isinstance(instance, expected)
+
+
+def validate(instance: Any, schema: Any, path: str = "$") -> None:
+    """Raise :class:`SchemaError` when ``instance`` violates ``schema``."""
+    if schema is True or schema == {}:
+        return
+    if schema is False:
+        raise SchemaError(f"{path}: no value permitted here")
+    if not isinstance(schema, dict):
+        raise SchemaError(f"{path}: malformed schema node {schema!r}")
+
+    if "const" in schema and instance != schema["const"]:
+        raise SchemaError(
+            f"{path}: expected constant {schema['const']!r}, got {instance!r}"
+        )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(f"{path}: {instance!r} not one of {schema['enum']!r}")
+
+    if "anyOf" in schema:
+        errors: List[str] = []
+        for index, option in enumerate(schema["anyOf"]):
+            try:
+                validate(instance, option, path)
+                break
+            except SchemaError as exc:
+                errors.append(f"[{index}] {exc}")
+        else:
+            raise SchemaError(f"{path}: matched no anyOf branch ({'; '.join(errors)})")
+
+    ty = schema.get("type")
+    if ty is not None:
+        types = ty if isinstance(ty, list) else [ty]
+        if not any(_type_ok(instance, t) for t in types):
+            raise SchemaError(
+                f"{path}: expected type {'/'.join(types)}, "
+                f"got {type(instance).__name__}"
+            )
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required property {key!r}")
+        props = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                validate(value, props[key], f"{path}.{key}")
+            elif additional is False:
+                raise SchemaError(f"{path}: unexpected property {key!r}")
+            elif additional is not True:
+                validate(value, additional, f"{path}.{key}")
+
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{index}]")
+
+
+def validate_file(instance_path: str, schema_path: str) -> None:
+    instance = json.loads(Path(instance_path).read_text())
+    schema = json.loads(Path(schema_path).read_text())
+    validate(instance, schema)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate a metrics JSON export against a schema"
+    )
+    parser.add_argument("file", help="metrics JSON document to validate")
+    parser.add_argument(
+        "--schema",
+        default=str(
+            Path(__file__).resolve().parents[3] / "benchmarks" / "metrics.schema.json"
+        ),
+        help="schema path (default: the repo's benchmarks/metrics.schema.json)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        validate_file(args.file, args.schema)
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: valid against {args.schema}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

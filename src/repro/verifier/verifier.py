@@ -41,6 +41,7 @@ from ..core.regions import Region, RegionSupply
 from ..core.unify import Step, apply_step
 from ..lang import ast
 from ..lang.parser import Parser
+from ..telemetry import registry as _telemetry
 
 
 class VerificationError(Exception):
@@ -96,6 +97,15 @@ class Verifier:
 
     def verify_program(self, pd: ProgramDerivation) -> int:
         """Verify all function derivations; returns the node count checked."""
+        tel = _telemetry()
+        if not tel.enabled:
+            return self._verify_program(pd)
+        with tel.span("verify.program"):
+            count = self._verify_program(pd)
+        tel.inc("verifier.certificates", len(pd.funcs))
+        return count
+
+    def _verify_program(self, pd: ProgramDerivation) -> int:
         count = 0
         for name in self.program.funcs:
             if name not in pd.funcs:
@@ -104,6 +114,14 @@ class Verifier:
         return count
 
     def verify_function(self, fd: FuncDerivation) -> int:
+        tel = _telemetry()
+        if tel.enabled:
+            tel.observe("verifier.certificate_bytes", _certificate_bytes(fd))
+            with tel.span(f"verify.fn.{fd.name}"):
+                return self._verify_function(fd)
+        return self._verify_function(fd)
+
+    def _verify_function(self, fd: FuncDerivation) -> int:
         ftype = self.functypes.get(fd.name)
         if ftype is None:
             raise VerificationError(f"derivation for unknown function {fd.name!r}")
@@ -275,6 +293,10 @@ class Verifier:
     # ------------------------------------------------------------------
 
     def _verify_node(self, node: Derivation) -> int:
+        tel = _telemetry()
+        if tel.enabled:
+            tel.inc("verifier.obligations")
+            tel.inc(f"verifier.rule.{node.rule}")
         pre = context_from_snapshot(node.pre)
         try:
             pre.check_well_formed()
@@ -299,7 +321,10 @@ class Verifier:
     def _replay(
         self, ctx: StaticContext, steps: Iterable[Step], node: Derivation
     ) -> StaticContext:
+        tel = _telemetry()
         for step in steps:
+            if tel.enabled:
+                tel.inc("verifier.steps_replayed")
             try:
                 apply_step(ctx, step)
             except ContextError as exc:
@@ -859,6 +884,23 @@ class Verifier:
 
 
 RESULT = "$result"
+
+
+def _certificate_bytes(fd: FuncDerivation) -> int:
+    """Size of one function's certificate in its JSON wire form — the cost
+    a separate verifying process would pay to receive it."""
+    import json
+
+    from ..core.serialize import _snap_to_lists, derivation_to_dict
+
+    payload = {
+        "input": _snap_to_lists(fd.input_snap),
+        "output": _snap_to_lists(fd.output_snap),
+        "result_type": fd.result_type,
+        "result_region": fd.result_region,
+        "body": derivation_to_dict(fd.body),
+    }
+    return len(json.dumps(payload).encode("utf-8"))
 
 
 def _region(ident: Optional[int]) -> Optional[Region]:

@@ -150,6 +150,135 @@ class TestTraceFlag:
         assert "#" in capsys.readouterr().err
 
 
+class TestStatsCommand:
+    def test_stats_runs_everything(self, fcl_file, capsys):
+        src = GOOD + "\ndef main() : int { add(1, 2) }\n"
+        assert main(["stats", fcl_file(src)]) == 0
+        out = capsys.readouterr().out
+        assert "checked + verified" in out and "ran main()" in out
+        assert "checker.rule.T0-Function-Definition" in out
+        assert "machine.steps" in out
+        assert "verifier.obligations" in out
+
+    def test_stats_explicit_function_and_args(self, fcl_file, capsys):
+        assert main(["stats", fcl_file(GOOD), "add", "1", "2"]) == 0
+        assert "ran add()" in capsys.readouterr().out
+
+    def test_stats_without_entry_still_reports(self, fcl_file, capsys):
+        assert main(["stats", fcl_file(GOOD)]) == 0  # no zero-arg... boxed is
+        out = capsys.readouterr().out
+        assert "checked + verified" in out
+
+    def test_stats_unknown_function(self, fcl_file, capsys):
+        assert main(["stats", fcl_file(GOOD), "nosuch"]) == 1
+
+    def test_stats_type_error(self, fcl_file, capsys):
+        assert main(["stats", fcl_file(BAD)]) == 1
+
+    def test_stats_on_quickstart_example(self, capsys):
+        example = Path(__file__).parent.parent / "examples" / "quickstart.py"
+        assert main(["stats", str(example)]) == 0
+        out = capsys.readouterr().out
+        assert "ran demo()" in out
+        assert "checker.vt.V5-Attach" in out
+
+    def test_stats_restores_disabled_registry(self, fcl_file, capsys):
+        from repro import telemetry
+
+        assert main(["stats", fcl_file(GOOD)]) == 0
+        assert telemetry.registry().enabled is False
+
+
+class TestMetricsJson:
+    def _valid(self, path):
+        import json
+
+        from repro.telemetry import validate
+
+        schema = json.loads(
+            (
+                Path(__file__).parent.parent / "benchmarks" / "metrics.schema.json"
+            ).read_text()
+        )
+        doc = json.loads(Path(path).read_text())
+        validate(doc, schema)
+        return doc
+
+    def test_check_metrics_json(self, fcl_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["check", fcl_file(GOOD), "--metrics-json", str(out)]) == 0
+        doc = self._valid(out)
+        assert doc["counters"]["checker.functions"] == 2
+
+    def test_run_metrics_json(self, fcl_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        args = ["run", fcl_file(GOOD), "add", "1", "2", "--metrics-json", str(out)]
+        assert main(args) == 0
+        doc = self._valid(out)
+        assert doc["counters"]["machine.steps"] > 0
+
+    def test_verify_metrics_json(self, fcl_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["verify", fcl_file(GOOD), "--metrics-json", str(out)]) == 0
+        doc = self._valid(out)
+        assert doc["counters"]["verifier.obligations"] > 0
+
+    def test_stats_metrics_json_meets_acceptance(self, tmp_path, capsys):
+        """The ISSUE acceptance check: nonzero T-rule, V1–V5, oracle-hit,
+        machine-step, and reservation-check counters for quickstart."""
+        example = Path(__file__).parent.parent / "examples" / "quickstart.py"
+        out = tmp_path / "m.json"
+        assert main(["stats", str(example), "--metrics-json", str(out)]) == 0
+        counters = self._valid(out)["counters"]
+        for name in (
+            "checker.rule.T0-Function-Definition",
+            "checker.vt.V1-Focus",
+            "checker.vt.V2-Unfocus",
+            "checker.vt.V3-Explore",
+            "checker.vt.V4-Retract",
+            "checker.vt.V5-Attach",
+            "checker.oracle.hits",
+            "machine.steps",
+            "machine.reservation_checks",
+        ):
+            assert counters.get(name, 0) > 0, name
+
+
+class TestTraceJson:
+    def test_run_trace_json(self, fcl_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "events.jsonl"
+        args = ["run", fcl_file(GOOD), "boxed", "--trace-json", str(out)]
+        assert main(args) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert events[0]["kind"] == "alloc"
+        assert all("seq" in e and "loc" in e for e in events)
+        assert "trace events" in capsys.readouterr().err
+
+
+class TestEmbeddedPythonSource:
+    def test_py_file_without_source_literal(self, tmp_path):
+        path = tmp_path / "nope.py"
+        path.write_text("x = 1\n")
+        with pytest.raises(SystemExit):
+            main(["check", str(path)])
+
+    def test_py_file_with_bad_python(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def oops(:\n")
+        with pytest.raises(SystemExit):
+            main(["check", str(path)])
+
+    def test_check_accepts_embedded_source(self, tmp_path, capsys):
+        path = tmp_path / "prog.py"
+        path.write_text(f'SOURCE = """{GOOD}"""\n')
+        assert main(["check", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
 class TestConsoleScript:
     def test_fcl_entry_point(self):
         import subprocess

@@ -1,0 +1,240 @@
+"""Telemetry subsystem tests: registry primitives, the disabled fast path,
+the JSON exporter round trip, the schema validator, and the checker /
+runtime / verifier instrumentation."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.core.checker import Checker
+from repro.lang import parse_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import run_function
+from repro.telemetry import (
+    Registry,
+    SchemaError,
+    doc_to_registry,
+    export_json,
+    load_json,
+    registry_to_doc,
+    render_table,
+    validate,
+)
+from repro.verifier import Verifier
+
+SOURCE = """
+struct data { v : int; }
+def make(n : int) : data { new data(v = n) }
+def main() : int { let d = make(7); d.v }
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_registry():
+    yield
+    telemetry.disable()
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = Registry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.value("a") == 5
+        assert reg.value("never") == 0
+
+    def test_disabled_registry_records_nothing(self):
+        reg = Registry(enabled=False)
+        reg.inc("a")
+        reg.observe("h", 1.0)
+        with reg.time("t"):
+            pass
+        with reg.span("s"):
+            pass
+        assert not reg.counters and not reg.histograms and not reg.spans
+
+    def test_default_global_registry_is_disabled(self):
+        assert telemetry.registry().enabled is False
+
+
+class TestHistograms:
+    def test_observe_summary(self):
+        reg = Registry()
+        for v in (2.0, 8.0, 5.0):
+            reg.observe("h", v)
+        hist = reg.histogram("h")
+        assert hist.count == 3
+        assert hist.min == 2.0 and hist.max == 8.0
+        assert hist.mean == pytest.approx(5.0)
+
+    def test_timer_feeds_histogram(self):
+        reg = Registry()
+        with reg.time("t"):
+            pass
+        hist = reg.histogram("t")
+        assert hist.count == 1 and hist.total >= 0.0
+
+
+class TestSpans:
+    def test_nesting_aggregates_per_parent(self):
+        reg = Registry()
+        for _ in range(2):
+            with reg.span("outer"):
+                with reg.span("inner"):
+                    pass
+        with reg.span("inner"):  # same name, no parent: separate bucket
+            pass
+        outer = reg.spans[("outer", None)]
+        nested = reg.spans[("inner", "outer")]
+        top = reg.spans[("inner", None)]
+        assert outer.count == 2 and outer.depth == 0
+        assert nested.count == 2 and nested.depth == 1
+        assert top.count == 1 and top.depth == 0
+        assert nested.total_ms <= outer.total_ms
+
+    def test_span_stack_unwinds_on_error(self):
+        reg = Registry()
+        with pytest.raises(RuntimeError):
+            with reg.span("outer"):
+                raise RuntimeError("boom")
+        assert reg._span_stack == []
+        assert reg.spans[("outer", None)].count == 1
+
+
+class TestGlobalSwap:
+    def test_enable_installs_fresh_registry(self):
+        first = telemetry.enable()
+        first.inc("x")
+        second = telemetry.enable()
+        assert telemetry.registry() is second
+        assert second.value("x") == 0
+
+    def test_use_restores_previous(self):
+        mine = Registry()
+        with telemetry.use(mine):
+            telemetry.registry().inc("k")
+        assert mine.value("k") == 1
+        assert telemetry.registry().enabled is False
+
+
+class TestExport:
+    def _populated(self):
+        reg = Registry()
+        reg.inc("c", 3)
+        reg.observe("h", 1.5)
+        reg.observe("h", 2.5)
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        return reg
+
+    def test_round_trip(self):
+        reg = self._populated()
+        back = load_json(export_json(reg))
+        assert registry_to_doc(back) == registry_to_doc(reg)
+
+    def test_doc_shape(self):
+        doc = registry_to_doc(self._populated())
+        assert doc["schema"] == "repro-telemetry/1"
+        assert doc["counters"] == {"c": 3}
+        assert doc["histograms"]["h"]["mean"] == pytest.approx(2.0)
+        assert [s["name"] for s in doc["spans"]] == ["outer", "inner"]
+
+    def test_rejects_foreign_schema(self):
+        with pytest.raises(ValueError):
+            doc_to_registry({"schema": "somebody-else/9"})
+
+    def test_render_table_lists_everything(self):
+        text = render_table(self._populated())
+        for needle in ("counters", "c", "histograms", "h", "spans", "inner"):
+            assert needle in text
+        assert render_table(Registry()) == "(no metrics recorded)"
+
+
+class TestSchemaValidator:
+    def _schema(self):
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "benchmarks" / "metrics.schema.json"
+        return json.loads(path.read_text())
+
+    def test_valid_export_passes(self):
+        reg = Registry()
+        reg.inc("c")
+        reg.observe("h", 1.0)
+        with reg.span("s"):
+            pass
+        validate(json.loads(export_json(reg)), self._schema())
+
+    def test_bad_counter_type_rejected(self):
+        doc = registry_to_doc(Registry())
+        doc["counters"]["c"] = "three"
+        with pytest.raises(SchemaError):
+            validate(doc, self._schema())
+
+    def test_missing_required_key_rejected(self):
+        doc = registry_to_doc(Registry())
+        del doc["spans"]
+        with pytest.raises(SchemaError):
+            validate(doc, self._schema())
+
+    def test_extra_top_level_key_rejected(self):
+        doc = registry_to_doc(Registry())
+        doc["surprise"] = 1
+        with pytest.raises(SchemaError):
+            validate(doc, self._schema())
+
+
+class TestCheckerInstrumentation:
+    def test_rule_and_oracle_counters(self):
+        program = parse_program(SOURCE)
+        reg = telemetry.enable()
+        Checker(program).check_program()
+        assert reg.value("checker.functions") == 2
+        assert reg.value("checker.rule.T0-Function-Definition") == 2
+        assert reg.value("checker.rule.T10-New-Loc") == 1
+        assert reg.value("checker.oracle.hits") >= 1
+        assert reg.value("unify.greedy.calls") >= 1
+        assert ("check.program", None) in reg.spans
+        assert ("check.fn.main", "check.program") in reg.spans
+
+    def test_disabled_checker_records_nothing(self):
+        program = parse_program(SOURCE)
+        Checker(program).check_program()
+        assert telemetry.registry().counters == {}
+
+
+class TestRuntimeInstrumentation:
+    def test_run_function_counters(self):
+        program = parse_program(SOURCE)
+        reg = telemetry.enable()
+        run_function(program, "main", heap=Heap())
+        assert reg.value("machine.steps") > 0
+        assert reg.value("machine.reservation_checks") > 0
+        assert reg.value("machine.heap_reads") >= 1
+        assert reg.value("machine.heap_objects") == 1
+        assert ("machine.fn.main", None) in reg.spans
+
+    def test_heap_traffic_is_a_delta(self):
+        program = parse_program(SOURCE)
+        heap = Heap()
+        run_function(program, "main", heap=heap)  # telemetry off: warm heap
+        reg = telemetry.enable()
+        run_function(program, "main", heap=heap)
+        # Only this run's single d.v read counted, not the warm-up's.
+        assert reg.value("machine.heap_reads") == 1
+
+
+class TestVerifierInstrumentation:
+    def test_obligations_and_certificates(self):
+        program = parse_program(SOURCE)
+        derivation = Checker(program).check_program()
+        reg = telemetry.enable()
+        Verifier(program).verify_program(derivation)
+        assert reg.value("verifier.certificates") == 2
+        assert reg.value("verifier.obligations") > 0
+        assert reg.value("verifier.steps_replayed") > 0
+        cert = reg.histogram("verifier.certificate_bytes")
+        assert cert.count == 2 and cert.min > 0
+        assert ("verify.program", None) in reg.spans

@@ -1,9 +1,11 @@
 """Heap tracer tests."""
 
+import json
+
 from repro.corpus import load_program
 from repro.runtime.heap import Heap
-from repro.runtime.machine import run_function
-from repro.runtime.trace import ALLOC, READ, WRITE, Tracer
+from repro.runtime.machine import Machine, run_function
+from repro.runtime.trace import ALLOC, READ, RECV, SEND, WRITE, Tracer
 from repro.runtime.values import Loc
 
 
@@ -47,6 +49,113 @@ class TestRecording:
         only_hd = tracer.events(fieldname="hd")
         assert only_hd and all(e.fieldname == "hd" for e in only_hd)
 
+    def test_combined_filters(self):
+        _, _, tracer, lst = traced_run(2)
+        hits = tracer.events(kind=WRITE, loc=lst, fieldname="hd")
+        assert len(hits) == 2
+        assert all(
+            e.kind == WRITE and e.loc == lst and e.fieldname == "hd"
+            for e in hits
+        )
+        assert tracer.events(kind=WRITE, fieldname="nosuch") == []
+
+    def test_alloc_carries_initial_field_values(self):
+        from repro.runtime.values import NONE
+
+        program, heap, tracer, lst = traced_run(1)
+        (alloc,) = tracer.events(kind=ALLOC, loc=lst)
+        assert alloc.struct == "sll"
+        assert alloc.fields == {"hd": NONE}
+
+    def test_history_of_sees_alloc_init_references(self):
+        # make_list allocates each node with payload/next passed as inits:
+        # the payload's history must include the node's alloc event even
+        # though no write ever stored the payload anywhere.
+        program, heap, tracer, lst = traced_run(1)
+        node_alloc = tracer.events(kind=ALLOC)[-1]  # the sll_node
+        assert node_alloc.struct == "sll_node"
+        payload = node_alloc.fields["payload"]
+        assert isinstance(payload, Loc)
+        history = tracer.history_of(payload)
+        assert node_alloc in history
+        assert history[0].kind == ALLOC and history[0].loc == payload
+
+
+class TestThreadsAndMessages:
+    def run_queue(self, seed=0):
+        program = load_program("queue")
+        machine = Machine(program, seed=seed)
+        tracer = Tracer()
+        machine.heap.tracer = tracer
+        machine.spawn("source", [5])
+        machine.spawn("relay", [5])
+        sink = machine.spawn("sink", [5])
+        machine.run()
+        assert sink.result == 15
+        return machine, tracer
+
+    def test_send_recv_events_recorded(self):
+        machine, tracer = self.run_queue()
+        sends = tracer.events(kind=SEND)
+        recvs = tracer.events(kind=RECV)
+        assert len(sends) == machine.rendezvous
+        assert len(recvs) == machine.rendezvous
+        assert machine.rendezvous > 0
+
+    def test_send_recv_carry_thread_ids(self):
+        machine, tracer = self.run_queue()
+        for send, recv in zip(tracer.events(kind=SEND), tracer.events(kind=RECV)):
+            assert send.loc == recv.loc
+            assert send.thread is not None and recv.thread is not None
+            assert send.thread != recv.thread
+
+    def test_heap_events_attributed_to_threads(self):
+        machine, tracer = self.run_queue()
+        writers = {e.thread for e in tracer.events(kind=WRITE)}
+        assert writers and None not in writers
+        # Per-thread filtering selects exactly that thread's events.
+        some_thread = next(iter(writers))
+        mine = tracer.events(thread=some_thread)
+        assert mine and all(e.thread == some_thread for e in mine)
+
+    def test_single_threaded_events_have_no_thread(self):
+        _, _, tracer, _ = traced_run(1)
+        assert all(e.thread is None for e in tracer.events())
+
+    def test_render_marks_threads_and_messages(self):
+        machine, tracer = self.run_queue()
+        text = tracer.render()
+        assert "send" in text and "recv" in text and "[t" in text
+
+
+class TestJsonExport:
+    def test_to_dicts_are_json_lines(self):
+        machine, tracer = TestThreadsAndMessages().run_queue()
+        dicts = tracer.to_dicts()
+        assert len(dicts) == len(tracer)
+        for entry in dicts:
+            line = json.dumps(entry)  # must be JSON-able
+            back = json.loads(line)
+            assert back["kind"] in (ALLOC, READ, WRITE, SEND, RECV)
+            assert isinstance(back["loc"], int)
+            assert isinstance(back["seq"], int)
+
+    def test_alloc_dict_shape(self):
+        _, heap, tracer, lst = traced_run(1)
+        (alloc,) = tracer.events(kind=ALLOC, loc=lst)
+        entry = alloc.to_dict()
+        assert entry["kind"] == ALLOC
+        assert entry["struct"] == "sll"
+        assert entry["thread"] is None
+        assert "fields" in entry
+
+    def test_write_dict_encodes_locations_and_none(self):
+        _, heap, tracer, lst = traced_run(1)
+        write = tracer.events(kind=WRITE, loc=lst, fieldname="hd")[0]
+        entry = write.to_dict()
+        assert entry["old"] == "none"
+        assert isinstance(entry["value"], dict) and "loc" in entry["value"]
+
 
 class TestRingBuffer:
     def test_capacity_bound(self):
@@ -66,3 +175,19 @@ class TestRingBuffer:
 
     def test_empty_render(self):
         assert Tracer().render() == "(no heap events)"
+
+    def test_exact_drop_accounting(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.record(READ, Loc(i), fieldname="f", value=i)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert "(6 earlier events dropped)" in tracer.render()
+        # Survivors are the newest events, sequence numbers keep counting.
+        assert [e.seq for e in tracer.events()] == [6, 7, 8, 9]
+
+    def test_no_drop_banner_below_capacity(self):
+        tracer = Tracer(capacity=4)
+        tracer.record(READ, Loc(0), fieldname="f", value=1)
+        assert tracer.dropped == 0
+        assert "dropped" not in tracer.render()
