@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Generate the PR-level speed report (``BENCH_PR2.json``).
+
+Runs the :mod:`repro.bench` harness (plain ``time.perf_counter``, no
+pytest-benchmark), validates the document against
+``benchmarks/bench.schema.json`` (schema ``repro-bench/1``), prints the
+human-readable table, and writes the JSON report to the repo root.
+
+    python benchmarks/bench_report.py [--out PATH] [--small]
+
+``run_experiments.py`` invokes this as its BENCH step, so a report that
+fails to generate or validate shows up in the experiment failure
+accounting like any broken experiment.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.setrecursionlimit(100_000)
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+SCHEMA_PATH = ROOT / "benchmarks" / "bench.schema.json"
+DEFAULT_OUT = ROOT / "BENCH_PR2.json"
+
+
+def generate(out: Path = DEFAULT_OUT, small: bool = False) -> dict:
+    """Collect, validate, print, and write the bench report."""
+    from repro import bench, telemetry
+
+    doc = bench.collect(small=small)
+    schema = json.loads(SCHEMA_PATH.read_text())
+    telemetry.validate(doc, schema)  # raises SchemaError on drift
+    print(bench.render_table(doc))
+    out.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"\nwrote bench report to {out}", file=sys.stderr)
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="small corpus / fewer repeats (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+    generate(out=args.out, small=args.small)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

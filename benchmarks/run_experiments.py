@@ -21,6 +21,7 @@ import traceback
 from pathlib import Path
 
 sys.setrecursionlimit(100_000)
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
@@ -245,6 +246,19 @@ def e8_semantics_agreement():
     print()
 
 
+def bench_speed_report():
+    """The PR-level speed report (BENCH_PR2.json); a report that fails to
+    generate or validate against bench.schema.json fails like any
+    experiment."""
+    import bench_report
+
+    print("=" * 70)
+    print("BENCH — PR speed report (copy-on-write + erasure)")
+    print("=" * 70)
+    bench_report.generate()
+    print()
+
+
 EXPERIMENTS = (
     ("E1", e1_table1),
     ("E2", e2_checker_speed),
@@ -254,6 +268,7 @@ EXPERIMENTS = (
     ("E6", e6_writes),
     ("E7", e7_concurrency),
     ("E8", e8_semantics_agreement),
+    ("BENCH", bench_speed_report),
 )
 
 

@@ -1,0 +1,283 @@
+"""Wall-clock benchmark harness (``repro bench`` / ``benchmarks/bench_report.py``).
+
+Runs the speed-critical paths with plain ``time.perf_counter`` loops (no
+pytest-benchmark needed) and reports a document in schema ``repro-bench/1``
+(``benchmarks/bench.schema.json``):
+
+* **corpus** — E2: prover + verifier wall-clock per corpus program, with the
+  clone/copy-on-write telemetry counters of the checker run;
+* **generated** — E2: checker scaling on generated ``chain``-length programs;
+* **search** — E4: greedy-with-oracle vs bounded backtracking search;
+* **erasure** — §3.2: guarded vs erased-guard runtime on corpus workloads,
+  plus the number of reservation checks erasure elides.
+
+The clone counters quantify the copy-on-write win directly:
+``clone_dicts_cow`` is what ``StaticContext.clone`` plus later CoW faults
+actually allocated, ``clone_dicts_eager`` is what the pre-CoW eager deep
+clone would have allocated for the same workload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from . import telemetry
+from .core.checker import Checker
+from .core.contexts import StaticContext
+from .core.regions import RegionSupply
+from .core.unify import match_contexts, search_unify
+from .lang import ast, parse_program
+from .runtime.heap import Heap
+from .runtime.machine import run_function
+from .verifier import Verifier
+
+SCHEMA = "repro-bench/1"
+
+#: Erasure workloads: (label, corpus, constructor, traversal, size).
+ERASURE_WORKLOADS = (
+    ("sll-traverse", "sll", "make_list", "sum", 150),
+    ("dll-walk", "dll", "make_dll", "dll_length", 300),
+)
+
+
+def generated_program(chain: int) -> str:
+    """A function with ``chain`` sequential iso manipulations + branches —
+    scales the number of variables and join points the checker handles
+    (mirrors ``benchmarks/test_checker_speed.py``)."""
+    lines = [
+        "struct data { v : int; }",
+        "struct box { iso inner : data?; }",
+        "def fn(b : box, c : bool) : int {",
+        "  let acc = 0;",
+    ]
+    for i in range(chain):
+        lines.append(f"  let d{i} = new data(v = {i});")
+        lines.append(f"  b.inner = some(d{i});")
+        lines.append(
+            f"  if (c) {{ let some(x{i}) = b.inner in {{ acc = acc + x{i}.v }}"
+            f" else {{ acc = acc }} }} else {{ acc = acc + {i} }};"
+        )
+    lines.append("  acc")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def branch_pair(width: int):
+    """Two branch outputs over ``width`` variables (E4's unification
+    instance): side A focused+explored every variable, side B untracked."""
+    node = ast.StructType("node")
+    a = StaticContext(RegionSupply())
+    for i in range(width):
+        region = a.fresh_region()
+        a.bind(f"v{i}", node, region)
+    b = a.clone()
+    for i in range(width):
+        a.focus(f"v{i}")
+        a.explore(f"v{i}", "f")
+    live = frozenset(f"v{i}" for i in range(width))
+    return a, b, live
+
+
+def _clone_counters(reg: telemetry.Registry) -> Dict[str, int]:
+    counters = {name: c.value for name, c in reg.counters.items()}
+    cow = (
+        counters.get("contexts.cow.heap_faults", 0)
+        + counters.get("contexts.cow.gamma_faults", 0)
+        + counters.get("contexts.cow.tc_faults", 0)
+        + counters.get("contexts.cow.tv_faults", 0)
+    )
+    return {
+        "clones": counters.get("contexts.clones", 0),
+        "cow_heap_faults": counters.get("contexts.cow.heap_faults", 0),
+        "cow_gamma_faults": counters.get("contexts.cow.gamma_faults", 0),
+        "cow_tc_faults": counters.get("contexts.cow.tc_faults", 0),
+        "cow_tv_faults": counters.get("contexts.cow.tv_faults", 0),
+        "clone_dicts_cow": cow,
+        "clone_dicts_eager": counters.get("contexts.clone.dicts_eager", 0),
+        "snapshot_hits": counters.get("contexts.snapshot.hits", 0),
+        "snapshot_misses": counters.get("contexts.snapshot.misses", 0),
+    }
+
+
+def bench_corpus(names: Optional[Iterable[str]] = None) -> List[Dict]:
+    """E2: per corpus program, check + verify wall-clock and CoW counters."""
+    from .corpus import corpus_names, load_program
+
+    rows = []
+    for name in names if names is not None else corpus_names():
+        program = load_program(name)
+        reg = telemetry.Registry(enabled=True)
+        with telemetry.use(reg):
+            t0 = time.perf_counter()
+            derivation = Checker(program).check_program()
+            check_ms = (time.perf_counter() - t0) * 1000
+        t0 = time.perf_counter()
+        nodes = Verifier(program).verify_program(derivation)
+        verify_ms = (time.perf_counter() - t0) * 1000
+        row = {
+            "name": name,
+            "functions": len(program.funcs),
+            "check_ms": round(check_ms, 3),
+            "verify_ms": round(verify_ms, 3),
+            "derivation_nodes": nodes,
+        }
+        row.update(_clone_counters(reg))
+        rows.append(row)
+    return rows
+
+
+def bench_generated(chains: Sequence[int] = (5, 20, 50)) -> List[Dict]:
+    """E2: checker scaling on generated programs, with CoW counters."""
+    rows = []
+    for chain in chains:
+        program = parse_program(generated_program(chain))
+        reg = telemetry.Registry(enabled=True)
+        with telemetry.use(reg):
+            t0 = time.perf_counter()
+            Checker(program, record=False).check_program()
+            check_ms = (time.perf_counter() - t0) * 1000
+        row = {"chain": chain, "check_ms": round(check_ms, 3)}
+        row.update(_clone_counters(reg))
+        rows.append(row)
+    return rows
+
+
+def bench_search(widths: Sequence[int] = (1, 2, 3, 4)) -> List[Dict]:
+    """E4: greedy-with-liveness-oracle vs bounded backtracking search."""
+    rows = []
+    for width in widths:
+        a, b, live = branch_pair(width)
+        t0 = time.perf_counter()
+        match_contexts(a.clone(), b.clone(), live)
+        greedy_ms = (time.perf_counter() - t0) * 1000
+        reg = telemetry.Registry(enabled=True)
+        with telemetry.use(reg):
+            t0 = time.perf_counter()
+            search_unify(a, b, live, max_depth=2 * width + 1)
+            search_ms = (time.perf_counter() - t0) * 1000
+        rows.append(
+            {
+                "width": width,
+                "greedy_ms": round(greedy_ms, 3),
+                "search_ms": round(search_ms, 3),
+                "search_states": reg.counters["unify.search.states"].value
+                if "unify.search.states" in reg.counters
+                else 0,
+            }
+        )
+    return rows
+
+
+def bench_erasure(repeats: int = 5) -> List[Dict]:
+    """§3.2: guarded vs erased-guard runtime wall-clock; the guarded run's
+    reservation-check count is exactly what erasure elides."""
+    from .corpus import load_program
+
+    rows = []
+    for label, corpus, maker, fn, n in ERASURE_WORKLOADS:
+        program = load_program(corpus)
+        best = {True: float("inf"), False: float("inf")}
+        elided = 0
+        for checks in (True, False):
+            for _ in range(repeats):
+                heap = Heap()
+                lst, _ = run_function(
+                    program, maker, [n], heap=heap, check_reservations=checks
+                )
+                t0 = time.perf_counter()
+                _, interp = run_function(
+                    program, fn, [lst], heap=heap, check_reservations=checks
+                )
+                best[checks] = min(
+                    best[checks], (time.perf_counter() - t0) * 1000
+                )
+                if checks:
+                    elided = interp.stats.reservation_checks
+        rows.append(
+            {
+                "workload": label,
+                "checked_ms": round(best[True], 3),
+                "erased_ms": round(best[False], 3),
+                "reservation_checks_elided": elided,
+            }
+        )
+    return rows
+
+
+def collect(small: bool = False) -> Dict:
+    """The full ``repro-bench/1`` document."""
+    if small:
+        corpus_names = ("sll", "dll", "rbtree")
+        chains: Sequence[int] = (5, 20)
+        widths: Sequence[int] = (1, 2, 3)
+        repeats = 2
+    else:
+        corpus_names = None
+        chains = (5, 20, 50)
+        widths = (1, 2, 3, 4)
+        repeats = 5
+    return {
+        "schema": SCHEMA,
+        "label": "PR2",
+        "corpus": bench_corpus(corpus_names),
+        "generated": bench_generated(chains),
+        "search": bench_search(widths),
+        "erasure": bench_erasure(repeats),
+    }
+
+
+def render_table(doc: Dict) -> str:
+    lines = []
+    lines.append("E2 — corpus check + verify (copy-on-write contexts)")
+    lines.append(
+        f"{'program':>8s} {'fns':>4s} {'check(ms)':>10s} {'verify(ms)':>11s} "
+        f"{'clones':>7s} {'dicts(cow)':>11s} {'dicts(eager)':>13s}"
+    )
+    for row in doc["corpus"]:
+        lines.append(
+            f"{row['name']:>8s} {row['functions']:4d} {row['check_ms']:10.1f} "
+            f"{row['verify_ms']:11.1f} {row['clones']:7d} "
+            f"{row['clone_dicts_cow']:11d} {row['clone_dicts_eager']:13d}"
+        )
+    lines.append("")
+    lines.append("E2 — generated-program scaling")
+    lines.append(
+        f"{'chain':>6s} {'check(ms)':>10s} {'clones':>7s} {'faults':>7s} "
+        f"{'dicts(cow)':>11s} {'dicts(eager)':>13s} {'snap hit/miss':>14s}"
+    )
+    for row in doc["generated"]:
+        faults = (
+            row["cow_heap_faults"]
+            + row["cow_gamma_faults"]
+            + row["cow_tc_faults"]
+            + row["cow_tv_faults"]
+        )
+        lines.append(
+            f"{row['chain']:6d} {row['check_ms']:10.1f} {row['clones']:7d} "
+            f"{faults:7d} {row['clone_dicts_cow']:11d} "
+            f"{row['clone_dicts_eager']:13d} "
+            f"{row['snapshot_hits']:6d}/{row['snapshot_misses']:<6d}"
+        )
+    lines.append("")
+    lines.append("E4 — greedy + oracle vs backtracking search")
+    lines.append(
+        f"{'width':>6s} {'greedy(ms)':>11s} {'search(ms)':>11s} {'states':>8s}"
+    )
+    for row in doc["search"]:
+        lines.append(
+            f"{row['width']:6d} {row['greedy_ms']:11.2f} "
+            f"{row['search_ms']:11.2f} {row['search_states']:8d}"
+        )
+    lines.append("")
+    lines.append("§3.2 — verified reservation-check erasure")
+    lines.append(
+        f"{'workload':>14s} {'checked(ms)':>12s} {'erased(ms)':>11s} "
+        f"{'checks elided':>14s}"
+    )
+    for row in doc["erasure"]:
+        lines.append(
+            f"{row['workload']:>14s} {row['checked_ms']:12.2f} "
+            f"{row['erased_ms']:11.2f} {row['reservation_checks_elided']:14d}"
+        )
+    return "\n".join(lines)

@@ -10,6 +10,8 @@ Commands:
 * ``regions FILE FN [N]``   — run FN(N) and draw the dynamic region graph.
 * ``table1``                — regenerate the Table 1 comparison matrix.
 * ``corpus``                — list, check, and verify the bundled corpus.
+* ``bench``                 — wall-clock benchmarks (``--json`` emits the
+  ``repro-bench/1`` document; see docs/PERFORMANCE.md).
 
 ``check``/``run``/``verify``/``stats`` all accept ``--metrics-json FILE``
 to dump the telemetry registry as structured JSON (schema
@@ -175,6 +177,21 @@ def _brief(value) -> str:
 
 def cmd_run(args: argparse.Namespace) -> int:
     program = _load(args.file)
+    if args.unchecked and (args.erased or args.paranoid):
+        print(
+            "error: --erased/--paranoid require the type checker "
+            "(they rely on the §3.2 erasability of verified programs); "
+            "drop --unchecked",
+            file=sys.stderr,
+        )
+        return 2
+    if args.paranoid and (args.erased or args.no_reservation_checks):
+        print(
+            "error: --paranoid runs both guard modes itself; drop "
+            "--erased/--no-reservation-checks",
+            file=sys.stderr,
+        )
+        return 2
     if not args.unchecked:
         try:
             Checker(program).check_program()
@@ -182,22 +199,58 @@ def cmd_run(args: argparse.Namespace) -> int:
             _report_type_error(args.file, exc)
             return 1
     tracer = None
-    if args.trace or args.trace_json:
+    if args.trace or args.trace_json or args.paranoid:
         from .runtime.trace import Tracer
 
         tracer = Tracer()
     heap = Heap(tracer=tracer)
+    # Verified-erasure fast path: the program type-checked, so the
+    # reservation guards are compiled out at interpreter construction.
+    check_reservations = not (args.no_reservation_checks or args.erased)
     try:
         result, interp = run_function(
             program,
             args.function,
             _parse_args(args.args),
             heap=heap,
-            check_reservations=not args.no_reservation_checks,
+            check_reservations=check_reservations,
         )
     except Exception as exc:  # surfaced verbatim: runtime failures matter
         print(f"runtime error: {exc}", file=sys.stderr)
         return 3
+    if args.paranoid:
+        # Cross-validate §3.2: re-run with guards erased on a fresh heap and
+        # demand the observable trace (and result) are identical.
+        from .runtime.trace import Tracer
+
+        tracer2 = Tracer()
+        heap2 = Heap(tracer=tracer2)
+        try:
+            result2, _ = run_function(
+                program,
+                args.function,
+                _parse_args(args.args),
+                heap=heap2,
+                check_reservations=False,
+            )
+        except Exception as exc:
+            print(f"paranoid: erased run failed: {exc}", file=sys.stderr)
+            return 4
+        if tracer.to_dicts() != tracer2.to_dicts() or _show(
+            result, heap
+        ) != _show(result2, heap2):
+            print(
+                "paranoid: DIVERGENCE — erased run's observable trace "
+                "differs from the guarded run",
+                file=sys.stderr,
+            )
+            return 4
+        print(
+            f"paranoid: guarded and erased traces identical "
+            f"({len(tracer)} events, "
+            f"{interp.stats.reservation_checks} checks validated)",
+            file=sys.stderr,
+        )
     print(_show(result, heap))
     if args.trace_json:
         import json
@@ -354,6 +407,26 @@ def cmd_regions(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the wall-clock benchmarks (plain ``time.perf_counter`` loops,
+    no pytest-benchmark) and print the table; ``--json`` writes the
+    ``repro-bench/1`` document (see benchmarks/bench.schema.json)."""
+    from . import bench
+
+    doc = bench.collect(small=args.small)
+    print(bench.render_table(doc))
+    if args.json:
+        import json
+
+        try:
+            Path(args.json).write_text(json.dumps(doc, indent=1) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote bench report to {args.json}", file=sys.stderr)
+    return 0
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     from .baselines import render_table
 
@@ -425,6 +498,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also erase the dynamic reservation checks",
     )
     p.add_argument(
+        "--erased",
+        action="store_true",
+        help="verified-erasure fast path: compile the reservation guards "
+        "out (§3.2; requires the type checker, so not with --unchecked)",
+    )
+    p.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="run guarded AND erased, cross-validating that erasure never "
+        "changes the observable trace",
+    )
+    p.add_argument(
         "--trace-json",
         metavar="FILE",
         default=None,
@@ -470,6 +555,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("args", nargs="*")
     p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
     p.set_defaults(func=cmd_regions)
+
+    p = sub.add_parser(
+        "bench", help="wall-clock benchmarks (checker, unify, erasure)"
+    )
+    p.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the repro-bench/1 JSON document to FILE",
+    )
+    p.add_argument(
+        "--small",
+        action="store_true",
+        help="smaller corpus/chains/widths (CI smoke mode)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("table1", help="regenerate the Table 1 matrix")
     p.set_defaults(func=cmd_table1)

@@ -177,7 +177,7 @@ class _FuncChecker:
             for p in self.ftype.pinned
         }
         for rv in pinned_rvs:
-            ctx.heap[region_of_var[rv]].pinned = True
+            ctx.set_region_pinned(region_of_var[rv], True)
         for pname, pty in self.ftype.params:
             rv = self.ftype.input_region[pname]
             ctx.bind(pname, pty, None if rv is None else region_of_var[rv])
@@ -216,9 +216,10 @@ class _FuncChecker:
         for entry in self.ftype.output_tracking:
             if target.tracked_region_of(entry.var) is None:
                 target.focus(entry.var)
-            owner = target.tracked_var(entry.var)
-            assert owner is not None
-            owner.fields[entry.fieldname] = out_map[entry.target]
+            assert target.tracked_var(entry.var) is not None
+            target.install_tracked_field(
+                entry.var, entry.fieldname, out_map[entry.target]
+            )
 
         ctx.bind(RESULT, value.ty, value.region)
         live = frozenset(
@@ -644,8 +645,7 @@ class _FuncChecker:
     @staticmethod
     def _replace_ctx(ctx: StaticContext, other: StaticContext) -> None:
         """Overwrite ``ctx`` in place with ``other``'s contents."""
-        ctx.heap = other.heap
-        ctx.gamma = other.gamma
+        ctx.take_from(other)
 
     # -- control flow ----------------------------------------------------------
 
@@ -789,8 +789,7 @@ class _FuncChecker:
             Step("W-Bind", (lname, str(left.ty), fresh)),
         ]
         then_ctx.add_region(fresh)
-        then_ctx.gamma[lname] = then_ctx.gamma[lname].clone()
-        then_ctx.gamma[lname].region = fresh
+        then_ctx.set_binding(lname, then_ctx.gamma[lname].ty, fresh)
         for name in sorted(then_ctx.vars_in_region(region)):
             if name != rname:
                 then_ctx.drop_var(name)
@@ -1025,11 +1024,9 @@ class _FuncChecker:
                 steps.append(Step("V2-Unfocus", (name,)))
             else:
                 ghost = self._ghost_name(name)
-                ctx.heap[tracked_at].vars[ghost] = ctx.heap[tracked_at].vars.pop(name)
+                ctx.rename_tracked(tracked_at, name, ghost)
                 steps.append(Step("W-GhostRename", (name, ghost)))
-        from .contexts import Binding
-
-        ctx.gamma[name] = Binding(value.ty, value.region)
+        ctx.set_binding(name, value.ty, value.region)
         steps.append(Step("W-Bind", (name, str(value.ty), value.region)))
         return (
             Value(ast.UNIT, None),
@@ -1137,10 +1134,9 @@ class _FuncChecker:
         if iso_inits:
             ctx.focus(name)
             steps.append(Step("V1-Focus", (name,)))
-            tv = ctx.tracked_var(name)
-            assert tv is not None
+            assert ctx.tracked_var(name) is not None
             for fieldname, region in iso_inits:
-                tv.fields[fieldname] = region
+                ctx.install_tracked_field(name, fieldname, region)
                 steps.append(Step("T7-SetField", (name, fieldname, region)))
         self._note("T10-New-Loc", steps)
         deriv = Derivation(
@@ -1405,9 +1401,8 @@ class _FuncChecker:
                 if binding.region is not None and ctx.heap[binding.region].is_empty:
                     ctx.focus(name)
                     steps.append(Step("V1-Focus", (name,)))
-            tv = ctx.tracked_var(name)
-            if tv is not None:
-                tv.fields[entry.fieldname] = target
+            if ctx.tracked_var(name) is not None:
+                ctx.install_tracked_field(name, entry.fieldname, target)
                 steps.append(Step("T7-SetField", (name, entry.fieldname, target)))
 
         result_region = (

@@ -25,6 +25,24 @@ An *invalidated* tracked field (⊥, stored as ``None``) arises from region
 splits (``if disconnected``) and consumed frame targets; it must be
 reassigned before its owner can be unfocused — exactly the "l.hd invalid at
 branch start" behaviour of fig 5.
+
+Copy-on-write
+-------------
+
+``clone()`` is O(entries of H and Γ), not O(total context size): the clone
+shares the inner :class:`TrackingContext`/:class:`TrackedVar` objects with
+its parent, marking them ``shared``.  The first mutation of a shared object
+*faults* a private copy via :meth:`StaticContext.own_tracking` /
+:meth:`StaticContext.own_tracked`, so siblings never observe each other's
+writes.  Every mutating path also bumps a generation counter
+(:meth:`mark_dirty`), which invalidates the cached :meth:`snapshot` and
+:meth:`canonical_key` — those make the search loop of ``unify.search_unify``
+and the per-node derivation snapshots of the checker cheap.
+
+The discipline for code that reaches inside the heap structure (framing,
+derivation replay): obtain the inner object through ``own_tracking`` /
+``own_tracked`` *before* mutating it, and call ``mark_dirty()`` afterwards.
+Reading through ``heap``/``gamma``/``tracking`` directly stays fine.
 """
 
 from __future__ import annotations
@@ -33,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..lang import ast
+from ..telemetry import registry as _telemetry
 from .errors import PinnedViolation, TypeError_
 from .regions import Region, RegionRenaming, RegionSupply
 
@@ -59,6 +78,8 @@ class TrackedVar:
 
     pinned: bool = False
     fields: Dict[str, Optional[Region]] = field(default_factory=dict)
+    #: True when another context may alias this object (copy-on-write).
+    shared: bool = field(default=False, compare=False, repr=False)
 
     def clone(self) -> "TrackedVar":
         return TrackedVar(self.pinned, dict(self.fields))
@@ -78,6 +99,8 @@ class TrackingContext:
 
     pinned: bool = False
     vars: Dict[str, TrackedVar] = field(default_factory=dict)
+    #: True when another context may alias this object (copy-on-write).
+    shared: bool = field(default=False, compare=False, repr=False)
 
     def clone(self) -> "TrackingContext":
         return TrackingContext(
@@ -97,7 +120,12 @@ class TrackingContext:
 
 @dataclass
 class Binding:
-    """A Γ entry: the variable's type and region (None for primitives)."""
+    """A Γ entry: the variable's type and region (None for primitives).
+
+    Treated as immutable by :class:`StaticContext`: updates replace the
+    Binding object rather than assigning its fields, so clones can share
+    Γ entries safely.
+    """
 
     ty: ast.Type
     region: Optional[Region]
@@ -110,24 +138,136 @@ class StaticContext:
     """The pair (H; Γ) plus the fresh-region supply.
 
     All mutating operations work in place; use :meth:`clone` before
-    branching.  Operations raise :class:`ContextError` when a virtual
-    transformation's side conditions fail.
+    branching (cheap: copy-on-write).  Operations raise
+    :class:`ContextError` when a virtual transformation's side conditions
+    fail.
     """
 
     def __init__(self, supply: Optional[RegionSupply] = None):
         self.heap: Dict[Region, TrackingContext] = {}
         self.gamma: Dict[str, Binding] = {}
         self.supply = supply if supply is not None else RegionSupply()
+        #: Bumped on every mutation; identifies a context *state* cheaply.
+        self._generation: int = 0
+        self._snap: Optional[ContextSnap] = None
+        self._canon: Optional[Tuple] = None
+        # Whether the outer heap/Γ dicts may be aliased by a sibling clone.
+        self._heap_shared: bool = False
+        self._gamma_shared: bool = False
+
+    # -- copy-on-write machinery ---------------------------------------------
+
+    def mark_dirty(self) -> None:
+        """Invalidate cached snapshots after a mutation."""
+        self._generation += 1
+        self._snap = None
+        self._canon = None
+
+    _dirty = mark_dirty  # internal alias
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def own_heap(self) -> Dict[Region, TrackingContext]:
+        """The heap dict, faulted to a private copy if a sibling aliases it.
+        Obtain it through here before any structural write."""
+        if self._heap_shared:
+            self.heap = dict(self.heap)
+            self._heap_shared = False
+            tel = _telemetry()
+            if tel.enabled:
+                tel.inc("contexts.cow.heap_faults")
+        return self.heap
+
+    def own_gamma(self) -> Dict[str, Binding]:
+        """The Γ dict, faulted to a private copy if a sibling aliases it."""
+        if self._gamma_shared:
+            self.gamma = dict(self.gamma)
+            self._gamma_shared = False
+            tel = _telemetry()
+            if tel.enabled:
+                tel.inc("contexts.cow.gamma_faults")
+        return self.gamma
+
+    def own_tracking(self, region: Region) -> TrackingContext:
+        """The tracking context of ``region``, faulted to a private copy if
+        shared with a sibling.  Callers may mutate ``pinned``/``vars`` on the
+        result but must ``mark_dirty()`` afterwards."""
+        tc = self.tracking(region)
+        if tc.shared:
+            owned = TrackingContext(tc.pinned, dict(tc.vars))
+            for tv in owned.vars.values():
+                tv.shared = True
+            self.own_heap()[region] = owned
+            tel = _telemetry()
+            if tel.enabled:
+                tel.inc("contexts.cow.tc_faults")
+            return owned
+        return tc
+
+    def own_tracked(self, region: Region, name: str) -> TrackedVar:
+        """The tracked-var entry for ``name`` in ``region``, faulted (along
+        with its tracking context) to a private copy if shared."""
+        tc = self.own_tracking(region)
+        tv = tc.vars[name]
+        if tv.shared:
+            owned = TrackedVar(tv.pinned, dict(tv.fields))
+            tc.vars[name] = owned
+            tel = _telemetry()
+            if tel.enabled:
+                tel.inc("contexts.cow.tv_faults")
+            return owned
+        return tv
 
     # -- basics ------------------------------------------------------------
 
     def clone(self) -> "StaticContext":
+        """An independent copy.  O(|H|) to flag the shared tracking contexts
+        and allocation-free: both the outer dicts and the inner tracking
+        structure are shared copy-on-write with the sibling."""
         other = StaticContext(self.supply)  # supply is shared: freshness is global
-        other.heap = {r: tc.clone() for r, tc in self.heap.items()}
-        other.gamma = {x: b.clone() for x, b in self.gamma.items()}
+        for tc in self.heap.values():
+            tc.shared = True
+        self._heap_shared = True
+        self._gamma_shared = True
+        other.heap = self.heap
+        other.gamma = self.gamma
+        other._heap_shared = True
+        other._gamma_shared = True
+        other._snap = self._snap
+        other._canon = self._canon
+        tel = _telemetry()
+        if tel.enabled:
+            tel.inc("contexts.clones")
+            # What an eager deep clone would have allocated: the two outer
+            # dicts, one dict per tracking context, one per tracked var.
+            eager = 2 + len(self.heap)
+            for tc in self.heap.values():
+                eager += len(tc.vars)
+            tel.inc("contexts.clone.dicts_eager", eager)
         return other
 
+    def take_from(self, other: "StaticContext") -> None:
+        """Overwrite this context in place with ``other``'s contents
+        (``other`` is discarded by the caller)."""
+        self.heap = other.heap
+        self.gamma = other.gamma
+        self._heap_shared = other._heap_shared
+        self._gamma_shared = other._gamma_shared
+        self._generation += 1
+        self._snap = other._snap
+        self._canon = other._canon
+
     def snapshot(self) -> ContextSnap:
+        if self._snap is not None:
+            tel = _telemetry()
+            if tel.enabled:
+                tel.inc("contexts.snapshot.hits")
+            return self._snap
+        tel = _telemetry()
+        if tel.enabled:
+            tel.inc("contexts.snapshot.misses")
         heap = tuple(
             sorted(tc.snapshot(r) for r, tc in self.heap.items())
         )
@@ -141,7 +281,53 @@ class StaticContext:
                 for name, b in self.gamma.items()
             )
         )
-        return (heap, gamma)
+        self._snap = (heap, gamma)
+        return self._snap
+
+    def canonical_key(self) -> Tuple:
+        """The snapshot with region idents renumbered in first-use order
+        (Γ first, then the sorted heap) — equal for alpha-equivalent
+        contexts.  Cached per generation; ``search_unify`` uses it for the
+        visited-set."""
+        if self._canon is not None:
+            tel = _telemetry()
+            if tel.enabled:
+                tel.inc("contexts.canon.hits")
+            return self._canon
+        tel = _telemetry()
+        if tel.enabled:
+            tel.inc("contexts.canon.misses")
+        mapping: Dict[int, int] = {}
+
+        def canon(ident: int) -> int:
+            return mapping.setdefault(ident, len(mapping))
+
+        heap, gamma = self.snapshot()
+        canon_gamma = tuple(
+            (name, ty, canon(r) if r >= 0 else -1) for name, ty, r in gamma
+        )
+        canon_heap = tuple(
+            sorted(
+                (
+                    canon(rid),
+                    pinned,
+                    tuple(
+                        (
+                            x,
+                            p,
+                            tuple(
+                                (f, canon(t) if t >= 0 else -1)
+                                for f, t in fields
+                            ),
+                        )
+                        for x, p, fields in vars_snap
+                    ),
+                )
+                for rid, pinned, vars_snap in heap
+            )
+        )
+        self._canon = (canon_heap, canon_gamma)
+        return self._canon
 
     def __str__(self) -> str:
         regions = []
@@ -166,13 +352,15 @@ class StaticContext:
     def fresh_region(self) -> Region:
         """Create a fresh, empty, unpinned region and add it to H."""
         region = self.supply.fresh()
-        self.heap[region] = TrackingContext()
+        self.own_heap()[region] = TrackingContext()
+        self._dirty()
         return region
 
     def add_region(self, region: Region, pinned: bool = False) -> None:
         if region in self.heap:
             raise ContextError(f"region {region} already present")
-        self.heap[region] = TrackingContext(pinned=pinned)
+        self.own_heap()[region] = TrackingContext(pinned=pinned)
+        self._dirty()
 
     def has_region(self, region: Region) -> bool:
         return region in self.heap
@@ -183,12 +371,31 @@ class StaticContext:
         except KeyError:
             raise ContextError(f"region {region} not in heap context") from None
 
+    def set_region_pinned(self, region: Region, pinned: bool) -> None:
+        """Set the pin mark on a region's tracking context."""
+        tc = self.own_tracking(region)
+        tc.pinned = pinned
+        self._dirty()
+
+    def set_var_pinned(self, region: Region, name: str, pinned: bool) -> None:
+        """Set the pin mark on a tracked variable."""
+        tv = self.own_tracked(region, name)
+        tv.pinned = pinned
+        self._dirty()
+
     # -- Γ management --------------------------------------------------------
 
     def bind(self, name: str, ty: ast.Type, region: Optional[Region]) -> None:
         if region is not None and region not in self.heap:
             raise ContextError(f"cannot bind {name} in absent region {region}")
-        self.gamma[name] = Binding(ty, region)
+        self.own_gamma()[name] = Binding(ty, region)
+        self._dirty()
+
+    def set_binding(self, name: str, ty: ast.Type, region: Optional[Region]) -> None:
+        """Install a Γ entry without the membership check (derivation
+        replay, frame restore)."""
+        self.own_gamma()[name] = Binding(ty, region)
+        self._dirty()
 
     def lookup(self, name: str) -> Binding:
         try:
@@ -202,7 +409,9 @@ class StaticContext:
     def drop_var(self, name: str) -> None:
         """Weakening: remove a Γ binding.  Any tracking entry for the
         variable remains as a ghost until unfocused or its region dropped."""
-        self.gamma.pop(name, None)
+        if name in self.gamma:
+            del self.own_gamma()[name]
+            self._dirty()
 
     def vars_in_region(self, region: Region) -> List[str]:
         return [x for x, b in self.gamma.items() if b.region == region]
@@ -247,7 +456,8 @@ class StaticContext:
                 f"cannot focus {name!r}: region {binding.region} tracking context "
                 f"is not empty (tracked: {sorted(tc.vars)})"
             )
-        tc.vars[name] = TrackedVar()
+        self.own_tracking(binding.region).vars[name] = TrackedVar()
+        self._dirty()
         return binding.region
 
     def unfocus(self, name: str) -> Region:
@@ -263,7 +473,8 @@ class StaticContext:
                 f"cannot unfocus {name!r}: fields still tracked "
                 f"({sorted(tv.fields)})"
             )
-        del self.heap[region].vars[name]
+        del self.own_tracking(region).vars[name]
+        self._dirty()
         return region
 
     def explore(self, name: str, fieldname: str) -> Region:
@@ -283,8 +494,27 @@ class StaticContext:
         if fieldname in tv.fields:
             raise ContextError(f"field {name}.{fieldname} is already tracked")
         target = self.fresh_region()
-        tv.fields[fieldname] = target
+        self.own_tracked(region, name).fields[fieldname] = target
+        self._dirty()
         return target
+
+    def explore_at(self, name: str, fieldname: str, target: Region) -> None:
+        """V3 Explore with a caller-chosen fresh target (derivation replay).
+
+        Same preconditions as :meth:`explore`; ``target`` must be new."""
+        region = self.tracked_region_of(name)
+        if region is None:
+            raise ContextError(f"cannot explore {name}.{fieldname}: {name!r} not focused")
+        tv = self.heap[region].vars[name]
+        if tv.pinned:
+            raise PinnedViolation(
+                f"cannot explore {name}.{fieldname}: variable is pinned"
+            )
+        if fieldname in tv.fields:
+            raise ContextError(f"field {name}.{fieldname} is already tracked")
+        self.add_region(target)
+        self.own_tracked(region, name).fields[fieldname] = target
+        self._dirty()
 
     def retract(self, name: str, fieldname: str) -> Region:
         """V4 Retract: untrack ``name.fieldname``; its target region must be
@@ -311,13 +541,14 @@ class StaticContext:
                 f"cannot retract {name}.{fieldname}: target region {target} "
                 f"still tracks {sorted(target_tc.vars)}"
             )
-        del tv.fields[fieldname]
-        del self.heap[target]
+        del self.own_tracked(region, name).fields[fieldname]
+        del self.own_heap()[target]
         # "invalidating any other references to the retracted target's
         # region" (§4.5): Γ bindings die, other tracked fields become ⊥.
         for other in self.vars_in_region(target):
-            del self.gamma[other]
+            del self.own_gamma()[other]
         self._invalidate_refs_to(target)
+        self._dirty()
         return target
 
     def attach(self, source: Region, dest: Region) -> None:
@@ -335,9 +566,16 @@ class StaticContext:
             raise ContextError(
                 f"cannot attach {source} to {dest}: duplicate tracked vars {sorted(overlap)}"
             )
-        dest_tc.vars.update(source_tc.vars)
-        del self.heap[source]
+        if source_tc.shared:
+            # The sibling still reaches these tracked vars through its own
+            # heap entry for ``source``; moving them into ``dest`` makes
+            # them aliased from two contexts.
+            for tv in source_tc.vars.values():
+                tv.shared = True
+        self.own_tracking(dest).vars.update(source_tc.vars)
+        del self.own_heap()[source]
         self._substitute_region(source, dest)
+        self._dirty()
 
     # -- weakenings ----------------------------------------------------------
 
@@ -350,10 +588,11 @@ class StaticContext:
         the region's objects become permanently unreachable.
         """
         self.tracking(region)  # existence check
-        del self.heap[region]
+        del self.own_heap()[region]
         for name in self.vars_in_region(region):
-            del self.gamma[name]
+            del self.own_gamma()[name]
         self._invalidate_refs_to(region)
+        self._dirty()
 
     def consume_region_for_send(self, region: Region) -> None:
         """Remove a region for T16 Send.  Caller must have established the
@@ -365,16 +604,18 @@ class StaticContext:
             raise PinnedViolation(f"send: region {region} is pinned")
         if self.inbound_refs(region):
             raise ContextError(f"send: region {region} is the target of tracked fields")
-        del self.heap[region]
+        del self.own_heap()[region]
         for name in self.vars_in_region(region):
-            del self.gamma[name]
+            del self.own_gamma()[name]
+        self._dirty()
 
     def invalidate_field(self, name: str, fieldname: str) -> None:
         """Mark a tracked field ⊥ (used by if-disconnected splits and frames)."""
-        tv = self.tracked_var(name)
-        if tv is None or fieldname not in tv.fields:
+        region = self.tracked_region_of(name)
+        if region is None or fieldname not in self.heap[region].vars[name].fields:
             raise ContextError(f"{name}.{fieldname} is not tracked")
-        tv.fields[fieldname] = None
+        self.own_tracked(region, name).fields[fieldname] = None
+        self._dirty()
 
     def set_field_target(self, name: str, fieldname: str, target: Region) -> None:
         """T7 Isolated-Field-Assignment: update the tracked target region."""
@@ -388,7 +629,25 @@ class StaticContext:
             raise ContextError(f"field {name}.{fieldname} is not tracked")
         if target not in self.heap:
             raise ContextError(f"target region {target} not in heap context")
-        tv.fields[fieldname] = target
+        self.own_tracked(region, name).fields[fieldname] = target
+        self._dirty()
+
+    def install_tracked_field(self, name: str, fieldname: str, target: Optional[Region]) -> None:
+        """Unconditionally (re)install a tracked field on a focused variable
+        — used when materialising function-signature output tracking."""
+        region = self.tracked_region_of(name)
+        if region is None:
+            raise ContextError(f"{name!r} is not focused")
+        self.own_tracked(region, name).fields[fieldname] = target
+        self._dirty()
+
+    def rename_tracked(self, region: Region, old: str, new: str) -> None:
+        """Move a tracking entry to a new (ghost) name within its region."""
+        tc = self.own_tracking(region)
+        if old not in tc.vars:
+            raise ContextError(f"{old!r} is not tracked in {region}")
+        tc.vars[new] = tc.vars.pop(old)
+        self._dirty()
 
     # -- renaming ---------------------------------------------------------------
 
@@ -401,9 +660,11 @@ class StaticContext:
             return
         if new in self.heap:
             raise ContextError(f"rename target {new} already present")
-        tc = self.heap.pop(old)
-        self.heap[new] = tc
+        heap = self.own_heap()
+        tc = heap.pop(old)
+        heap[new] = tc
         self._substitute_region(old, new)
+        self._dirty()
 
     def apply_renaming(self, renaming: RegionRenaming) -> None:
         """Apply a simultaneous injective renaming to the whole context."""
@@ -413,34 +674,52 @@ class StaticContext:
         if len(new_heap) != len(self.heap):
             raise ContextError("renaming is not injective on this context")
         self.heap = new_heap
-        for tc in self.heap.values():
-            for tv in tc.vars.values():
-                tv.fields = {
-                    f: (None if t is None else renaming.apply(t))
-                    for f, t in tv.fields.items()
-                }
-        for binding in self.gamma.values():
+        self._heap_shared = False
+        for region in list(self.heap):
+            tc = self.heap[region]
+            for name, tv in tc.vars.items():
+                if any(
+                    t is not None and renaming.apply(t) != t
+                    for t in tv.fields.values()
+                ):
+                    owned = self.own_tracked(region, name)
+                    owned.fields = {
+                        f: (None if t is None else renaming.apply(t))
+                        for f, t in owned.fields.items()
+                    }
+        for name, binding in list(self.gamma.items()):
             if binding.region is not None:
-                binding.region = renaming.apply(binding.region)
+                image = renaming.apply(binding.region)
+                if image != binding.region:
+                    self.own_gamma()[name] = Binding(binding.ty, image)
+        self._dirty()
 
     # -- internals ---------------------------------------------------------------
 
     def _substitute_region(self, old: Region, new: Region) -> None:
-        for tc in self.heap.values():
-            for tv in tc.vars.values():
-                for f, target in list(tv.fields.items()):
-                    if target == old:
-                        tv.fields[f] = new
-        for binding in self.gamma.values():
+        for region in list(self.heap):
+            tc = self.heap[region]
+            for name, tv in tc.vars.items():
+                if any(target == old for target in tv.fields.values()):
+                    owned = self.own_tracked(region, name)
+                    owned.fields = {
+                        f: (new if t == old else t)
+                        for f, t in owned.fields.items()
+                    }
+        for name, binding in list(self.gamma.items()):
             if binding.region == old:
-                binding.region = new
+                self.own_gamma()[name] = Binding(binding.ty, new)
 
     def _invalidate_refs_to(self, region: Region) -> None:
-        for tc in self.heap.values():
-            for tv in tc.vars.values():
-                for f, target in list(tv.fields.items()):
-                    if target == region:
-                        tv.fields[f] = None
+        for r in list(self.heap):
+            tc = self.heap[r]
+            for name, tv in tc.vars.items():
+                if any(target == region for target in tv.fields.values()):
+                    owned = self.own_tracked(r, name)
+                    owned.fields = {
+                        f: (None if t == region else t)
+                        for f, t in owned.fields.items()
+                    }
 
     # -- well-formedness ---------------------------------------------------------
 

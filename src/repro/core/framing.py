@@ -88,22 +88,25 @@ def frame_away(
         if binding.region is not None and binding.region in regions:
             continue  # hidden together with its region below
         frame.hidden_vars[name] = binding
-        del ctx.gamma[name]
+        del ctx.own_gamma()[name]
+        ctx.mark_dirty()
         tracked_at = ctx.tracked_region_of(name)
         if tracked_at is not None and tracked_at not in regions:
-            tc = ctx.heap[tracked_at]
+            tc = ctx.own_tracking(tracked_at)
             frame.hidden_tracked.append((tracked_at, name, tc.vars.pop(name)))
             if not tc.pinned:
                 tc.pinned = True
                 frame.pinned_regions.add(tracked_at)
+            ctx.mark_dirty()
 
     # Regions: detach wholesale.
     for region in sorted(regions):
-        tc = ctx.heap.pop(region)
+        tc = ctx.own_heap().pop(region)
         frame.hidden_regions[region] = tc
         for name in list(ctx.gamma):
             if ctx.gamma[name].region == region:
-                frame.hidden_vars[name] = ctx.gamma.pop(name)
+                frame.hidden_vars[name] = ctx.own_gamma().pop(name)
+        ctx.mark_dirty()
 
     # Visible tracked fields targeting a hidden region: hide the field,
     # pin the owner.
@@ -117,10 +120,12 @@ def frame_away(
                     frame.hidden_fields.append(
                         (owner_region, owner, fieldname, target)
                     )
-                    del tv.fields[fieldname]
-                    if not tv.pinned:
-                        tv.pinned = True
+                    owned = ctx.own_tracked(owner_region, owner)
+                    del owned.fields[fieldname]
+                    if not owned.pinned:
+                        owned.pinned = True
                         frame.pinned_vars.add(owner)
+                    ctx.mark_dirty()
 
     return frame
 
@@ -147,7 +152,8 @@ def restore(ctx: StaticContext, frame: Frame) -> None:
             raise ContextError(
                 f"cannot restore frame: {overlap} tracked elsewhere now"
             )
-        ctx.heap[region] = tc
+        ctx.own_heap()[region] = tc
+        ctx.mark_dirty()
     for region, name, entry in frame.hidden_tracked:
         tc = ctx.heap.get(region)
         if tc is None:
@@ -159,9 +165,11 @@ def restore(ctx: StaticContext, frame: Frame) -> None:
             raise ContextError(
                 f"cannot restore frame: {name!r} was re-tracked while framed"
             )
-        tc.vars[name] = entry
+        ctx.own_tracking(region).vars[name] = entry
+        ctx.mark_dirty()
     for name, binding in frame.hidden_vars.items():
-        ctx.gamma[name] = binding
+        ctx.own_gamma()[name] = binding
+        ctx.mark_dirty()
 
     for owner_region, owner, fieldname, target in frame.hidden_fields:
         tc = ctx.heap.get(owner_region)
@@ -178,16 +186,17 @@ def restore(ctx: StaticContext, frame: Frame) -> None:
             )
         # A hidden region that was consumed while framed out cannot happen
         # (it was hidden); the target is back by construction.
-        tv.fields[fieldname] = target
+        ctx.own_tracked(owner_region, owner).fields[fieldname] = target
+        ctx.mark_dirty()
 
     # Remove exactly the pins this frame planted.
     for region in frame.pinned_regions:
         if region in ctx.heap:
-            ctx.heap[region].pinned = False
+            ctx.set_region_pinned(region, False)
     for name in frame.pinned_vars:
-        tv = ctx.tracked_var(name)
-        if tv is not None:
-            tv.pinned = False
+        tracked_at = ctx.tracked_region_of(name)
+        if tracked_at is not None:
+            ctx.set_var_pinned(tracked_at, name, False)
 
     frame.hidden_regions.clear()
     frame.hidden_vars.clear()

@@ -7,15 +7,74 @@ retract, attach) invalidates every reference into it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator
 
 
-@dataclass(frozen=True, order=True)
 class Region:
-    """An opaque region name.  Identity is the integer id."""
+    """An opaque region name.  Identity is the integer id.
 
-    ident: int
+    Regions are *interned*: ``Region(7) is Region(7)``, so the hot paths of
+    the checker (snapshot keys, renaming lookups, heap-dict probes) get
+    pointer-identity comparisons and trivially cheap hashing.  Instances are
+    immutable; copying (shallow or deep) returns the same object, which keeps
+    copy-on-write sharing of contexts sound.
+    """
+
+    __slots__ = ("ident",)
+
+    _interned: Dict[int, "Region"] = {}
+
+    def __new__(cls, ident: int) -> "Region":
+        region = cls._interned.get(ident)
+        if region is None:
+            region = super().__new__(cls)
+            object.__setattr__(region, "ident", ident)
+            cls._interned[ident] = region
+        return region
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("Region is immutable")
+
+    def __eq__(self, other) -> bool:
+        return self is other or (
+            isinstance(other, Region) and other.ident == self.ident
+        )
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return self.ident
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.ident < other.ident
+
+    def __le__(self, other) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.ident <= other.ident
+
+    def __gt__(self, other) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.ident > other.ident
+
+    def __ge__(self, other) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self.ident >= other.ident
+
+    def __copy__(self) -> "Region":
+        return self
+
+    def __deepcopy__(self, memo) -> "Region":
+        return self
+
+    def __reduce__(self):
+        return (Region, (self.ident,))
 
     def __str__(self) -> str:
         return f"r{self.ident}"

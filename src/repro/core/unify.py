@@ -76,7 +76,8 @@ def apply_step(ctx: StaticContext, step: Step) -> None:
         if fieldname in tv.fields:
             raise ContextError(f"explore: field {name}.{fieldname} already tracked")
         ctx.add_region(target)
-        tv.fields[fieldname] = target
+        ctx.own_tracked(region, name).fields[fieldname] = target
+        ctx.mark_dirty()
     elif rule == "V4-Retract":
         ctx.retract(args[0], args[1])
     elif rule == "V5-Attach":
@@ -104,9 +105,7 @@ def apply_step(ctx: StaticContext, step: Step) -> None:
         ty = Parser(ty_text).parse_type()
         if region is not None and region not in ctx.heap:
             raise ContextError(f"W-Bind: region {region} absent")
-        from .contexts import Binding
-
-        ctx.gamma[name] = Binding(ty, region)
+        ctx.set_binding(name, ty, region)
     elif rule == "W-GhostRename":
         name, ghost = args
         region = ctx.tracked_region_of(name)
@@ -114,7 +113,7 @@ def apply_step(ctx: StaticContext, step: Step) -> None:
             raise ContextError(f"W-GhostRename: {name!r} not tracked")
         if ctx.tracked_region_of(ghost) is not None:
             raise ContextError(f"W-GhostRename: {ghost!r} already tracked")
-        ctx.heap[region].vars[ghost] = ctx.heap[region].vars.pop(name)
+        ctx.rename_tracked(region, name, ghost)
     elif rule == "T7-SetField":
         name, fieldname, target = args
         region = ctx.tracked_region_of(name)
@@ -125,7 +124,8 @@ def apply_step(ctx: StaticContext, step: Step) -> None:
             raise ContextError(f"T7-SetField: {name!r} is pinned")
         if target not in ctx.heap:
             raise ContextError(f"T7-SetField: target region {target} absent")
-        tv.fields[fieldname] = target
+        ctx.own_tracked(region, name).fields[fieldname] = target
+        ctx.mark_dirty()
     elif rule == "T16-ConsumeRegion":
         ctx.consume_region_for_send(args[0])
     else:
@@ -664,30 +664,10 @@ def search_unify(
     steps0_b = prune(start_b, live)
 
     def norm(ctx: StaticContext) -> Tuple:
-        # Snapshot modulo order-preserving region renaming.
-        mapping: Dict[int, int] = {}
-
-        def canon(ident: int) -> int:
-            return mapping.setdefault(ident, len(mapping))
-
-        heap, gamma = ctx.snapshot()
-        canon_gamma = tuple(
-            (name, ty, canon(r) if r >= 0 else -1) for name, ty, r in gamma
-        )
-        canon_heap = tuple(
-            sorted(
-                (
-                    canon(rid),
-                    pinned,
-                    tuple(
-                        (x, p, tuple((f, canon(t) if t >= 0 else -1) for f, t in fields))
-                        for x, p, fields in vars_snap
-                    ),
-                )
-                for rid, pinned, vars_snap in heap
-            )
-        )
-        return (canon_heap, canon_gamma)
+        # Snapshot modulo order-preserving region renaming; cached on the
+        # context and invalidated by its mutation generation counter, so
+        # re-probing an unchanged state is a dict hit, not a recomputation.
+        return ctx.canonical_key()
 
     State = Tuple[StaticContext, List[Step]]
     frontier_a: Dict[Tuple, State] = {norm(start_a): (start_a, steps0_a)}

@@ -142,18 +142,35 @@ class Interpreter:
             self._disconnected = naive_disconnected
         else:
             raise ValueError(f"unknown disconnect implementation {disconnect!r}")
+        # Verified-erasure fast path (§3.2): for a type-checked program the
+        # reservation checks can never fire, so the guard is chosen ONCE at
+        # construction — erased runs dispatch straight to the identity
+        # function instead of paying a branch per location use.
+        self._guard = self._guard_checked if check_reservations else self._guard_erased
+        tel = _telemetry()
+        if tel.enabled:
+            tel.inc(
+                "machine.guard_mode.checked"
+                if check_reservations
+                else "machine.guard_mode.erased"
+            )
 
     # -- reservation discipline -------------------------------------------------
 
-    def _guard(self, value: RuntimeValue) -> RuntimeValue:
+    def _guard_checked(self, value: RuntimeValue) -> RuntimeValue:
         """The dynamic reservation check applied on every location use."""
-        if self.check_reservations and is_loc(value):
+        if is_loc(value):
             self.stats.reservation_checks += 1
             self.stats.reservation_cost += 1
             if value not in self.reservation:
                 raise ReservationViolation(
                     f"access to {value} outside the thread's reservation"
                 )
+        return value
+
+    @staticmethod
+    def _guard_erased(value: RuntimeValue) -> RuntimeValue:
+        """Erased guard: reservation checks compiled out for verified code."""
         return value
 
     # -- entry points ----------------------------------------------------------

@@ -224,6 +224,9 @@ class Config:
         self._disconnected = (
             efficient_disconnected if disconnect == "efficient" else naive_disconnected
         )
+        # Verified-erasure fast path (§3.2): guard dispatch chosen once at
+        # construction, mirroring Interpreter.
+        self._guard = self._guard_checked if check_reservations else self._guard_erased
         fdef = program.func(func)
         if len(fdef.params) != len(list(args)):
             raise MachineError(f"{func}: arity mismatch")
@@ -243,12 +246,16 @@ class Config:
 
     # -- dynamic reservation checks (E2, E5A, E7A, E8) ------------------------
 
-    def _guard(self, value: RuntimeValue) -> RuntimeValue:
-        if self.check_reservations and is_loc(value):
+    def _guard_checked(self, value: RuntimeValue) -> RuntimeValue:
+        if is_loc(value):
             if value not in self.reservation:
                 raise ReservationViolation(
                     f"access to {value} outside the thread's reservation"
                 )
+        return value
+
+    @staticmethod
+    def _guard_erased(value: RuntimeValue) -> RuntimeValue:
         return value
 
     # -- the transition function ------------------------------------------------

@@ -79,6 +79,7 @@ def context_from_snapshot(snap: ContextSnap) -> StaticContext:
         max_id = max(max_id, rid)
         ctx.gamma[name] = Binding(_parse_type(ty_text), region)
     ctx.supply = RegionSupply(max_id + 1)
+    ctx.mark_dirty()
     return ctx
 
 
