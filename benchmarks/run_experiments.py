@@ -259,6 +259,43 @@ def bench_speed_report():
     print()
 
 
+def fuzz_campaign():
+    """A fixed-seed differential-fuzzing campaign; any oracle violation
+    fails the experiment, and the report must validate against
+    fuzz.schema.json."""
+    import json
+
+    from repro.fuzz import FuzzConfig, run_campaign
+    from repro.telemetry import validate
+
+    print("=" * 70)
+    print("FUZZ — differential soundness fuzzing (checker vs verifier vs "
+          "runtime vs erasure)")
+    print("=" * 70)
+    report = run_campaign(FuzzConfig(seed=0, budget=100, schedules=3))
+    schema = json.loads(
+        (Path(__file__).resolve().parent / "fuzz.schema.json").read_text()
+    )
+    validate(report, schema)
+    cases = report["cases"]
+    print(
+        f"seed {report['seed']}: {cases['generated']} programs "
+        f"({cases['accepted']} accepted), {cases['mutants']} mutants, "
+        f"{report['schedules']['random']} random + "
+        f"{report['schedules']['enumerated']} enumerated schedules"
+    )
+    coverage = " ".join(
+        f"{rule}={count}" for rule, count in report["coverage"].items()
+    )
+    print(f"vt coverage: {coverage}")
+    for violation in report["violations"]:
+        print(f"VIOLATION [{violation['oracle']}]: {violation['detail']}")
+    assert all(report["coverage"].values()), "V1–V5 coverage incomplete"
+    assert report["clean"], f"{len(report['violations'])} oracle violations"
+    print("0 oracle violations")
+    print()
+
+
 EXPERIMENTS = (
     ("E1", e1_table1),
     ("E2", e2_checker_speed),
@@ -268,6 +305,7 @@ EXPERIMENTS = (
     ("E6", e6_writes),
     ("E7", e7_concurrency),
     ("E8", e8_semantics_agreement),
+    ("FUZZ", fuzz_campaign),
     ("BENCH", bench_speed_report),
 )
 

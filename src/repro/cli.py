@@ -12,6 +12,9 @@ Commands:
 * ``corpus``                — list, check, and verify the bundled corpus.
 * ``bench``                 — wall-clock benchmarks (``--json`` emits the
   ``repro-bench/1`` document; see docs/PERFORMANCE.md).
+* ``fuzz``                  — differential soundness fuzzing: generate
+  random programs and cross-check checker/verifier/runtime/erasure
+  (``--json`` emits the ``repro-fuzz/1`` report; see docs/FUZZING.md).
 
 ``check``/``run``/``verify``/``stats`` all accept ``--metrics-json FILE``
 to dump the telemetry registry as structured JSON (schema
@@ -203,6 +206,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         from .runtime.trace import Tracer
 
         tracer = Tracer()
+        if args.seed is not None:
+            tracer.metadata["seed"] = args.seed
     heap = Heap(tracer=tracer)
     # Verified-erasure fast path: the program type-checked, so the
     # reservation guards are compiled out at interpreter construction.
@@ -214,6 +219,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             _parse_args(args.args),
             heap=heap,
             check_reservations=check_reservations,
+            seed=args.seed,
         )
     except Exception as exc:  # surfaced verbatim: runtime failures matter
         print(f"runtime error: {exc}", file=sys.stderr)
@@ -232,6 +238,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 _parse_args(args.args),
                 heap=heap2,
                 check_reservations=False,
+                seed=args.seed,
             )
         except Exception as exc:
             print(f"paranoid: erased run failed: {exc}", file=sys.stderr)
@@ -257,6 +264,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         try:
             with open(args.trace_json, "w") as fh:
+                # Reproduction metadata (e.g. --seed) rides along as one
+                # leading {"meta": ...} line; absent when there is none,
+                # so metadata-free exports are byte-stable across versions.
+                if tracer.metadata:
+                    fh.write(json.dumps({"meta": tracer.metadata}) + "\n")
                 for event in tracer.to_dicts():
                     fh.write(json.dumps(event) + "\n")
         except OSError as exc:
@@ -427,6 +439,79 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential soundness fuzzing (see docs/FUZZING.md).  Exit code 0
+    means the campaign matched expectations: no violations normally, at
+    least one caught violation under ``--inject-bug``.  Exit code 5 means
+    the opposite — a real soundness finding, or an injected bug the
+    oracles failed to catch."""
+    import json
+
+    from .fuzz import FuzzConfig, run_campaign
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        schedules=args.schedules,
+        enumerate_limit=args.enumerate_limit,
+        shrink=not args.no_shrink,
+        stop_after=args.stop_after,
+        inject_bug=args.inject_bug,
+    )
+    try:
+        report = run_campaign(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cases = report["cases"]
+    violations = report["violations"]
+    print(
+        f"fuzz: seed={report['seed']} budget={report['budget']} "
+        f"generated={cases['generated']} accepted={cases['accepted']} "
+        f"rejected={cases['rejected']} mutants={cases['mutants']} "
+        f"(benign {cases['mutants_benign']}) "
+        f"schedules={report['schedules']['random']}+"
+        f"{report['schedules']['enumerated']} "
+        f"violations={len(violations)} [{report['wall_ms']} ms]"
+    )
+    coverage = " ".join(
+        f"{rule}={count}" for rule, count in report["coverage"].items()
+    )
+    print(f"  vt coverage: {coverage}")
+    for violation in violations:
+        tag = f" via {violation['mutation']}" if violation["mutation"] else ""
+        print(
+            f"  VIOLATION [{violation['oracle']}] case "
+            f"{violation['case']}{tag}: {violation['detail']}"
+        )
+        shrunk = violation["shrunk"]
+        if shrunk is not None:
+            print(
+                f"    shrunk to {shrunk['nodes']} AST nodes "
+                f"({shrunk['evals']} predicate runs)"
+            )
+    if args.json:
+        try:
+            Path(args.json).write_text(json.dumps(report, indent=1) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote fuzz report to {args.json}", file=sys.stderr)
+    if args.inject_bug:
+        if violations:
+            print(
+                f"injected bug {args.inject_bug!r} caught by the "
+                f"{violations[0]['oracle']} oracle"
+            )
+            return 0
+        print(
+            f"injected bug {args.inject_bug!r} ESCAPED every oracle",
+            file=sys.stderr,
+        )
+        return 5
+    return 5 if violations else 0
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     from .baselines import render_table
 
@@ -515,6 +600,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the heap-event trace as JSON lines to FILE",
     )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="scheduler seed recorded in trace/metrics metadata so a run "
+        "can be reproduced exactly (single-threaded runs are "
+        "deterministic regardless)",
+    )
     metrics_flag(p)
     p.set_defaults(func=cmd_run)
 
@@ -571,6 +664,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="smaller corpus/chains/widths (CI smoke mode)",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz", help="differential soundness fuzzing (docs/FUZZING.md)"
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument(
+        "--budget", type=int, default=200, help="base cases to generate"
+    )
+    p.add_argument(
+        "--schedules",
+        type=int,
+        default=4,
+        help="random schedules per accepted case",
+    )
+    p.add_argument(
+        "--enumerate-limit",
+        type=int,
+        default=120,
+        help="bounded-exhaustive schedule cap per case (<= 3 threads)",
+    )
+    p.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the repro-fuzz/1 report to FILE",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing programs without minimizing them",
+    )
+    p.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N violations instead of exhausting the budget",
+    )
+    p.add_argument(
+        "--inject-bug",
+        metavar="NAME",
+        default=None,
+        help="self-test: doctor the checker with a named unsoundness "
+        "(e.g. send-keeps-region) and demand the oracles catch it",
+    )
+    metrics_flag(p)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("table1", help="regenerate the Table 1 matrix")
     p.set_defaults(func=cmd_table1)

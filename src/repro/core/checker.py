@@ -63,6 +63,13 @@ class CheckProfile:
     #: Use the greedy + liveness-oracle unifier; when False, every join goes
     #: through the exponential backtracking search (benchmark E4).
     use_liveness_oracle: bool = True
+    #: FAULT INJECTION — fuzzer self-test only.  When True, T16-Send keeps
+    #: the sent region in the context (no alias invalidation, no region
+    #: consumption), i.e. the checker wrongly accepts use-after-send.  The
+    #: differential fuzzer (`repro fuzz --inject-bug`) must catch the
+    #: resulting prover/verifier/runtime disagreement; never enable this
+    #: outside that self-test.
+    unsound_send_keeps_region: bool = False
 
 
 DEFAULT_PROFILE = CheckProfile()
@@ -117,10 +124,24 @@ class Checker:
     def check_function(self, name: str) -> FuncDerivation:
         fdef = self.program.func(name)
         tel = _telemetry()
-        if not tel.enabled:
-            return _FuncChecker(self, fdef).check()
-        with tel.span(f"check.fn.{name}"):
-            return _FuncChecker(self, fdef).check()
+        try:
+            if not tel.enabled:
+                return _FuncChecker(self, fdef).check()
+            with tel.span(f"check.fn.{name}"):
+                return _FuncChecker(self, fdef).check()
+        except TypeError_ as exc:
+            # Every rejection gets a stable line:col anchor: errors raised
+            # without a source position (function-exit unification, tracking
+            # side conditions deep in the context machinery) are re-anchored
+            # at the offending function's header.
+            if exc.span is None or not exc.span.line:
+                raise type(exc)(
+                    f"{name}: {exc.message}"
+                    if not exc.message.startswith(f"{name}:")
+                    else exc.message,
+                    fdef.span,
+                ) from exc
+            raise
 
     # Convenience predicates used by examples/baselines.
 
@@ -1241,6 +1262,18 @@ class _FuncChecker:
             )
         live = self.liveness.live_after(node)
         steps = self._empty_region_tracking(ctx, value.region, frozenset(live))
+        if self.profile.unsound_send_keeps_region:
+            # Seeded soundness bug (see CheckProfile): treat send as a
+            # non-consuming read.  The emitted T16-Send node lacks its
+            # consume step and every alias survives, so the independent
+            # verifier and the guarded runtime must both disagree with us.
+            return (
+                Value(ast.UNIT, None),
+                "T16-Send",
+                steps,
+                [child],
+                {"region": value.region.ident, "type": str(value.ty)},
+            )
         inbound = ctx.inbound_refs(value.region)
         for _owner_region, owner, fieldname in inbound:
             ctx.invalidate_field(owner, fieldname)

@@ -22,23 +22,26 @@ class DeclarationError(TypeError_):
     """A struct or function declaration is malformed."""
 
 
-def _check_type(ty: ast.Type, program: ast.Program, where: str) -> None:
+def _check_type(ty: ast.Type, program: ast.Program, where: str, span=None) -> None:
     base = ast.strip_maybe(ty)
     if isinstance(base, ast.StructType) and base.name not in program.structs:
-        raise UnknownName(f"{where}: unknown struct type {base.name!r}")
+        raise UnknownName(f"{where}: unknown struct type {base.name!r}", span)
 
 
 def validate_program(program: ast.Program, profile: "CheckProfile") -> None:
-    """Raise a :class:`TypeError_` subclass when declarations are invalid."""
+    """Raise a :class:`TypeError_` subclass when declarations are invalid.
+    Declaration errors carry the declaration's own source span so CLI
+    diagnostics can point at the offending field or parameter."""
     for sdef in program.structs.values():
         for fdecl in sdef.fields:
             where = f"struct {sdef.name}, field {fdecl.name}"
-            _check_type(fdecl.ty, program, where)
+            _check_type(fdecl.ty, program, where, fdecl.span)
             regioned = ast.strip_maybe(fdecl.ty).is_struct()
             if fdecl.is_iso and not regioned:
                 raise DeclarationError(
                     f"{where}: iso fields must hold struct or maybe-of-struct "
-                    f"values, not {fdecl.ty}"
+                    f"values, not {fdecl.ty}",
+                    fdecl.span,
                 )
             if (
                 not profile.allow_intra_region_refs
@@ -48,7 +51,8 @@ def validate_program(program: ast.Program, profile: "CheckProfile") -> None:
                 raise DeclarationError(
                     f"{where}: profile {profile.name!r} forbids intra-region "
                     "(non-iso) references between objects; every object "
-                    "reference must be a unique/affine edge"
+                    "reference must be a unique/affine edge",
+                    fdecl.span,
                 )
 
     for fdef in program.funcs.values():
@@ -56,7 +60,11 @@ def validate_program(program: ast.Program, profile: "CheckProfile") -> None:
         seen = set()
         for param in fdef.params:
             if param.name in seen:
-                raise DeclarationError(f"{where}: duplicate parameter {param.name!r}")
+                raise DeclarationError(
+                    f"{where}: duplicate parameter {param.name!r}", param.span
+                )
             seen.add(param.name)
-            _check_type(param.ty, program, f"{where}, parameter {param.name}")
-        _check_type(fdef.return_type, program, f"{where}, return type")
+            _check_type(
+                param.ty, program, f"{where}, parameter {param.name}", param.span
+            )
+        _check_type(fdef.return_type, program, f"{where}, return type", fdef.span)

@@ -23,6 +23,7 @@ PROGRAMS = {
     "algorithms": "algorithms.fcl",
     "ntree": "ntree.fcl",
     "signatures": "signatures.fcl",
+    "fuzzmin": "fuzzmin.fcl",
 }
 
 

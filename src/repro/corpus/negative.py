@@ -255,6 +255,38 @@ def f() : unit {
 def identity(d : data) : data { d }
 """,
     ),
+    # The two entries below were found by the differential fuzzer
+    # (`repro fuzz`) as should-reject mutants of generated relay threads
+    # and auto-shrunk to these minimal forms (see docs/FUZZING.md).
+    NegativeCase(
+        "fuzz-wrapped-double-send",
+        "wrapping a received region into an iso field does not license sending the wrapper twice",
+        errors.SendError,
+        _PRELUDE + """
+struct pkt { iso payload : data; }
+def relay() : unit {
+  let d = recv(data);
+  let w = new pkt(payload = d);
+  send(w);
+  send(w)
+}
+""",
+    ),
+    NegativeCase(
+        "fuzz-send-use-wrapper",
+        "a freshly wrapped packet dies with its send, like any other region",
+        errors.SendError,
+        _PRELUDE + """
+struct pkt { iso payload : data; }
+def relay() : box {
+  let d = recv(data);
+  let w = new pkt(payload = d);
+  send(w);
+  let b = new box(inner = w.payload);
+  b
+}
+""",
+    ),
 ]
 
 

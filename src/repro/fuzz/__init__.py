@@ -1,0 +1,37 @@
+"""Differential soundness fuzzing for the FCL stack.
+
+Generates seeded streams of (mostly) well-typed concurrent programs and
+cross-checks every layer of the reproduction against every other:
+checker vs verifier, static acceptance vs dynamic reservation checks
+across many schedules, and guarded vs erased execution traces.  See
+``docs/FUZZING.md`` for the user-facing guide and ``repro fuzz --help``
+for the CLI.
+"""
+
+from .campaign import INJECTABLE_BUGS, SCHEMA, FuzzConfig, run_campaign
+from .explore import ExplorationResult, ScheduleOutcome, enumerate_schedules
+from .gen import GenCase, MUTATIONS, ProgramGen, mutate
+from .oracles import CaseOutcome, OracleConfig, Violation, check_case
+from .shrink import ShrinkResult, count_nodes, minimal_schedule, shrink_source
+
+__all__ = [
+    "CaseOutcome",
+    "ExplorationResult",
+    "FuzzConfig",
+    "GenCase",
+    "INJECTABLE_BUGS",
+    "MUTATIONS",
+    "OracleConfig",
+    "ProgramGen",
+    "SCHEMA",
+    "ScheduleOutcome",
+    "ShrinkResult",
+    "Violation",
+    "check_case",
+    "count_nodes",
+    "enumerate_schedules",
+    "minimal_schedule",
+    "mutate",
+    "run_campaign",
+    "shrink_source",
+]

@@ -1,0 +1,560 @@
+"""Seeded generator of random FCL programs for the differential fuzzer.
+
+Programs are *mostly well-typed by construction*: statements are drawn
+from templates whose region discipline is known (a consumed variable is
+retired from the pools, ``if disconnected`` operands are linked into one
+region first, loop bodies only touch loop-local state), so the checker
+accepts the bulk of the stream while still being exercised on focus,
+retract, attach, send/recv, and `if disconnected` forms.  Two shapes:
+
+* ``pipeline`` — 2–4 threads chained ``source → relay* → sink`` with a
+  distinct struct type per hop (send/recv pairing is by type), balanced
+  send/recv counts (deadlock-free by construction), and randomized
+  per-thread compute;
+* ``single`` — one thread of straight-line/branchy/loopy compute with no
+  messaging.
+
+Every program also carries a small fixed library (``chain``/``chop`` are
+the quickstart list builders) that collectively exercises all five
+virtual transformations V1–V5, so `checker.vt.*` coverage is a property
+of every campaign, not an accident of the dice.
+
+:func:`mutate` derives "should-reject" variants by re-using a variable
+the base program consumed (use-after-send, double consume, alias escape,
+aliased arguments).  The differential oracles do not *assume* mutants are
+rejected — a mutant the checker accepts is simply run under the full
+dynamic-check regime, which is exactly how a checker bug becomes a
+caught soundness violation (see :mod:`repro.fuzz.oracles`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+#: Struct + helper prelude shared by every generated program.  ``chain``
+#: and ``chop`` are the quickstart singly-linked-list builders (V1–V4);
+#: ``keep_one`` attaches into a non-iso container (V5-Attach).
+PRELUDE = """\
+struct data { v : int; }
+struct pkt { iso payload : data; }
+struct pkt2 { iso payload : data; }
+struct box { iso inner : data?; tag : int; }
+struct open { kept : data?; tag : int; }
+struct cell { other : cell; tag : int; }
+struct sl_node { iso payload : data; iso next : sl_node?; }
+struct sl { iso hd : sl_node?; }
+
+def mk(n : int) : data { new data(v = n) }
+
+def read1(d : data) : int { d.v }
+
+def sum2(a, b : data) : int { a.v + b.v }
+
+def bump(o : open) : unit { o.tag = o.tag + 1 }
+
+def stash(b : box, d : data) : unit consumes d { b.inner = some(d) }
+
+def keep_one(o : open, d : data) : unit consumes d { o.kept = some(d) }
+
+def sl_push(l : sl, d : data) : unit consumes d {
+  let node = new sl_node(payload = d, next = l.hd);
+  l.hd = some(node)
+}
+
+def sl_pop(l : sl) : data? {
+  let some(node) = l.hd in {
+    l.hd = node.next;
+    some(node.payload)
+  } else { none }
+}
+
+def chain(n : int) : sl {
+  let l = new sl();
+  while (n > 0) {
+    let d = new data(v = n);
+    let node = new sl_node(payload = d, next = l.hd);
+    l.hd = some(node);
+    n = n - 1
+  };
+  l
+}
+
+def chop(n : sl_node) : data? {
+  let some(next) = n.next in {
+    if (is_none(next.next)) {
+      n.next = none;
+      some(next.payload)
+    } else { chop(next) }
+  } else { none }
+}
+"""
+
+#: Hop types of a pipeline, in order: thread i sends HOP_TYPES[i] and
+#: thread i+1 receives it.
+HOP_TYPES = ("data", "pkt", "pkt2")
+
+
+@dataclass(frozen=True)
+class Event:
+    """A mutation anchor: something notable the generator did to a data
+    variable at a given line of a given function body."""
+
+    kind: str  # "consume" | "create"
+    func: str
+    line: int  # index into the function's line list
+    var: str
+    indent: str
+
+
+@dataclass
+class GenFunc:
+    name: str
+    header: str  # everything before the opening brace
+    lines: List[str] = field(default_factory=list)
+    result: str = "()"
+
+    def render(self) -> str:
+        body = "\n".join(self.lines + [f"  {self.result}"])
+        return f"{self.header} {{\n{body}\n}}"
+
+
+@dataclass
+class GenCase:
+    """One fuzz case: a program plus how to run it."""
+
+    ident: str
+    kind: str  # "pipeline" | "single"
+    source: str
+    #: (function, int args) per thread, in spawn order.
+    spawns: List[Tuple[str, List[int]]]
+    #: Mutation applied, None for base (should-accept) cases.
+    mutation: Optional[str] = None
+    #: Mutation anchors (base cases only).
+    events: List[Event] = field(default_factory=list)
+    funcs: List[GenFunc] = field(default_factory=list)
+
+    def with_source(self, source: str) -> "GenCase":
+        """The same scenario over different program text (used by the
+        shrinker; events/funcs no longer correspond and are dropped)."""
+        return replace(self, source=source, events=[], funcs=[])
+
+
+def render_program(funcs: List[GenFunc]) -> str:
+    return PRELUDE + "\n" + "\n\n".join(f.render() for f in funcs) + "\n"
+
+
+class _Body:
+    """Generates one function body: tracks which variables of each kind
+    are alive so consuming templates retire what they use."""
+
+    def __init__(self, gen: "ProgramGen", func: GenFunc, acc: str):
+        self.gen = gen
+        self.rng = gen.rng
+        self.func = func
+        self.acc = acc
+        self.datas: List[str] = []
+        self.boxes: List[str] = []
+        self.opens: List[str] = []
+        self.sls: List[str] = []
+        self.events: List[Event] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def emit(self, text: str, indent: str = "  ") -> int:
+        self.func.lines.append(f"{indent}{text}")
+        return len(self.func.lines) - 1
+
+    def fresh(self, prefix: str) -> str:
+        self.gen.counter += 1
+        return f"{prefix}{self.gen.counter}"
+
+    def note(self, kind: str, var: str, line: int, indent: str = "  ") -> None:
+        self.events.append(Event(kind, self.func.name, line, var, indent))
+
+    def new_data(self, indent: str = "  ") -> str:
+        name = self.fresh("d")
+        value = self.rng.randrange(0, 9)
+        init = f"mk({value})" if self.rng.random() < 0.3 else f"new data(v = {value})"
+        line = self.emit(f"let {name} = {init};", indent)
+        if indent == "  ":
+            self.datas.append(name)
+            self.note("create", name, line, indent)
+        return name
+
+    def take_data(self) -> Optional[str]:
+        if not self.datas:
+            return None
+        name = self.rng.choice(self.datas)
+        self.datas.remove(name)
+        return name
+
+    # -- statement templates ----------------------------------------------
+
+    def stmt(self) -> None:
+        """Emit one random top-level statement."""
+        template = self.rng.choice(self._TEMPLATES)
+        template(self)
+
+    def t_new_data(self) -> None:
+        self.new_data()
+
+    def t_new_box(self) -> None:
+        name = self.fresh("b")
+        self.emit(f"let {name} = new box(tag = {self.rng.randrange(0, 5)});")
+        self.boxes.append(name)
+
+    def t_new_open(self) -> None:
+        name = self.fresh("o")
+        self.emit(f"let {name} = new open(tag = {self.rng.randrange(0, 5)});")
+        self.opens.append(name)
+
+    def t_new_sl(self) -> None:
+        name = self.fresh("s")
+        self.emit(f"let {name} = new sl();")
+        self.sls.append(name)
+
+    def t_stash(self) -> None:
+        if not self.boxes:
+            return self.t_new_box()
+        d = self.take_data()
+        if d is None:
+            return self.t_new_data()
+        b = self.rng.choice(self.boxes)
+        form = (
+            f"stash({b}, {d});"
+            if self.rng.random() < 0.5
+            else f"{b}.inner = some({d});"
+        )
+        line = self.emit(form)
+        self.note("consume", d, line)
+
+    def t_attach_open(self) -> None:
+        if not self.opens:
+            return self.t_new_open()
+        d = self.take_data()
+        if d is None:
+            return self.t_new_data()
+        o = self.rng.choice(self.opens)
+        form = (
+            f"keep_one({o}, {d});"
+            if self.rng.random() < 0.5
+            else f"{o}.kept = some({d});"
+        )
+        line = self.emit(form)
+        self.note("consume", d, line)
+
+    def t_push(self) -> None:
+        if not self.sls:
+            return self.t_new_sl()
+        d = self.take_data()
+        if d is None:
+            return self.t_new_data()
+        s = self.rng.choice(self.sls)
+        line = self.emit(f"sl_push({s}, {d});")
+        self.note("consume", d, line)
+
+    def t_pop_read(self) -> None:
+        if not self.sls:
+            return self.t_new_sl()
+        s = self.rng.choice(self.sls)
+        self.emit(
+            f"{self.acc} = {self.acc} + "
+            f"(let some(x) = sl_pop({s}) in {{ x.v }} else {{ 0 }});"
+        )
+
+    def t_focus_read(self) -> None:
+        if not self.boxes:
+            return self.t_new_box()
+        b = self.rng.choice(self.boxes)
+        self.emit(
+            f"{self.acc} = {self.acc} + "
+            f"(let some(x) = {b}.inner in {{ x.v }} else {{ {b}.tag }});"
+        )
+
+    def t_open_read(self) -> None:
+        if not self.opens:
+            return self.t_new_open()
+        o = self.rng.choice(self.opens)
+        self.emit(
+            f"{self.acc} = {self.acc} + "
+            f"(let some(x) = {o}.kept in {{ x.v }} else {{ {o}.tag }});"
+        )
+
+    def t_read_data(self) -> None:
+        if not self.datas:
+            return self.t_new_data()
+        d = self.rng.choice(self.datas)
+        call = f"read1({d})" if self.rng.random() < 0.4 else f"{d}.v"
+        self.emit(f"{self.acc} = {self.acc} + {call};")
+
+    def t_sum2(self) -> None:
+        if len(self.datas) < 2:
+            return self.t_new_data()
+        a, b = self.rng.sample(self.datas, 2)
+        self.emit(f"{self.acc} = {self.acc} + sum2({a}, {b});")
+
+    def t_bump(self) -> None:
+        if not self.opens:
+            return self.t_new_open()
+        self.emit(f"bump({self.rng.choice(self.opens)});")
+
+    def t_cells_disconnected(self) -> None:
+        a = self.fresh("c")
+        b = self.fresh("c")
+        self.emit(f"let {a} = new cell(tag = {self.rng.randrange(0, 4)});")
+        self.emit(f"let {b} = new cell(tag = {self.rng.randrange(0, 4)});")
+        self.emit(f"{a}.other = {b};")
+        self.emit(f"if disconnected({a}, {b}) {{")
+        self.emit(f"{self.acc} = {self.acc} + 1;", "    ")
+        self.emit("} else {")
+        self.emit(f"{self.acc} = {self.acc} + 2;", "    ")
+        self.emit("};")
+
+    def t_if_acc(self) -> None:
+        pivot = self.rng.randrange(0, 6)
+        self.emit(f"if ({self.acc} > {pivot}) {{")
+        self.emit(f"{self.acc} = {self.acc} + {self.rng.randrange(1, 4)};", "    ")
+        self.emit("} else {")
+        self.emit(f"{self.acc} = {self.acc} % 97;", "    ")
+        self.emit("};")
+
+    def t_while_local(self) -> None:
+        i = self.fresh("i")
+        self.emit(f"let {i} = {self.rng.randrange(1, 4)};")
+        self.emit(f"while ({i} > 0) {{")
+        d = self.new_data("    ")
+        self.emit(f"{self.acc} = {self.acc} + {d}.v;", "    ")
+        self.emit(f"{i} = {i} - 1", "    ")
+        self.emit("};")
+
+    def t_chain_chop(self) -> None:
+        l = self.fresh("l")
+        self.emit(f"let {l} = chain({self.rng.randrange(1, 4)});")
+        self.emit(f"let some(h) = {l}.hd in {{")
+        self.emit(
+            f"{self.acc} = {self.acc} + "
+            "(let some(x) = chop(h) in { x.v } else { 0 });",
+            "    ",
+        )
+        self.emit(f"}} else {{ {self.acc} = {self.acc} + 0; }};")
+
+    _TEMPLATES = (
+        t_new_data,
+        t_new_box,
+        t_new_open,
+        t_new_sl,
+        t_stash,
+        t_attach_open,
+        t_push,
+        t_pop_read,
+        t_focus_read,
+        t_open_read,
+        t_read_data,
+        t_read_data,
+        t_sum2,
+        t_bump,
+        t_cells_disconnected,
+        t_if_acc,
+        t_while_local,
+        t_chain_chop,
+    )
+
+
+class ProgramGen:
+    """The seeded program factory: ``ProgramGen(random.Random(seed))``
+    yields a deterministic case stream via :meth:`generate`."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.counter = 0
+        self._serial = 0
+        # Bodies of the pipeline being generated (for event harvesting).
+        self._bodies: List[Tuple[GenFunc, _Body]] = []
+
+    def generate(self) -> GenCase:
+        self.counter = 0
+        self._serial += 1
+        if self.rng.random() < 0.35:
+            return self._single_case()
+        return self._pipeline_case()
+
+    # -- shapes -------------------------------------------------------------
+
+    def _single_case(self) -> GenCase:
+        func = GenFunc("t_main", "def t_main() : int")
+        body = _Body(self, func, "acc")
+        body.emit("let acc = 0;")
+        for _ in range(self.rng.randrange(3, 10)):
+            body.stmt()
+        func.result = "acc"
+        return GenCase(
+            ident=f"g{self._serial}",
+            kind="single",
+            source=render_program([func]),
+            spawns=[("t_main", [])],
+            events=body.events,
+            funcs=[func],
+        )
+
+    def _pipeline_case(self) -> GenCase:
+        threads = self.rng.randrange(2, 5)
+        items = self.rng.randrange(1, 4)
+        hops = list(HOP_TYPES[: threads - 1])
+        funcs = [self._source(hops[0], items)]
+        for index in range(1, threads - 1):
+            funcs.append(
+                self._relay(f"t_rly{index}", hops[index - 1], hops[index], items)
+            )
+        funcs.append(self._sink(hops[-1], items))
+        events = [e for f, b in self._bodies for e in b.events]
+        return GenCase(
+            ident=f"g{self._serial}",
+            kind="pipeline",
+            source=render_program(funcs),
+            spawns=[(f.name, [items]) for f in funcs],
+            events=events,
+            funcs=funcs,
+        )
+
+    def _body(self, func: GenFunc, acc: str) -> _Body:
+        body = _Body(self, func, acc)
+        if func.name == "t_src":
+            self._bodies = []
+        self._bodies.append((func, body))
+        return body
+
+    def _preamble(self, body: _Body, count: int) -> None:
+        for _ in range(self.rng.randrange(0, count + 1)):
+            body.stmt()
+
+    def _emit_send(self, body: _Body, var: str, out_ty: str, indent: str) -> None:
+        """Send ``var``, wrapping it into the hop's packet type first.
+        The wrapper must be let-bound: ``new`` with iso-field initializers
+        is only legal directly under a ``let``."""
+        if out_ty != "data":
+            line = body.emit(f"let w = new {out_ty}(payload = {var});", indent)
+            body.note("consume", var, line, indent)
+            var = "w"
+        line = body.emit(f"send({var});", indent)
+        body.note("consume", var, line, indent)
+
+    def _source(self, out_ty: str, items: int) -> GenFunc:
+        func = GenFunc("t_src", "def t_src(n : int) : unit")
+        body = self._body(func, "acc")
+        body.emit("let acc = 0;")
+        self._preamble(body, 2)
+        if self.rng.random() < 0.5:
+            # Unrolled: each send is a distinct mutation anchor.
+            for index in range(items):
+                d = body.new_data()
+                body.datas.remove(d)
+                self._emit_send(body, d, out_ty, "  ")
+        else:
+            body.emit("while (n > 0) {")
+            body.emit(f"let d = new data(v = n + {self.rng.randrange(0, 4)});", "    ")
+            self._emit_send(body, "d", out_ty, "    ")
+            body.emit("n = n - 1", "    ")
+            body.emit("};")
+        func.result = "()"
+        return func
+
+    def _relay(self, name: str, in_ty: str, out_ty: str, items: int) -> GenFunc:
+        func = GenFunc(name, f"def {name}(n : int) : unit")
+        body = self._body(func, "acc")
+        body.emit("let acc = 0;")
+        self._preamble(body, 2)
+        if self.rng.random() < 0.4:
+            # Buffered relay (the queue-corpus shape): drain everything
+            # into a local list, then forward.
+            body.emit("let buf = new sl();")
+            body.emit("let i = n;")
+            body.emit("while (i > 0) {")
+            body.emit(f"let d = {self._recv_payload(in_ty)};", "    ")
+            body.emit("sl_push(buf, d);", "    ")
+            body.emit("i = i - 1", "    ")
+            body.emit("};")
+            body.emit("let j = n;")
+            body.emit("while (j > 0) {")
+            body.emit("let some(d) = sl_pop(buf) in {", "    ")
+            self._emit_send(body, "d", out_ty, "      ")
+            body.emit("} else { () };", "    ")
+            body.emit("j = j - 1", "    ")
+            body.emit("};")
+        else:
+            body.emit("while (n > 0) {")
+            body.emit(f"let d = {self._recv_payload(in_ty)};", "    ")
+            if self.rng.random() < 0.5:
+                body.emit("acc = acc + d.v;", "    ")
+            self._emit_send(body, "d", out_ty, "    ")
+            body.emit("n = n - 1", "    ")
+            body.emit("};")
+        func.result = "()"
+        return func
+
+    def _sink(self, in_ty: str, items: int) -> GenFunc:
+        func = GenFunc("t_sink", "def t_sink(n : int) : int")
+        body = self._body(func, "total")
+        body.emit("let total = 0;")
+        body.acc = "total"
+        self._preamble(body, 2)
+        body.emit("while (n > 0) {")
+        body.emit(f"let d = {self._recv_payload(in_ty)};", "    ")
+        body.emit("total = total + d.v;", "    ")
+        body.emit("n = n - 1", "    ")
+        body.emit("};")
+        func.result = "total"
+        return func
+
+    def _recv_payload(self, ty: str) -> str:
+        """Receive one hop value and surface its ``data`` payload."""
+        if ty == "data":
+            return "recv(data)"
+        # Focusing the received packet's iso payload is a V1 per item.
+        return f"{{ let p = recv({ty}); p.payload }}"
+
+
+#: Mutation kinds `mutate` can apply, in the order they are attempted.
+MUTATIONS = (
+    "use-after-consume",
+    "double-consume",
+    "alias-escape",
+    "aliased-args",
+)
+
+
+def mutate(case: GenCase, rng: random.Random) -> Optional[GenCase]:
+    """A "should-reject" variant of ``case``: re-use a variable the base
+    program consumed (or alias it into a separation violation).  Returns
+    None when the case offers no mutation anchor."""
+    kind = rng.choice(MUTATIONS)
+    if kind == "aliased-args":
+        anchors = [e for e in case.events if e.kind == "create"]
+    else:
+        anchors = [e for e in case.events if e.kind == "consume"]
+    if not anchors:
+        return None
+    anchor = rng.choice(anchors)
+    funcs = [GenFunc(f.name, f.header, list(f.lines), f.result) for f in case.funcs]
+    func = next(f for f in funcs if f.name == anchor.func)
+    pad = anchor.indent
+    if kind == "use-after-consume":
+        func.lines.insert(anchor.line + 1, f"{pad}read1({anchor.var});")
+    elif kind == "double-consume":
+        func.lines.insert(anchor.line + 1, func.lines[anchor.line])
+    elif kind == "alias-escape":
+        func.lines.insert(anchor.line, f"{pad}let zz = {anchor.var};")
+        func.lines.insert(anchor.line + 2, f"{pad}read1(zz);")
+    elif kind == "aliased-args":
+        func.lines.insert(
+            anchor.line + 1, f"{pad}sum2({anchor.var}, {anchor.var});"
+        )
+    return replace(
+        case,
+        ident=f"{case.ident}-m",
+        source=render_program(funcs),
+        mutation=kind,
+        events=[],
+        funcs=funcs,
+    )

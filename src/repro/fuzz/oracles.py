@@ -1,0 +1,291 @@
+"""The differential oracles: what the fuzzer asserts about each case.
+
+A generated (or mutated) program is pushed through the full stack and the
+layers are made to disagree-check each other:
+
+1. **prover/verifier** — whatever the checker accepts, the independent
+   verifier must accept too (`checker.check_program()` derivation replayed
+   through `Verifier.verify_program`).  Whatever the checker rejects must
+   be rejected with a *usable* diagnostic (a source span inside the
+   program, renderable by :func:`repro.lang.diagnostics.render_diagnostic`).
+2. **static/dynamic** — an accepted program run with reservation checks on
+   must never raise a :class:`ReservationViolation` or deadlock, on any
+   schedule: ``schedules`` seeded random schedules (alternating the plain
+   and fairness-bounded policies) plus bounded-exhaustive enumeration of
+   all scheduler decisions for programs of ≤ 3 threads.  All schedules
+   must agree on the result map (pipelines are confluent by construction).
+3. **guarded/erased** — a guarded run and an `--erased` run replayed over
+   the *same* schedule must produce byte-identical heap traces and equal
+   results (the reservation machinery must be observationally free).
+
+Any disagreement is a :class:`Violation`; the campaign driver shrinks it
+and writes a ``repro-fuzz/1`` report entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import telemetry as tel
+from ..core.checker import Checker, CheckProfile, DEFAULT_PROFILE
+from ..core.errors import TypeError_
+from ..lang import ast
+from ..lang.diagnostics import render_diagnostic
+from ..lang.parser import ParseError, parse_program
+from ..runtime.machine import (
+    DeadlockError,
+    FairRandomScheduler,
+    Machine,
+    MachineError,
+    RandomScheduler,
+    ReservationViolation,
+    ScriptedScheduler,
+)
+from ..runtime.trace import Tracer
+from ..verifier.verifier import VerificationError, Verifier
+from .explore import enumerate_schedules, run_scripted
+from .gen import GenCase
+
+#: Threads at or below this spawn count get bounded-exhaustive schedule
+#: enumeration on top of the random schedules.
+ENUMERATE_MAX_THREADS = 3
+
+
+@dataclass
+class Violation:
+    """One oracle disagreement."""
+
+    oracle: str  # verifier | diagnostic | checker-crash | schedule |
+    #            deadlock | determinism | erasure | runtime-crash | generator
+    detail: str
+    #: How to reproduce the failing schedule, when one is implicated:
+    #: ``{"kind": "seed", "value": 3}`` or ``{"kind": "decisions",
+    #: "value": [1, 0, 2]}``.
+    schedule: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class CaseOutcome:
+    case: GenCase
+    accepted: bool = False
+    violation: Optional[Violation] = None
+    #: Result map of the canonical schedule (accepted, ran cases).
+    results: Optional[Dict[int, Any]] = None
+
+
+@dataclass
+class OracleConfig:
+    """Runtime-oracle knobs (see :class:`repro.fuzz.campaign.FuzzConfig`)."""
+
+    schedules: int = 4
+    enumerate_limit: int = 120
+    fairness_bound: int = 8
+
+
+def check_case(
+    case: GenCase,
+    config: OracleConfig = OracleConfig(),
+    profile: CheckProfile = DEFAULT_PROFILE,
+) -> CaseOutcome:
+    """Run every oracle against one case; first disagreement wins."""
+    outcome = CaseOutcome(case)
+    try:
+        program = parse_program(case.source)
+    except ParseError as exc:
+        outcome.violation = Violation(
+            "generator", f"generated program does not parse: {exc}"
+        )
+        return outcome
+    if any(name not in program.funcs for name, _ in case.spawns):
+        # Only reachable through shrinking (a reduction dropped a spawned
+        # function): treat as a clean rejection so the predicate vetoes it.
+        return outcome
+
+    # Oracle 1: prover vs verifier (and diagnostic quality on rejection).
+    try:
+        derivation = Checker(program, profile=profile).check_program()
+    except TypeError_ as exc:
+        outcome.violation = _bad_diagnostic(case, exc)
+        return outcome
+    except Exception as exc:  # noqa: BLE001 — crashes are findings
+        outcome.violation = Violation(
+            "checker-crash", f"{type(exc).__name__}: {exc}"
+        )
+        return outcome
+    outcome.accepted = True
+    try:
+        Verifier(program).verify_program(derivation)
+    except VerificationError as exc:
+        outcome.violation = Violation("verifier", str(exc))
+        return outcome
+
+    # Oracle 2: no reservation violation / deadlock on any schedule, and
+    # one confluent result.
+    baseline: Optional[Dict[int, Any]] = None
+    for index in range(config.schedules):
+        if index % 2 == 0:
+            scheduler = RandomScheduler(index)
+        else:
+            scheduler = FairRandomScheduler(
+                index, fairness_bound=config.fairness_bound
+            )
+        tel.registry().inc("fuzz.schedules.random")
+        violation, results = _run_once(program, case.spawns, scheduler)
+        if violation is not None:
+            violation.schedule = {"kind": "seed", "value": index}
+            outcome.violation = violation
+            return outcome
+        if baseline is None:
+            baseline = results
+        elif results != baseline:
+            outcome.violation = Violation(
+                "determinism",
+                f"results differ across schedules: {baseline!r} vs {results!r}",
+                schedule={"kind": "seed", "value": index},
+            )
+            return outcome
+    if len(case.spawns) <= ENUMERATE_MAX_THREADS:
+        report = enumerate_schedules(
+            program, case.spawns, limit=config.enumerate_limit
+        )
+        tel.registry().inc("fuzz.schedules.enumerated", report.schedules)
+        for bad in report.violations():
+            outcome.violation = Violation(
+                "schedule",
+                bad.error or "reservation violation",
+                schedule={"kind": "decisions", "value": list(bad.decisions)},
+            )
+            return outcome
+        for dead in report.deadlocks():
+            outcome.violation = Violation(
+                "deadlock",
+                dead.error or "deadlock",
+                schedule={"kind": "decisions", "value": list(dead.decisions)},
+            )
+            return outcome
+        distinct = report.distinct_results()
+        if baseline is not None and distinct and distinct != [baseline]:
+            outcome.violation = Violation(
+                "determinism",
+                f"enumerated results {distinct!r} != random-schedule "
+                f"baseline {baseline!r}",
+                schedule={"kind": "decisions", "value": []},
+            )
+            return outcome
+
+    # Oracle 3: guarded and erased runs over the same schedule must have
+    # byte-identical heap traces and equal results.
+    outcome.violation, outcome.results = _erasure_oracle(program, case.spawns)
+    return outcome
+
+
+def _bad_diagnostic(case: GenCase, exc: TypeError_) -> Optional[Violation]:
+    """Rejections are fine; rejections that can't point at the program are
+    a diagnostics bug (satellite d: every rejection carries a stable
+    ``line:col``)."""
+    span = exc.span
+    if span is None or not span.line:
+        return Violation(
+            "diagnostic", f"rejection without a source span: {exc}"
+        )
+    nlines = len(case.source.splitlines())
+    if not 1 <= span.line <= nlines:
+        return Violation(
+            "diagnostic",
+            f"rejection span line {span.line} outside program "
+            f"(1..{nlines}): {exc}",
+        )
+    rendered = render_diagnostic(case.source, span, exc.message)
+    if f":{span.line}:{span.column}:" not in rendered.splitlines()[0]:
+        return Violation(
+            "diagnostic", f"rendered diagnostic lost its location: {rendered!r}"
+        )
+    return None
+
+
+def _run_once(
+    program: ast.Program,
+    spawns: List[Tuple[str, List[Any]]],
+    scheduler,
+    *,
+    check_reservations: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[Optional[Violation], Optional[Dict[int, Any]]]:
+    machine = Machine(
+        program,
+        check_reservations=check_reservations,
+        scheduler=scheduler,
+        tracer=tracer,
+    )
+    for name, args in spawns:
+        machine.spawn(name, list(args))
+    try:
+        return None, machine.run()
+    except ReservationViolation as exc:
+        return Violation("schedule", str(exc)), None
+    except DeadlockError as exc:
+        return Violation("deadlock", str(exc)), None
+    except MachineError as exc:
+        return Violation("runtime-crash", f"{type(exc).__name__}: {exc}"), None
+    except Exception as exc:  # noqa: BLE001 — interpreter crashes are findings
+        return Violation("runtime-crash", f"{type(exc).__name__}: {exc}"), None
+
+
+def _erasure_oracle(
+    program: ast.Program, spawns: List[Tuple[str, List[Any]]]
+) -> Tuple[Optional[Violation], Optional[Dict[int, Any]]]:
+    """Guarded vs erased over the canonical (all-first-option) schedule."""
+    guarded_tracer = Tracer()
+    guarded_sched = ScriptedScheduler()
+    violation, guarded = _run_once(
+        program, spawns, guarded_sched, tracer=guarded_tracer
+    )
+    if violation is not None:
+        violation.schedule = {"kind": "decisions", "value": []}
+        return violation, None
+    erased_tracer = Tracer()
+    erased_sched = ScriptedScheduler(guarded_sched.taken)
+    violation, erased = _run_once(
+        program,
+        spawns,
+        erased_sched,
+        check_reservations=False,
+        tracer=erased_tracer,
+    )
+    schedule = {"kind": "decisions", "value": list(guarded_sched.taken)}
+    if violation is not None:
+        violation.oracle = "erasure"
+        violation.detail = f"erased run failed: {violation.detail}"
+        violation.schedule = schedule
+        return violation, None
+    guarded_bytes = json.dumps(list(guarded_tracer.to_dicts()), sort_keys=True)
+    erased_bytes = json.dumps(list(erased_tracer.to_dicts()), sort_keys=True)
+    if guarded_bytes != erased_bytes:
+        detail = _first_divergence(guarded_tracer, erased_tracer)
+        return (
+            Violation("erasure", f"trace divergence: {detail}", schedule),
+            None,
+        )
+    if guarded != erased:
+        return (
+            Violation(
+                "erasure",
+                f"result divergence: guarded {guarded!r} vs erased {erased!r}",
+                schedule,
+            ),
+            None,
+        )
+    return None, guarded
+
+
+def _first_divergence(left: Tracer, right: Tracer) -> str:
+    lefts = list(left.to_dicts())
+    rights = list(right.to_dicts())
+    for index, (a, b) in enumerate(zip(lefts, rights)):
+        if a != b:
+            return f"event {index}: guarded {a!r} vs erased {b!r}"
+    return (
+        f"trace lengths differ: guarded {len(lefts)} vs erased {len(rights)}"
+    )

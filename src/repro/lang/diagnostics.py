@@ -33,10 +33,16 @@ def render_diagnostic(
     gutter = str(span.line)
     pad = " " * len(gutter)
     width = max(span.end - span.start, 1)
-    # Clamp the caret run to the visible line.
-    start_col = max(span.column - 1, 0)
+    # Clamp the caret run to the visible line.  A span's column can land
+    # past the end of its line (an error at EOL, or one whose token ends
+    # at the newline); without the clamp the caret floats in space far
+    # to the right of the excerpt.
+    start_col = min(max(span.column - 1, 0), len(text))
     width = min(width, max(len(text) - start_col, 1))
-    caret = " " * start_col + "^" * width
+    # Tabs in the excerpt expand to an unknowable width; align the caret
+    # by mirroring the line's own whitespace into the caret gutter.
+    lead = "".join(ch if ch == "\t" else " " for ch in text[:start_col])
+    caret = lead + "^" * width
     return "\n".join(
         [
             header,

@@ -124,8 +124,8 @@ def pretty_expr(expr: ast.Expr, indent: int = 0) -> str:
     if isinstance(expr, ast.Unop):
         return f"{expr.op}({pretty_expr(expr.inner, indent)})"
     if isinstance(expr, ast.Binop):
-        left = pretty_expr(expr.left, indent)
-        right = pretty_expr(expr.right, indent)
+        left = _operand(expr.left, indent)
+        right = _operand(expr.right, indent)
         return f"({left} {expr.op} {right})"
     if isinstance(expr, ast.Block):
         if not expr.body:
@@ -137,3 +137,18 @@ def pretty_expr(expr: ast.Expr, indent: int = 0) -> str:
         lines.append(pad + "}")
         return "\n".join(lines)
     raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _operand(expr: ast.Expr, indent: int) -> str:
+    """A binop operand.  Statement-headed expressions (``let``/``if``/
+    ``while``/assignment) only parse at statement or parenthesized
+    positions, never as bare operands — found by the differential fuzzer
+    round-tripping shrunk programs — so they get explicit parens here."""
+    text = pretty_expr(expr, indent)
+    if isinstance(
+        expr,
+        (ast.LetBind, ast.LetSome, ast.If, ast.IfDisconnected, ast.While,
+         ast.Assign),
+    ):
+        return f"({text})"
+    return text

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Generator, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..lang import ast
 from ..telemetry import registry as _telemetry
@@ -32,6 +32,7 @@ from .disconnect import DisconnectStats, efficient_disconnected, naive_disconnec
 from .heap import Heap
 from .trace import RECV as TRACE_RECV
 from .trace import SEND as TRACE_SEND
+from .trace import Tracer
 from .values import NONE, UNIT, Loc, RuntimeValue, is_loc
 
 
@@ -396,6 +397,128 @@ class Interpreter:
 
 
 # ---------------------------------------------------------------------------
+# Scheduling policies
+# ---------------------------------------------------------------------------
+
+
+class SchedulePoint(Exception):
+    """Raised by a probing :class:`ScriptedScheduler` at the first choice
+    point its script does not cover.  Carries the number of options so a
+    schedule explorer can branch on every alternative (see
+    :mod:`repro.fuzz.explore`)."""
+
+    def __init__(self, options: int, prefix: Tuple[int, ...]):
+        super().__init__(f"unscripted choice point with {options} options")
+        self.options = options
+        self.prefix = prefix
+
+
+class Scheduler:
+    """Pluggable scheduling policy — which thread advances, and which
+    receiver completes a rendezvous.
+
+    ``pick`` receives the runnable threads plus a read-only map of how many
+    scheduler iterations each runnable thread has waited since it was last
+    advanced (for fairness policies).  Both hooks must return an element of
+    the list they were given.
+    """
+
+    def pick(self, runnable: List["Thread"], waits: Mapping[int, int]) -> "Thread":
+        raise NotImplementedError
+
+    def pick_receiver(
+        self, sender: "Thread", matching: List["Thread"]
+    ) -> "Thread":
+        return matching[0]
+
+
+class RandomScheduler(Scheduler):
+    """The classic uniform-random policy (experiment E7).  Fully
+    deterministic for a given seed, but unfair: a thread can starve for an
+    unbounded (if improbable) number of picks."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self.rng = random.Random(seed)
+
+    def pick(self, runnable: List["Thread"], waits: Mapping[int, int]) -> "Thread":
+        return self.rng.choice(runnable)
+
+    def pick_receiver(
+        self, sender: "Thread", matching: List["Thread"]
+    ) -> "Thread":
+        return self.rng.choice(matching)
+
+
+class FairRandomScheduler(RandomScheduler):
+    """Random scheduling with a starvation bound: once a runnable thread
+    has waited ``fairness_bound`` consecutive iterations without being
+    advanced, it is picked immediately (longest wait first, lowest ident
+    breaking ties).  Used by the fuzzer so no generated thread can hide a
+    schedule-dependent bug behind an astronomically unlikely pick
+    sequence."""
+
+    def __init__(self, seed: Optional[int] = None, fairness_bound: int = 8):
+        super().__init__(seed)
+        if fairness_bound < 1:
+            raise ValueError("fairness_bound must be >= 1")
+        self.fairness_bound = fairness_bound
+
+    def pick(self, runnable: List["Thread"], waits: Mapping[int, int]) -> "Thread":
+        starved = [
+            t for t in runnable if waits.get(t.ident, 0) >= self.fairness_bound
+        ]
+        if starved:
+            return max(starved, key=lambda t: (waits.get(t.ident, 0), -t.ident))
+        return self.rng.choice(runnable)
+
+
+class ScriptedScheduler(Scheduler):
+    """Deterministic replay of an explicit decision sequence.
+
+    Choice points with a single option never consume a decision, so a
+    script is a dense sequence of *real* choices — the representation the
+    fuzzer's schedule enumeration and failure reports use.  Past the end
+    of the script the scheduler either keeps picking the first option
+    (``probe=False``, replay mode) or raises :class:`SchedulePoint`
+    (``probe=True``, exploration mode).  ``taken`` records the full dense
+    decision sequence actually used, so a completed run can be replayed
+    exactly.
+    """
+
+    def __init__(self, script: Sequence[int] = (), probe: bool = False):
+        self.script = list(script)
+        self.probe = probe
+        self.taken: List[int] = []
+        self._cursor = 0
+
+    def _choose(self, options: int) -> int:
+        if options <= 1:
+            return 0
+        if self._cursor < len(self.script):
+            index = self.script[self._cursor]
+            self._cursor += 1
+            if not 0 <= index < options:
+                raise MachineError(
+                    f"scheduler script decision {index} out of range "
+                    f"(only {options} options)"
+                )
+        elif self.probe:
+            raise SchedulePoint(options, tuple(self.taken))
+        else:
+            index = 0
+        self.taken.append(index)
+        return index
+
+    def pick(self, runnable: List["Thread"], waits: Mapping[int, int]) -> "Thread":
+        return runnable[self._choose(len(runnable))]
+
+    def pick_receiver(
+        self, sender: "Thread", matching: List["Thread"]
+    ) -> "Thread":
+        return matching[self._choose(len(matching))]
+
+
+# ---------------------------------------------------------------------------
 # Threads and the concurrent machine
 # ---------------------------------------------------------------------------
 
@@ -422,6 +545,17 @@ class Thread:
         return self.interp.reservation
 
 
+def _describe_blocked(thread: Thread) -> str:
+    """Deadlock-report description of a blocked thread.  Robust against a
+    ``pending`` payload that was never stamped (or already cleared): a
+    thread observed mid-transition must not turn the diagnostic itself
+    into a crash."""
+    pending = thread.pending
+    if pending is not None and len(pending) > 1:
+        return f"{thread.state}({pending[1]})"
+    return f"{thread.state}(?)"
+
+
 class Machine:
     """A concurrent configuration: one shared heap, n threads with disjoint
     reservations, rendezvous send/recv."""
@@ -433,16 +567,25 @@ class Machine:
         disconnect: str = "efficient",
         preemptive: bool = True,
         seed: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.program = program
-        self.heap = Heap()
+        self.heap = Heap(tracer=tracer)
         self.check_reservations = check_reservations
         self.disconnect = disconnect
         self.preemptive = preemptive
-        self.rng = random.Random(seed)
+        self.seed = seed
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler(seed)
         self.threads: List[Thread] = []
         #: Completed send/recv pairings (EC3 steps).
         self.rendezvous = 0
+        #: Scheduler iterations each thread has waited while runnable since
+        #: it was last advanced (fairness bookkeeping, ident → ticks).
+        self.waits: Dict[int, int] = {}
+        #: The longest such wait any thread endured before being advanced —
+        #: exported as the ``machine.starvation_max_wait`` gauge.
+        self.starvation_max_wait = 0
 
     def spawn(self, func: str, args: Iterable[RuntimeValue] = ()) -> Thread:
         interp = Interpreter(
@@ -499,6 +642,10 @@ class Machine:
             tel.inc("machine.rendezvous", self.rendezvous)
             tel.inc("machine.heap_reads", self.heap.reads - reads0)
             tel.inc("machine.heap_writes", self.heap.writes - writes0)
+            if self.seed is not None:
+                tel.counter("machine.seed").value = self.seed
+            gauge = tel.counter("machine.starvation_max_wait")
+            gauge.value = max(gauge.value, self.starvation_max_wait)
             for t in self.threads:
                 publish_thread_stats(t.interp.stats)
 
@@ -515,13 +662,19 @@ class Machine:
                 if not blocked:
                     return  # all done
                 states = ", ".join(
-                    f"thread {t.ident}: {t.state}({t.pending[1]})" for t in blocked
+                    f"thread {t.ident}: {_describe_blocked(t)}" for t in blocked
                 )
                 raise DeadlockError(f"all threads blocked — {states}")
             for t in self.threads:
                 if t.state in (BLOCKED_SEND, BLOCKED_RECV):
                     t.interp.stats.blocked_ticks += 1
-            thread = self.rng.choice(runnable)
+            thread = self.scheduler.pick(runnable, self.waits)
+            wait = self.waits.pop(thread.ident, 0)
+            if wait > self.starvation_max_wait:
+                self.starvation_max_wait = wait
+            for t in runnable:
+                if t is not thread:
+                    self.waits[t.ident] = self.waits.get(t.ident, 0) + 1
             self._advance(thread)
             for t in self.threads:
                 if t.state == FAILED:
@@ -567,7 +720,7 @@ class Machine:
             matching = [r for r in receivers if r.pending[1] == sent_struct]
             if not matching:
                 continue
-            receiver = self.rng.choice(matching)
+            receiver = self.scheduler.pick_receiver(sender, matching)
             receivers.remove(receiver)
             # EC3 Communication-Paired-Step (fig 15): the live set moves
             # from the sender's reservation to the receiver's.
@@ -603,6 +756,7 @@ def run_function(
     check_reservations: bool = True,
     disconnect: str = "efficient",
     sink_sends: bool = False,
+    seed: Optional[int] = None,
 ) -> Tuple[RuntimeValue, Interpreter]:
     """Run a function to completion on a single thread.
 
@@ -610,6 +764,11 @@ def run_function(
     ``sink_sends=True`` a send instead delivers to an implicit sink thread
     (the live set simply leaves this thread's reservation), which is how
     single-threaded harnesses exercise send-containing programs.
+
+    A single thread has no scheduling nondeterminism, so ``seed`` changes
+    nothing about the run — it is recorded in the telemetry metadata
+    (``machine.seed``) so single- and multi-threaded reproduction
+    instructions carry the same fields.
 
     Returns (result, interpreter) so callers can inspect the heap,
     reservation, and statistics.
@@ -657,3 +816,5 @@ def run_function(
             tel.inc("machine.heap_reads", heap.reads - reads0)
             tel.inc("machine.heap_writes", heap.writes - writes0)
             tel.counter("machine.heap_objects").value = len(heap)
+            if seed is not None:
+                tel.counter("machine.seed").value = seed

@@ -133,6 +133,10 @@ class Tracer:
         #: Stamped onto recorded events; the Machine sets this to the
         #: ident of the thread it is about to advance.
         self.current_thread: Optional[int] = None
+        #: Run-level reproduction metadata (e.g. the scheduler seed).  Not
+        #: part of the event stream — exporters emit it as a leading
+        #: ``{"meta": ...}`` line when non-empty.
+        self.metadata: Dict[str, Any] = {}
 
     def record(self, event_kind: str, loc: Loc, **payload) -> None:
         if len(self._events) == self.capacity:

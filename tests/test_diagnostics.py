@@ -42,6 +42,48 @@ class TestRender:
         assert "type error: m" in out
 
 
+class TestCaretGolden:
+    """Exact renderings for the caret edge cases: a column at/past the end
+    of its line, spans that run into the next line, and tab indentation.
+    (The past-EOL caret used to float far right of the excerpt.)"""
+
+    def test_column_past_end_of_line(self):
+        # "struct s { }" is 12 chars; column 25 points past its end.
+        span = SourceSpan(start=24, end=25, line=1, column=25)
+        out = render_diagnostic(SOURCE, span, "eol", filename="x.fcl")
+        assert out == (
+            "x.fcl:1:25: error: eol\n"
+            "  |\n"
+            "1 | struct s { }\n"
+            "  |             ^"
+        )
+
+    def test_span_running_onto_next_line(self):
+        # A span whose width crosses the newline is clamped to the
+        # remainder of its own line.
+        span = SourceSpan(start=7, end=40, line=1, column=8)
+        out = render_diagnostic(SOURCE, span, "wide", filename="x.fcl")
+        assert out == (
+            "x.fcl:1:8: error: wide\n"
+            "  |\n"
+            "1 | struct s { }\n"
+            "  |        ^^^^^"
+        )
+
+    def test_tab_indented_line(self):
+        # Tabs before the caret are mirrored into the caret gutter so the
+        # marker lines up however wide the terminal renders the tab.
+        source = "def f() : int {\n\tsend(3)\n}\n"
+        span = SourceSpan(start=17, end=21, line=2, column=2)
+        out = render_diagnostic(source, span, "bad send", filename="x.fcl")
+        assert out == (
+            "x.fcl:2:2: error: bad send\n"
+            "  |\n"
+            "2 | \tsend(3)\n"
+            "  | \t^^^^"
+        )
+
+
 class TestStripPrefix:
     def test_strips_line_col(self):
         assert strip_location_prefix("3:7: message here") == "message here"

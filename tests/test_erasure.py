@@ -97,6 +97,15 @@ def _drive_signatures(run):
     return out
 
 
+def _drive_fuzzmin(run):
+    # send-free functions only: the pipeline threads need a Machine.
+    return [
+        run("attach_then_read", [5]),
+        run("attach_then_focus", [9]),
+        run("linked_cells", [3]),
+    ]
+
+
 WORKLOADS = {
     "sll": _drive_sll,
     "dll": _drive_dll,
@@ -105,6 +114,7 @@ WORKLOADS = {
     "algorithms": _drive_algorithms,
     "ntree": _drive_ntree,
     "signatures": _drive_signatures,
+    "fuzzmin": _drive_fuzzmin,
 }
 
 

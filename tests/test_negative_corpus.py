@@ -92,3 +92,26 @@ def test_repaired_variant_accepted(name):
         check_source(get_case(name).source)
     # ... while the minimally repaired version checks.
     check_source(REPAIRS[name])
+
+
+@pytest.mark.parametrize("name", case_names())
+def test_rejection_has_stable_position(name):
+    """Every rejection points at a real source position and renders as a
+    ``file:line:col:`` diagnostic (no caret floating off the excerpt)."""
+    from repro.lang.diagnostics import render_diagnostic, strip_location_prefix
+
+    case = get_case(name)
+    with pytest.raises(case.error) as exc:
+        check_source(case.source)
+    span = exc.value.span
+    assert span is not None, f"{name}: rejection carries no span"
+    lines = case.source.splitlines()
+    assert 1 <= span.line <= len(lines), f"{name}: line {span.line} out of range"
+    assert span.column >= 1, f"{name}: column {span.column} out of range"
+    rendered = render_diagnostic(
+        case.source, span, strip_location_prefix(str(exc.value)), filename="neg.fcl"
+    )
+    assert f"neg.fcl:{span.line}:{span.column}:" in rendered
+    caret_line = rendered.splitlines()[-1]
+    excerpt_line = rendered.splitlines()[-2]
+    assert len(caret_line) <= len(excerpt_line) + 1  # caret stays on the line

@@ -14,6 +14,36 @@ def roundtrips(program: ast.Program) -> bool:
 
 
 class TestManualRoundTrips:
+    def test_statement_head_operands_parenthesized(self):
+        # Found by the differential fuzzer: shrinking can leave a let/if
+        # in binop operand position, where the grammar only admits it
+        # inside parens.  The printer must re-insert them or its output
+        # fails to re-parse.
+        expr = ast.Binop(
+            "+",
+            ast.VarRef("acc"),
+            ast.LetSome(
+                "x",
+                ast.VarRef("m"),
+                ast.Block([ast.IntLit(1)]),
+                ast.Block([ast.IntLit(0)]),
+            ),
+        )
+        program = ast.Program(
+            structs={},
+            funcs={
+                "f": ast.FuncDef(
+                    name="f",
+                    params=[ast.Param("acc", ast.INT), ast.Param("m", ast.MaybeType(ast.INT))],
+                    return_type=ast.INT,
+                    body=ast.Block([expr]),
+                )
+            },
+        )
+        text = pretty_program(program)
+        assert "(let some" in text
+        assert roundtrips(parse_program(text))
+
     def test_corpus_round_trips(self):
         for name in corpus_names():
             assert roundtrips(load_program(name)), name
