@@ -9,7 +9,15 @@ pytest-benchmark needed) and reports a document in schema ``repro-bench/1``
 * **generated** — E2: checker scaling on generated ``chain``-length programs;
 * **search** — E4: greedy-with-oracle vs bounded backtracking search;
 * **erasure** — §3.2: guarded vs erased-guard runtime on corpus workloads,
-  plus the number of reservation checks erasure elides.
+  plus the number of reservation checks erasure elides;
+* **pipeline** — §5 at batch scale: serial vs process-pool fan-out vs
+  warm certificate cache (replayed and trusted) on the corpus and on a
+  generated many-function workload.  Rows record the host's ``cpu_count``
+  because fan-out speedups are meaningless without it.
+
+``compare_docs`` diffs two such documents (same schema, any two runs) and
+flags wall-clock regressions — the CI bench-smoke job compares a fresh
+``--small`` run against the committed baseline report.
 
 The clone counters quantify the copy-on-write win directly:
 ``clone_dicts_cow`` is what ``StaticContext.clone`` plus later CoW faults
@@ -169,6 +177,91 @@ def bench_search(widths: Sequence[int] = (1, 2, 3, 4)) -> List[Dict]:
     return rows
 
 
+def many_functions_program(count: int) -> str:
+    """``count`` small independent functions — the embarrassingly-parallel
+    shape the per-function pipeline is built for (each function's
+    derivation depends only on decls and signatures, never other bodies)."""
+    lines = ["struct data { v : int; }"]
+    for i in range(count):
+        lines.append(
+            f"def f{i}(x : int) : int {{\n"
+            f"  let d = new data(v = x);\n"
+            f"  let a = d.v + {i};\n"
+            f"  let b = a + a;\n"
+            f"  if (b > x) {{ b }} else {{ a }}\n"
+            f"}}"
+        )
+    return "\n".join(lines)
+
+
+def bench_pipeline(small: bool = False, jobs: int = 4) -> List[Dict]:
+    """Serial vs fan-out vs warm-cache batch throughput.
+
+    Five timings per workload, all over the same program set:
+
+    * ``serial_ms``  — ``jobs=1``, no cache (today's path);
+    * ``parallel_ms`` — ``jobs=N`` process pool, no cache (includes pool
+      start-up: that cost is real for a one-shot batch);
+    * ``cold_ms``    — ``jobs=1`` populating a fresh cache;
+    * ``warm_ms``    — ``jobs=1`` replaying every certificate through the
+      verifier (the sound fast path);
+    * ``trusted_ms`` — ``--trust-cache``: hash lookup only, no replay.
+    """
+    import os
+    import tempfile
+
+    from .corpus import corpus_names, load_source
+    from .pipeline import Pipeline
+
+    corpus = ("sll", "dll", "rbtree") if small else tuple(corpus_names())
+    count = 40 if small else 120
+    workloads = [
+        ("corpus", [(name, load_source(name)) for name in corpus]),
+        (f"many-fns-{count}", [("generated", many_functions_program(count))]),
+    ]
+
+    def timed(pipeline: "Pipeline", programs):
+        t0 = time.perf_counter()
+        functions = 0
+        for label, source in programs:
+            result = pipeline.run(label, source)
+            assert result.ok, f"bench workload rejected: {label}"
+            functions += len(result.functions)
+        return (time.perf_counter() - t0) * 1000, functions
+
+    rows = []
+    for label, programs in workloads:
+        with Pipeline(jobs=1) as p:
+            serial_ms, functions = timed(p, programs)
+        with Pipeline(jobs=jobs) as p:
+            parallel_ms, _ = timed(p, programs)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            with Pipeline(jobs=1, cache_dir=cache_dir) as p:
+                cold_ms, _ = timed(p, programs)
+            with Pipeline(jobs=1, cache_dir=cache_dir) as p:
+                warm_ms, _ = timed(p, programs)
+            with Pipeline(jobs=1, cache_dir=cache_dir, trust_cache=True) as p:
+                trusted_ms, _ = timed(p, programs)
+        rows.append(
+            {
+                "workload": label,
+                "functions": functions,
+                "jobs": jobs,
+                "cpu_count": os.cpu_count() or 1,
+                "serial_ms": round(serial_ms, 3),
+                "parallel_ms": round(parallel_ms, 3),
+                "cold_ms": round(cold_ms, 3),
+                "warm_ms": round(warm_ms, 3),
+                "trusted_ms": round(trusted_ms, 3),
+                "speedup_warm": round(serial_ms / warm_ms, 2) if warm_ms else 0.0,
+                "speedup_trusted": round(serial_ms / trusted_ms, 2)
+                if trusted_ms
+                else 0.0,
+            }
+        )
+    return rows
+
+
 def bench_erasure(repeats: int = 5) -> List[Dict]:
     """§3.2: guarded vs erased-guard runtime wall-clock; the guarded run's
     reservation-check count is exactly what erasure elides."""
@@ -219,11 +312,12 @@ def collect(small: bool = False) -> Dict:
         repeats = 5
     return {
         "schema": SCHEMA,
-        "label": "PR2",
+        "label": "PR4",
         "corpus": bench_corpus(corpus_names),
         "generated": bench_generated(chains),
         "search": bench_search(widths),
         "erasure": bench_erasure(repeats),
+        "pipeline": bench_pipeline(small),
     }
 
 
@@ -280,4 +374,126 @@ def render_table(doc: Dict) -> str:
             f"{row['workload']:>14s} {row['checked_ms']:12.2f} "
             f"{row['erased_ms']:11.2f} {row['reservation_checks_elided']:14d}"
         )
+    if doc.get("pipeline"):
+        lines.append("")
+        lines.append("§5 — batch pipeline: serial vs fan-out vs warm cache")
+        lines.append(
+            f"{'workload':>14s} {'fns':>4s} {'jobs':>5s} {'serial(ms)':>11s} "
+            f"{'par(ms)':>9s} {'cold(ms)':>9s} {'warm(ms)':>9s} "
+            f"{'trust(ms)':>10s} {'warm x':>7s} {'trust x':>8s}"
+        )
+        for row in doc["pipeline"]:
+            lines.append(
+                f"{row['workload']:>14s} {row['functions']:4d} "
+                f"{row['jobs']:3d}/{row['cpu_count']:<1d} "
+                f"{row['serial_ms']:11.1f} {row['parallel_ms']:9.1f} "
+                f"{row['cold_ms']:9.1f} {row['warm_ms']:9.1f} "
+                f"{row['trusted_ms']:10.1f} {row['speedup_warm']:7.1f} "
+                f"{row['speedup_trusted']:8.1f}"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Report comparison (``repro bench --compare``)
+# ---------------------------------------------------------------------------
+
+COMPARE_SCHEMA = "repro-bench-compare/1"
+
+#: Section name -> the row field that identifies a row across runs.
+SECTION_KEYS = {
+    "corpus": "name",
+    "generated": "chain",
+    "search": "width",
+    "erasure": "workload",
+    "pipeline": "workload",
+}
+
+
+def compare_docs(
+    old: Dict, new: Dict, threshold: float = 50.0, min_ms: float = 1.0
+) -> Dict:
+    """Diff two ``repro-bench/1`` documents metric by metric.
+
+    Rows are matched per section by their key field (program name, chain
+    length, ...); rows or sections present in only one document are
+    skipped, so reports from different versions stay comparable.  Only
+    wall-clock metrics (``*_ms``) can flag a regression: a metric
+    regresses when it grew by more than ``threshold`` percent AND either
+    side is at least ``min_ms`` (sub-millisecond rows are pure timer
+    noise).  Counter-like fields are deterministic and diffed exactly,
+    informationally.
+    """
+    for doc, tag in ((old, "old"), (new, "new")):
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{tag} report has schema {doc.get('schema')!r}, want {SCHEMA!r}"
+            )
+    metrics: List[Dict] = []
+    for section, keyfield in SECTION_KEYS.items():
+        old_rows = {
+            str(r.get(keyfield)): r for r in old.get(section, [])
+        }
+        for row in new.get(section, []):
+            old_row = old_rows.get(str(row.get(keyfield)))
+            if old_row is None:
+                continue
+            for metric in sorted(row):
+                if metric == keyfield or metric not in old_row:
+                    continue
+                new_val, old_val = row[metric], old_row[metric]
+                if not isinstance(new_val, (int, float)) or not isinstance(
+                    old_val, (int, float)
+                ):
+                    continue
+                timing = metric.endswith("_ms")
+                delta = (
+                    (new_val - old_val) / old_val * 100.0 if old_val else 0.0
+                )
+                metrics.append(
+                    {
+                        "section": section,
+                        "row": str(row.get(keyfield)),
+                        "metric": metric,
+                        "old": old_val,
+                        "new": new_val,
+                        "delta_pct": round(delta, 1),
+                        "regression": bool(
+                            timing
+                            and delta > threshold
+                            and max(old_val, new_val) >= min_ms
+                        ),
+                    }
+                )
+    return {
+        "schema": COMPARE_SCHEMA,
+        "old_label": old.get("label"),
+        "new_label": new.get("label"),
+        "threshold_pct": threshold,
+        "metrics": metrics,
+        "regressions": [m for m in metrics if m["regression"]],
+    }
+
+
+def render_compare(cmp: Dict) -> str:
+    lines = [
+        f"bench compare: {cmp['old_label']} -> {cmp['new_label']} "
+        f"(regression threshold +{cmp['threshold_pct']:g}% on *_ms)"
+    ]
+    lines.append(
+        f"{'section':>9s} {'row':>14s} {'metric':>16s} {'old':>10s} "
+        f"{'new':>10s} {'delta':>8s}"
+    )
+    for m in cmp["metrics"]:
+        if not m["metric"].endswith("_ms") and m["old"] == m["new"]:
+            continue  # unchanged counters: noise-free, not worth a line
+        flag = "  << REGRESSION" if m["regression"] else ""
+        lines.append(
+            f"{m['section']:>9s} {m['row']:>14s} {m['metric']:>16s} "
+            f"{m['old']:10g} {m['new']:10g} {m['delta_pct']:+7.1f}%{flag}"
+        )
+    count = len(cmp["regressions"])
+    lines.append(
+        f"{count} regression(s)" if count else "no wall-clock regressions"
+    )
     return "\n".join(lines)

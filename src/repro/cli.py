@@ -10,6 +10,8 @@ Commands:
 * ``regions FILE FN [N]``   — run FN(N) and draw the dynamic region graph.
 * ``table1``                — regenerate the Table 1 comparison matrix.
 * ``corpus``                — list, check, and verify the bundled corpus.
+* ``batch PATH...``         — check + verify every program under the given
+  files/directories through the parallel + incremental pipeline.
 * ``bench``                 — wall-clock benchmarks (``--json`` emits the
   ``repro-bench/1`` document; see docs/PERFORMANCE.md).
 * ``fuzz``                  — differential soundness fuzzing: generate
@@ -24,6 +26,12 @@ to dump the telemetry registry as structured JSON (schema
 ``FILE`` is normally FCL source; a ``.py`` file works too if it embeds its
 program in a module-level ``SOURCE = \"\"\"...\"\"\"`` literal (the style of
 ``examples/``), so ``repro stats examples/quickstart.py`` just works.
+
+``check``/``verify``/``corpus``/``batch`` accept the pipeline flags
+``--jobs N`` (process-pool fan-out; ``--jobs 1`` is today's serial path),
+``--cache DIR`` (persistent content-addressed certificate cache), and
+``--trust-cache`` (skip re-verifying cached certificates; integrity comes
+from the content hash).  See docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -109,8 +117,46 @@ def _report_type_error(path: str, exc: TypeError_) -> None:
     )
 
 
+def _wants_pipeline(args: argparse.Namespace) -> bool:
+    """Pipeline flags route a command through the batch engine; without
+    them the original single-process code path runs, byte-identical to
+    previous releases."""
+    return bool(
+        getattr(args, "jobs", None) is not None
+        or getattr(args, "cache", None)
+        or getattr(args, "trust_cache", False)
+    )
+
+
+def _make_pipeline(args: argparse.Namespace, verify: bool = True):
+    from .pipeline import Pipeline
+
+    if getattr(args, "trust_cache", False) and not getattr(args, "cache", None):
+        raise SystemExit("error: --trust-cache requires --cache DIR")
+    return Pipeline(
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        trust_cache=args.trust_cache,
+        verify=verify,
+    )
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     program = _load(args.file)
+    if _wants_pipeline(args):
+        with _make_pipeline(args, verify=False) as pipeline:
+            result = pipeline.run(args.file, _SOURCES[args.file], program)
+        if not result.ok:
+            print(
+                result.error.render(_SOURCES[args.file], args.file),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"{args.file}: OK — {len(result.functions)} functions, "
+            f"{result.nodes} derivation nodes"
+        )
+        return 0
     try:
         derivation = Checker(program).check_program()
     except TypeError_ as exc:
@@ -125,6 +171,22 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     program = _load(args.file)
+    if _wants_pipeline(args):
+        with _make_pipeline(args) as pipeline:
+            result = pipeline.run(args.file, _SOURCES[args.file], program)
+        if not result.ok:
+            error = result.error
+            if error.stage == "check":
+                exc = error.as_type_error()
+                print(f"{args.file}: type error: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"{args.file}: VERIFICATION FAILED: {error.message}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{args.file}: verified ({result.verified} nodes)")
+        return 0
     try:
         derivation = Checker(program).check_program()
     except TypeError_ as exc:
@@ -422,14 +484,50 @@ def cmd_regions(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the wall-clock benchmarks (plain ``time.perf_counter`` loops,
     no pytest-benchmark) and print the table; ``--json`` writes the
-    ``repro-bench/1`` document (see benchmarks/bench.schema.json)."""
+    ``repro-bench/1`` document (see benchmarks/bench.schema.json).
+
+    ``--compare OLD.json`` diffs against a stored report instead of just
+    printing: a fresh run is measured (or ``--against NEW.json`` is read —
+    a pure file diff, nothing is benchmarked), per-metric deltas are
+    printed, and wall-clock regressions beyond ``--threshold`` percent
+    exit 3."""
+    import json
+
     from . import bench
+
+    if args.against and not args.compare:
+        print("error: --against requires --compare OLD.json", file=sys.stderr)
+        return 2
+    if args.compare:
+        try:
+            old = json.loads(Path(args.compare).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        if args.against:
+            try:
+                new = json.loads(Path(args.against).read_text())
+            except (OSError, ValueError) as exc:
+                print(
+                    f"error: cannot load {args.against}: {exc}", file=sys.stderr
+                )
+                return 2
+        else:
+            new = bench.collect(small=args.small)
+            if args.json:
+                Path(args.json).write_text(json.dumps(new, indent=1) + "\n")
+                print(f"wrote bench report to {args.json}", file=sys.stderr)
+        try:
+            cmp = bench.compare_docs(old, new, threshold=args.threshold)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(bench.render_compare(cmp))
+        return 3 if cmp["regressions"] else 0
 
     doc = bench.collect(small=args.small)
     print(bench.render_table(doc))
     if args.json:
-        import json
-
         try:
             Path(args.json).write_text(json.dumps(doc, indent=1) + "\n")
         except OSError as exc:
@@ -457,6 +555,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         stop_after=args.stop_after,
         inject_bug=args.inject_bug,
+        jobs=args.jobs,
     )
     try:
         report = run_campaign(config)
@@ -519,9 +618,25 @@ def cmd_table1(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_corpus(_args: argparse.Namespace) -> int:
-    from .corpus import corpus_names, load_program
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from .corpus import corpus_names, load_program, load_source
 
+    if _wants_pipeline(args):
+        with _make_pipeline(args) as pipeline:
+            for name in corpus_names():
+                result = pipeline.run(name, load_source(name))
+                if not result.ok:
+                    print(
+                        f"{name}: {result.error.stage} error: "
+                        f"{result.error.message}",
+                        file=sys.stderr,
+                    )
+                    return 1 if result.error.stage == "check" else 2
+                print(
+                    f"{name:8s} {len(result.functions):3d} functions  "
+                    f"checked + verified ({result.verified} nodes)"
+                )
+        return 0
     for name in corpus_names():
         program = load_program(name)
         derivation = Checker(program).check_program()
@@ -531,6 +646,21 @@ def cmd_corpus(_args: argparse.Namespace) -> int:
             f"checked + verified ({nodes} nodes)"
         )
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from .pipeline import discover, run_batch
+
+    try:
+        programs = discover(args.paths)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not programs:
+        print("error: no programs found", file=sys.stderr)
+        return 2
+    with _make_pipeline(args) as pipeline:
+        return run_batch(programs, pipeline)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -548,14 +678,39 @@ def build_parser() -> argparse.ArgumentParser:
             help="enable telemetry and write the registry as JSON to FILE",
         )
 
+    def pipeline_flags(p):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for per-function fan-out "
+            "(default: all CPUs; 1 = in-process serial path)",
+        )
+        p.add_argument(
+            "--cache",
+            metavar="DIR",
+            default=None,
+            help="content-addressed certificate cache directory "
+            "(created on demand; safe to share between runs)",
+        )
+        p.add_argument(
+            "--trust-cache",
+            action="store_true",
+            help="skip re-verifying cached certificates (their content "
+            "hash already pins every input they were verified against)",
+        )
+
     p = sub.add_parser("check", help="type-check an FCL program")
     p.add_argument("file")
     metrics_flag(p)
+    pipeline_flags(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("verify", help="check and independently verify")
     p.add_argument("file")
     metrics_flag(p)
+    pipeline_flags(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("run", help="run a function single-threaded")
@@ -663,6 +818,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller corpus/chains/widths (CI smoke mode)",
     )
+    p.add_argument(
+        "--compare",
+        metavar="OLD.json",
+        default=None,
+        help="diff a stored repro-bench/1 report against a fresh run "
+        "(or --against NEW.json); exits 3 on wall-clock regression",
+    )
+    p.add_argument(
+        "--against",
+        metavar="NEW.json",
+        default=None,
+        help="with --compare: diff OLD against this stored report "
+        "instead of benchmarking",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=50.0,
+        metavar="PCT",
+        help="regression tolerance on *_ms metrics, percent (default 50)",
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -709,6 +885,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-test: doctor the checker with a named unsoundness "
         "(e.g. send-keeps-region) and demand the oracles catch it",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the checker/verifier oracle in N worker processes "
+        "(fixed-seed reports are identical to serial)",
+    )
     metrics_flag(p)
     p.set_defaults(func=cmd_fuzz)
 
@@ -716,7 +900,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("corpus", help="check + verify the bundled corpus")
+    pipeline_flags(p)
+    metrics_flag(p)
     p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser(
+        "batch",
+        help="check + verify every program under PATHs via the pipeline",
+    )
+    p.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="program files, or directories to scan for *.fcl and "
+        "corpus-style *.py programs",
+    )
+    pipeline_flags(p)
+    metrics_flag(p)
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("repl", help="interactive FCL session")
     p.set_defaults(func=lambda _args: __import__(

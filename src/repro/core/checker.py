@@ -43,6 +43,14 @@ from .validate import validate_program
 
 RESULT = "$result"  # pseudo-variable anchoring result regions during joins
 
+#: Version tag of the checker's certificate semantics.  The pipeline's
+#: content-addressed certificate cache folds this into every cache key and
+#: stamps it into every stored entry, so certificates minted by an older
+#: (or newer) checker are never replayed: bump it whenever a change to the
+#: checker, the derivation format, or the unifier could alter what a
+#: derivation means.
+CHECKER_VERSION = "repro-checker/4"
+
 
 @dataclass(frozen=True)
 class CheckProfile:
@@ -95,14 +103,22 @@ class Checker:
         program: ast.Program,
         profile: CheckProfile = DEFAULT_PROFILE,
         record: bool = True,
+        functypes: Optional[Dict[str, FuncType]] = None,
     ):
         self.program = program
         self.profile = profile
         self.record = record
         validate_program(program, profile)
-        self.functypes: Dict[str, FuncType] = {
-            name: elaborate(fdef, program) for name, fdef in program.funcs.items()
-        }
+        # Batch callers (repro.pipeline) elaborate once per program and
+        # share the table between the checker and the verifier.
+        self.functypes: Dict[str, FuncType] = (
+            functypes
+            if functypes is not None
+            else {
+                name: elaborate(fdef, program)
+                for name, fdef in program.funcs.items()
+            }
+        )
 
     def check_program(self) -> ProgramDerivation:
         """Check every function; raises the first type error found."""

@@ -101,30 +101,47 @@ def derivation_from_dict(data: Dict[str, Any]) -> Derivation:
     )
 
 
+def func_derivation_to_dict(fd: FuncDerivation) -> Dict[str, Any]:
+    """One function's certificate: the unit the pipeline cache stores."""
+    return {
+        "input": _snap_to_lists(fd.input_snap),
+        "output": _snap_to_lists(fd.output_snap),
+        "result_type": fd.result_type,
+        "result_region": fd.result_region,
+        "body": derivation_to_dict(fd.body),
+    }
+
+
+def func_derivation_from_dict(name: str, data: Dict[str, Any]) -> FuncDerivation:
+    return FuncDerivation(
+        name=name,
+        input_snap=_lists_to_snap(data["input"]),
+        output_snap=_lists_to_snap(data["output"]),
+        result_type=data["result_type"],
+        result_region=data["result_region"],
+        body=derivation_from_dict(data["body"]),
+    )
+
+
+def func_derivation_to_json(fd: FuncDerivation, indent: Optional[int] = None) -> str:
+    return json.dumps(func_derivation_to_dict(fd), indent=indent)
+
+
+def func_derivation_from_json(name: str, text: str) -> FuncDerivation:
+    return func_derivation_from_dict(name, json.loads(text))
+
+
 def program_derivation_to_json(pd: ProgramDerivation, indent: Optional[int] = None) -> str:
     payload = {
-        name: {
-            "input": _snap_to_lists(fd.input_snap),
-            "output": _snap_to_lists(fd.output_snap),
-            "result_type": fd.result_type,
-            "result_region": fd.result_region,
-            "body": derivation_to_dict(fd.body),
-        }
-        for name, fd in pd.funcs.items()
+        name: func_derivation_to_dict(fd) for name, fd in pd.funcs.items()
     }
     return json.dumps(payload, indent=indent)
 
 
 def program_derivation_from_json(text: str) -> ProgramDerivation:
     payload = json.loads(text)
-    funcs = {}
-    for name, data in payload.items():
-        funcs[name] = FuncDerivation(
-            name=name,
-            input_snap=_lists_to_snap(data["input"]),
-            output_snap=_lists_to_snap(data["output"]),
-            result_type=data["result_type"],
-            result_region=data["result_region"],
-            body=derivation_from_dict(data["body"]),
-        )
+    funcs = {
+        name: func_derivation_from_dict(name, data)
+        for name, data in payload.items()
+    }
     return ProgramDerivation(funcs=funcs)

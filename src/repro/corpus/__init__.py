@@ -1,5 +1,19 @@
 """The FCL example-program corpus (paper figures and §8 data structures)."""
 
-from .loader import PROGRAMS, corpus_names, load_program, load_source
+from .loader import (
+    PROGRAMS,
+    corpus_names,
+    extract_embedded_source,
+    load_program,
+    load_source,
+    read_program_source,
+)
 
-__all__ = ["PROGRAMS", "corpus_names", "load_program", "load_source"]
+__all__ = [
+    "PROGRAMS",
+    "corpus_names",
+    "extract_embedded_source",
+    "load_program",
+    "load_source",
+    "read_program_source",
+]

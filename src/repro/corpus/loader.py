@@ -31,6 +31,45 @@ def corpus_names() -> List[str]:
     return sorted(PROGRAMS)
 
 
+def extract_embedded_source(path: str, text: str) -> str:
+    """FCL source embedded in a Python example: the module-level
+    ``SOURCE = \"\"\"...\"\"\"`` string literal (the style of ``examples/``).
+
+    Raises :class:`ValueError` when ``text`` is not valid Python or has no
+    such literal.
+    """
+    import ast as pyast
+
+    try:
+        tree = pyast.parse(text)
+    except SyntaxError as exc:
+        raise ValueError(f"{path}: not valid Python: {exc}") from exc
+    for node in tree.body:
+        if not isinstance(node, pyast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, pyast.Name)
+                and target.id == "SOURCE"
+                and isinstance(node.value, pyast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                return node.value.value
+    raise ValueError(f"{path}: no module-level SOURCE string literal found")
+
+
+def read_program_source(path) -> str:
+    """Read FCL source from ``path``: ``.fcl`` files verbatim, ``.py``
+    files through their embedded ``SOURCE`` literal.  Raises ``OSError``
+    on unreadable files and :class:`ValueError` on ``.py`` files without
+    an embedded program."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".py":
+        return extract_embedded_source(str(path), text)
+    return text
+
+
 def load_source(name: str) -> str:
     try:
         filename = PROGRAMS[name]

@@ -30,6 +30,7 @@ from .oracles import (
     ENUMERATE_MAX_THREADS,
     CaseOutcome,
     OracleConfig,
+    StaticCheckPool,
     check_case,
 )
 from .shrink import count_nodes, minimal_schedule, shrink_source
@@ -62,6 +63,14 @@ class FuzzConfig:
     #: (None = exhaust the budget regardless).
     stop_after: Optional[int] = None
     inject_bug: Optional[str] = None
+    #: Worker processes for the static (checker⇒verifier) oracle; None or
+    #: 1 keeps it in-process.  Fixed-seed reports are identical either
+    #: way (modulo ``wall_ms``): the generator and mutation RNGs are
+    #: independent streams, so with no ``stop_after`` the whole case plan
+    #: is derived up front and verdicts are prefetched through the pool,
+    #: while with ``stop_after`` set cases go through the pool one at a
+    #: time to preserve the early-exit RNG consumption exactly.
+    jobs: Optional[int] = None
 
 
 def run_campaign(config: FuzzConfig = FuzzConfig()) -> Dict[str, Any]:
@@ -81,12 +90,16 @@ def run_campaign(config: FuzzConfig = FuzzConfig()) -> Dict[str, Any]:
     owned = not tel.registry().enabled
     reg = tel.enable() if owned else tel.registry()
     started = time.time()
+    pool: Optional[StaticCheckPool] = None
     try:
         oracle_config = OracleConfig(
             schedules=config.schedules,
             enumerate_limit=config.enumerate_limit,
             fairness_bound=config.fairness_bound,
         )
+        if config.jobs is not None and config.jobs > 1:
+            pool = StaticCheckPool(config.jobs)
+            oracle_config.static_pool = pool
         gen = ProgramGen(random.Random(config.seed))
         mutation_rng = random.Random(config.seed ^ 0x9E3779B9)
         violations: List[Dict[str, Any]] = []
@@ -96,21 +109,15 @@ def run_campaign(config: FuzzConfig = FuzzConfig()) -> Dict[str, Any]:
                 and len(violations) >= config.stop_after
             )
 
-        for _ in range(config.budget):
-            if done():
-                break
-            case = gen.generate()
+        def handle_case(case: GenCase, verdict=None) -> None:
             reg.inc("fuzz.cases")
-            outcome = check_case(case, oracle_config, profile)
+            outcome = check_case(case, oracle_config, profile, verdict=verdict)
             reg.inc("fuzz.accepted" if outcome.accepted else "fuzz.rejected")
             _harvest(violations, outcome, config, oracle_config, profile, reg)
-            if done() or mutation_rng.random() >= config.mutate_ratio:
-                continue
-            mutant = mutate(case, mutation_rng)
-            if mutant is None:
-                continue
+
+        def handle_mutant(mutant: GenCase, verdict=None) -> None:
             reg.inc("fuzz.mutants")
-            outcome = check_case(mutant, oracle_config, profile)
+            outcome = check_case(mutant, oracle_config, profile, verdict=verdict)
             if outcome.accepted and outcome.violation is None:
                 # The checker judged the mutation harmless and every
                 # dynamic oracle agreed — a benign mutant, not a finding.
@@ -118,6 +125,49 @@ def run_campaign(config: FuzzConfig = FuzzConfig()) -> Dict[str, Any]:
             elif not outcome.accepted:
                 reg.inc("fuzz.mutants.rejected")
             _harvest(violations, outcome, config, oracle_config, profile, reg)
+
+        if pool is not None and config.stop_after is None:
+            # Pipelined mode: with no early exit, ``done()`` is always
+            # False, so the per-iteration RNG consumption (one generate,
+            # one mutation-gate draw, maybe one mutate) is fixed — the
+            # whole plan can be derived up front and static verdicts
+            # prefetched through the pool while earlier cases run their
+            # dynamic oracles in-process.
+            plan = []
+            for _ in range(config.budget):
+                case = gen.generate()
+                mutant = None
+                if mutation_rng.random() < config.mutate_ratio:
+                    mutant = mutate(case, mutation_rng)
+                plan.append(
+                    (
+                        case,
+                        pool.submit(case.source, profile),
+                        mutant,
+                        pool.submit(mutant.source, profile)
+                        if mutant is not None
+                        else None,
+                    )
+                )
+            for case, future, mutant, mutant_future in plan:
+                handle_case(case, verdict=future.result())
+                if mutant is not None:
+                    handle_mutant(mutant, verdict=mutant_future.result())
+        else:
+            # Serial shape (also used with a pool when --stop-after is
+            # set: the short-circuit in the mutation gate below must see
+            # exactly the serial violation counts).
+            for _ in range(config.budget):
+                if done():
+                    break
+                case = gen.generate()
+                handle_case(case)
+                if done() or mutation_rng.random() >= config.mutate_ratio:
+                    continue
+                mutant = mutate(case, mutation_rng)
+                if mutant is None:
+                    continue
+                handle_mutant(mutant)
         report = {
             "schema": SCHEMA,
             "seed": config.seed,
@@ -151,6 +201,8 @@ def run_campaign(config: FuzzConfig = FuzzConfig()) -> Dict[str, Any]:
         }
         return report
     finally:
+        if pool is not None:
+            pool.close()
         if owned:
             tel.disable()
 

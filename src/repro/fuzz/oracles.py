@@ -82,14 +82,113 @@ class OracleConfig:
     schedules: int = 4
     enumerate_limit: int = 120
     fairness_bound: int = 8
+    #: When set, the static (checker⇒verifier) oracle runs in this pool's
+    #: worker processes instead of in-process.  The dynamic oracles always
+    #: run in-process — they need the Machine, tracers, and schedule
+    #: enumeration state, which don't cross process boundaries.
+    static_pool: Optional["StaticCheckPool"] = None
+
+
+class StaticCheckPool:
+    """Routes the checker⇒verifier oracle through the pipeline's worker
+    pool (:func:`repro.pipeline.worker.check_verify_program_task`).
+
+    Verdicts are plain dicts with byte-for-byte the same semantics as the
+    in-process oracle, and carry the worker's telemetry document so the
+    campaign's coverage counters (``checker.vt.*``) stay truthful under
+    ``--jobs``."""
+
+    def __init__(self, jobs: Optional[int] = None):
+        import os
+
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self._executor = None
+
+    def _handle(self):
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from ..pipeline.worker import init_worker
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=init_worker
+            )
+        return self._executor
+
+    def submit(self, source: str, profile: CheckProfile):
+        """Future of a static-oracle verdict dict for one program."""
+        from ..pipeline.worker import check_verify_program_task
+
+        task = {
+            "source": source,
+            "profile": profile,
+            "collect": tel.registry().enabled,
+        }
+        return self._handle().submit(check_verify_program_task, task)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "StaticCheckPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _apply_verdict(case: GenCase, verdict: Dict[str, Any]):
+    """Map a remote static-oracle verdict onto the exact (violation,
+    accepted) pair the in-process oracle would have produced."""
+    reg = tel.registry()
+    doc = verdict.get("doc")
+    if doc is not None and reg.enabled:
+        tel.merge_doc(reg, doc)
+    status = verdict["status"]
+    if status == "ok":
+        return None, True
+    if status == "verifier":
+        return Violation("verifier", verdict["message"]), True
+    if status == "parse":
+        return (
+            Violation(
+                "generator",
+                f"generated program does not parse: {verdict['message']}",
+            ),
+            False,
+        )
+    if status == "type":
+        from ..core import errors as _errors
+        from ..pipeline.worker import span_from_tuple
+
+        klass = getattr(_errors, verdict["cls"], TypeError_)
+        if not (isinstance(klass, type) and issubclass(klass, TypeError_)):
+            klass = TypeError_
+        exc = klass(verdict["message"], span_from_tuple(verdict["span"]))
+        return _bad_diagnostic(case, exc), False
+    # status == "crash"
+    return (
+        Violation(
+            "checker-crash", f"{verdict['cls']}: {verdict['message']}"
+        ),
+        False,
+    )
 
 
 def check_case(
     case: GenCase,
     config: OracleConfig = OracleConfig(),
     profile: CheckProfile = DEFAULT_PROFILE,
+    verdict: Optional[Dict[str, Any]] = None,
 ) -> CaseOutcome:
-    """Run every oracle against one case; first disagreement wins."""
+    """Run every oracle against one case; first disagreement wins.
+
+    ``verdict`` short-circuits the static oracle with a prefetched result
+    from :class:`StaticCheckPool` (the campaign's pipelined mode); absent
+    that, ``config.static_pool`` is consulted synchronously, and absent
+    that too the prover and verifier run in-process.
+    """
     outcome = CaseOutcome(case)
     try:
         program = parse_program(case.source)
@@ -104,22 +203,33 @@ def check_case(
         return outcome
 
     # Oracle 1: prover vs verifier (and diagnostic quality on rejection).
-    try:
-        derivation = Checker(program, profile=profile).check_program()
-    except TypeError_ as exc:
-        outcome.violation = _bad_diagnostic(case, exc)
-        return outcome
-    except Exception as exc:  # noqa: BLE001 — crashes are findings
-        outcome.violation = Violation(
-            "checker-crash", f"{type(exc).__name__}: {exc}"
-        )
-        return outcome
-    outcome.accepted = True
-    try:
-        Verifier(program).verify_program(derivation)
-    except VerificationError as exc:
-        outcome.violation = Violation("verifier", str(exc))
-        return outcome
+    if verdict is not None or config.static_pool is not None:
+        if verdict is None:
+            verdict = config.static_pool.submit(case.source, profile).result()
+        violation, accepted = _apply_verdict(case, verdict)
+        outcome.accepted = accepted
+        if violation is not None:
+            outcome.violation = violation
+            return outcome
+        if not accepted:
+            return outcome
+    else:
+        try:
+            derivation = Checker(program, profile=profile).check_program()
+        except TypeError_ as exc:
+            outcome.violation = _bad_diagnostic(case, exc)
+            return outcome
+        except Exception as exc:  # noqa: BLE001 — crashes are findings
+            outcome.violation = Violation(
+                "checker-crash", f"{type(exc).__name__}: {exc}"
+            )
+            return outcome
+        outcome.accepted = True
+        try:
+            Verifier(program).verify_program(derivation)
+        except VerificationError as exc:
+            outcome.violation = Violation("verifier", str(exc))
+            return outcome
 
     # Oracle 2: no reservation violation / deadlock on any schedule, and
     # one confluent result.

@@ -35,7 +35,10 @@ def pretty_struct(sdef: ast.StructDef) -> str:
     return "\n".join(lines)
 
 
-def pretty_func(fdef: ast.FuncDef) -> str:
+def pretty_func_header(fdef: ast.FuncDef) -> str:
+    """The declared interface alone: name, params (with ``pinned``), return
+    type, ``consumes``, and ``before``/``after`` relations.  This is the
+    signature slice the pipeline cache hashes for callees."""
     params = ", ".join(
         f"{'pinned ' if p.pinned else ''}{p.name} : {pretty_type(p.ty)}"
         for p in fdef.params
@@ -49,7 +52,11 @@ def pretty_func(fdef: ast.FuncDef) -> str:
     if fdef.after:
         rels = ", ".join(f"{_path(a)} ~ {_path(b)}" for a, b in fdef.after)
         header += f" after: {rels}"
-    return header + " " + pretty_expr(fdef.body, 0)
+    return header
+
+
+def pretty_func(fdef: ast.FuncDef) -> str:
+    return pretty_func_header(fdef) + " " + pretty_expr(fdef.body, 0)
 
 
 def _path(path: ast.AnnotPath) -> str:

@@ -1,0 +1,207 @@
+"""Content-addressed certificate cache for the check/verify pipeline.
+
+The paper's checking problem is compositional at function granularity: a
+:class:`~repro.core.derivation.FuncDerivation` depends only on
+
+* the struct declarations (field layout and ``iso`` capabilities),
+* the *signatures* of the functions it calls (T17 consults interfaces,
+  never bodies), and
+* its own pretty-printed definition (signature + body).
+
+So a derivation certificate can be keyed by the SHA-256 of exactly those
+inputs — canonicalized through the pretty-printer so whitespace and
+comment edits never invalidate anything — plus the checker version tag
+and the active :class:`~repro.core.checker.CheckProfile`.  A cache hit
+replays the stored certificate through the cheap
+:class:`~repro.verifier.Verifier` path (or, under ``--trust-cache``,
+skips verification entirely) instead of re-running the prover's search.
+
+Invalidation falls out of the key recipe:
+
+* editing a function body changes only that function's key;
+* editing a function *signature* changes the key of the function itself
+  and of every function that calls it (callers hash callee headers);
+* editing any struct declaration changes every key (struct layout is
+  global input to the T rules);
+* bumping :data:`~repro.core.checker.CHECKER_VERSION` changes every key,
+  and entries whose *stored* version tag disagrees with the running
+  checker are additionally ignored as stale even if a key matches
+  (defense in depth against hand-edited or migrated cache directories).
+
+Entries live one-per-file under ``<root>/<key[:2]>/<key>.json`` and are
+written atomically (temp file + ``os.replace``), so concurrent pipelines
+sharing a cache directory can only ever observe whole entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.checker import CHECKER_VERSION, CheckProfile, DEFAULT_PROFILE
+from ..lang import ast
+from ..lang.pretty import pretty_func, pretty_func_header, pretty_struct
+
+#: Schema tag of one stored cache entry.
+ENTRY_SCHEMA = "repro-cert/1"
+
+
+def profile_tag(profile: CheckProfile) -> str:
+    """Canonical text of a profile.  ``CheckProfile`` is a frozen dataclass,
+    so its repr enumerates every feature switch deterministically — a
+    restricted (or fault-injected) profile can never replay certificates
+    minted under the full type system, and vice versa."""
+    return repr(profile)
+
+
+def struct_fingerprint(program: ast.Program) -> str:
+    """All struct declarations, pretty-printed in sorted order."""
+    return "\n".join(
+        pretty_struct(sdef) for _, sdef in sorted(program.structs.items())
+    )
+
+
+def callees_of(fdef: ast.FuncDef, program: ast.Program) -> List[str]:
+    """Names of program functions called directly anywhere in ``fdef``'s
+    body, sorted.  One level is enough: T17 consults only the callee's
+    declared interface, never its body."""
+    return sorted(
+        {
+            node.func
+            for node in ast.walk(fdef.body)
+            if isinstance(node, ast.Call) and node.func in program.funcs
+        }
+    )
+
+
+class ProgramFingerprints:
+    """Per-function cache keys for one program, with the shared parts
+    (struct fingerprint, header table, profile tag) computed once."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        profile: CheckProfile = DEFAULT_PROFILE,
+        version: str = CHECKER_VERSION,
+    ):
+        self.program = program
+        self.version = version
+        self._profile = profile_tag(profile)
+        self._structs = struct_fingerprint(program)
+        self._headers: Dict[str, str] = {
+            name: pretty_func_header(fdef)
+            for name, fdef in program.funcs.items()
+        }
+        self._keys: Dict[str, str] = {}
+
+    def key(self, name: str) -> str:
+        """SHA-256 cache key of one function (hex digest)."""
+        cached = self._keys.get(name)
+        if cached is not None:
+            return cached
+        fdef = self.program.func(name)
+        callee_sigs = "\n".join(
+            self._headers[callee] for callee in callees_of(fdef, self.program)
+        )
+        material = "\x00".join(
+            (
+                "version:" + self.version,
+                "profile:" + self._profile,
+                "structs:" + self._structs,
+                "callees:" + callee_sigs,
+                "func:" + pretty_func(fdef),
+            )
+        )
+        digest = hashlib.sha256(material.encode("utf-8")).hexdigest()
+        self._keys[name] = digest
+        return digest
+
+
+@dataclass
+class CacheEntry:
+    """One stored certificate plus the summary numbers the CLI reports,
+    so a trusted hit needs no deserialization at all."""
+
+    func: str
+    #: ``ProgramDerivation.node_count()`` contribution (what ``check`` prints).
+    nodes: int
+    #: Verifier node count including T0 (what ``verify`` prints).
+    verified: int
+    #: The serialized ``FuncDerivation`` (``core/serialize`` JSON form).
+    cert: str
+    version: str = CHECKER_VERSION
+
+
+class CertCache:
+    """Directory-backed content-addressed store of derivation certificates."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[str, Optional[CacheEntry]]:
+        """Look up one key.  Returns ``(status, entry)`` where status is
+        ``"hit"``, ``"miss"`` (no entry), or ``"stale"`` (an entry exists
+        but is unreadable, malformed, or carries a different checker
+        version tag — it is ignored and will be overwritten)."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            return "miss", None
+        try:
+            data = json.loads(raw)
+            if (
+                data["schema"] != ENTRY_SCHEMA
+                or data["version"] != CHECKER_VERSION
+            ):
+                return "stale", None
+            entry = CacheEntry(
+                func=data["func"],
+                nodes=int(data["nodes"]),
+                verified=int(data["verified"]),
+                cert=data["cert"],
+                version=data["version"],
+            )
+        except (ValueError, KeyError, TypeError):
+            return "stale", None
+        return "hit", entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": ENTRY_SCHEMA,
+                "version": entry.version,
+                "func": entry.func,
+                "nodes": entry.nodes,
+                "verified": entry.verified,
+                "cert": entry.cert,
+            }
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

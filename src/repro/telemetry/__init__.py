@@ -22,6 +22,7 @@ from .export import (
     doc_to_registry,
     export_json,
     load_json,
+    merge_doc,
     registry_to_doc,
     render_table,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "enable",
     "export_json",
     "load_json",
+    "merge_doc",
     "registry",
     "registry_to_doc",
     "render_table",

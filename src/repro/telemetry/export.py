@@ -77,6 +77,57 @@ def doc_to_registry(doc: Dict[str, Any]) -> Registry:
     return reg
 
 
+def merge_doc(reg: Registry, doc: Dict[str, Any]) -> Registry:
+    """Fold an exported document into ``reg`` in place (and return it).
+
+    Counters add; histograms combine count/total and take the min/max
+    envelope (the mean stays derived); span stats combine per
+    ``(name, parent)`` key.  This is how the pipeline folds each worker
+    process's registry back into the parent so ``--metrics-json`` stays
+    truthful under ``--jobs N``: every checker/verifier counter reads the
+    same as a serial run, with parallelism visible only through the
+    ``pipeline.*`` metrics and the span timings.
+    """
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported telemetry schema {doc.get('schema')!r}")
+    for name, value in doc.get("counters", {}).items():
+        reg.counter(name).value += int(value)
+    for name, summary in doc.get("histograms", {}).items():
+        hist = reg.histogram(name)
+        hist.count += int(summary["count"])
+        hist.total += float(summary["total"])
+        for attr, pick in (("min", min), ("max", max)):
+            incoming = summary.get(attr)
+            if incoming is None:
+                continue
+            current = getattr(hist, attr)
+            setattr(
+                hist,
+                attr,
+                incoming if current is None else pick(current, incoming),
+            )
+    for entry in doc.get("spans", []):
+        key: Tuple[str, Optional[str]] = (entry["name"], entry.get("parent"))
+        stats = reg.spans.get(key)
+        if stats is None:
+            stats = reg.spans[key] = SpanStats(
+                entry["name"], entry.get("parent"), int(entry["depth"])
+            )
+        stats.count += int(entry["count"])
+        stats.total_ms += float(entry["total_ms"])
+        for attr, pick in (("min_ms", min), ("max_ms", max)):
+            incoming = entry.get(attr)
+            if incoming is None:
+                continue
+            current = getattr(stats, attr)
+            setattr(
+                stats,
+                attr,
+                incoming if current is None else pick(current, incoming),
+            )
+    return reg
+
+
 def export_json(reg: Registry, indent: int = 1) -> str:
     return json.dumps(registry_to_doc(reg), indent=indent, sort_keys=False)
 

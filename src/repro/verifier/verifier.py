@@ -86,11 +86,24 @@ def context_from_snapshot(snap: ContextSnap) -> StaticContext:
 class Verifier:
     """Re-validates every function derivation of a program."""
 
-    def __init__(self, program: ast.Program):
+    def __init__(
+        self,
+        program: ast.Program,
+        functypes: Optional[Dict[str, FuncType]] = None,
+    ):
         self.program = program
-        self.functypes: Dict[str, FuncType] = {
-            name: elaborate(fdef, program) for name, fdef in program.funcs.items()
-        }
+        # Batch callers (repro.pipeline) pass the checker's already
+        # elaborated table so a program is elaborated once, not once per
+        # tool; nothing in it is trusted — elaboration is deterministic
+        # and both sides recompute from the same surface syntax.
+        self.functypes: Dict[str, FuncType] = (
+            functypes
+            if functypes is not None
+            else {
+                name: elaborate(fdef, program)
+                for name, fdef in program.funcs.items()
+            }
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -890,29 +903,28 @@ RESULT = "$result"
 def _certificate_bytes(fd: FuncDerivation) -> int:
     """Size of one function's certificate in its JSON wire form — the cost
     a separate verifying process would pay to receive it."""
-    import json
+    from ..core.serialize import func_derivation_to_json
 
-    from ..core.serialize import _snap_to_lists, derivation_to_dict
-
-    payload = {
-        "input": _snap_to_lists(fd.input_snap),
-        "output": _snap_to_lists(fd.output_snap),
-        "result_type": fd.result_type,
-        "result_region": fd.result_region,
-        "body": derivation_to_dict(fd.body),
-    }
-    return len(json.dumps(payload).encode("utf-8"))
+    return len(func_derivation_to_json(fd).encode("utf-8"))
 
 
 def _region(ident: Optional[int]) -> Optional[Region]:
     return None if ident is None else Region(ident)
 
 
-def verify_source(source: str) -> int:
-    """Check and then independently verify a program; returns node count."""
+def verify_source(source: str, program: Optional[ast.Program] = None) -> int:
+    """Check and then independently verify a program; returns node count.
+
+    Pass an already parsed ``program`` to skip the re-parse; either way the
+    function-type table is elaborated exactly once and shared between the
+    checker and the verifier (batch callers go further and reuse
+    :class:`repro.pipeline.ProgramSession` across both phases).
+    """
     from ..core.checker import Checker
     from ..lang import parse_program
 
-    program = parse_program(source)
-    derivation = Checker(program).check_program()
-    return Verifier(program).verify_program(derivation)
+    if program is None:
+        program = parse_program(source)
+    checker = Checker(program)
+    derivation = checker.check_program()
+    return Verifier(program, functypes=checker.functypes).verify_program(derivation)
