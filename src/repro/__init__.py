@@ -7,17 +7,31 @@ the prover–verifier checking architecture, the dynamic reservation-safe
 runtime with the efficient ``if disconnected`` primitive, message-passing
 concurrency, and the Table 1 baseline models.
 
-Quickstart::
+Quickstart (the stable facade — see docs/API.md)::
 
-    from repro import check_source, parse_program, run_function
+    from repro import api
 
     src = open("examples/list.fcl").read()
-    program = parse_program(src)
-    check_source(src)                       # raises on type errors
-    result, interp = run_function(program, "main")
+    result = api.check(src)                 # CheckResult, never raises
+    if result.ok:
+        print(api.run(src, "main").value)
+
+``check_source``/``verify_source`` are the legacy exception-raising entry
+points; they still work but are deprecated in favor of :mod:`repro.api`.
 """
 
-from .core.checker import CheckProfile, Checker, check_source
+import warnings as _warnings
+
+from . import api
+from .api import (
+    CheckResult,
+    Diagnostic,
+    ExitCode,
+    RunResult,
+    VerifyResult,
+)
+from .core.checker import CheckProfile, Checker
+from .core.checker import check_source as _check_source_impl
 from .core.errors import TypeError_
 from .lang import ParseError, parse_program, pretty_program
 from .runtime.machine import (
@@ -26,13 +40,43 @@ from .runtime.machine import (
     ReservationViolation,
     run_function,
 )
-from .verifier.verifier import VerificationError, Verifier, verify_source
+from .verifier.verifier import VerificationError, Verifier
+from .verifier.verifier import verify_source as _verify_source_impl
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def check_source(*args, **kwargs):
+    """Deprecated: use :func:`repro.api.check` (typed result, no raise)."""
+    _warnings.warn(
+        "repro.check_source is deprecated; use repro.api.check(), which "
+        "returns a CheckResult instead of raising",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _check_source_impl(*args, **kwargs)
+
+
+def verify_source(*args, **kwargs):
+    """Deprecated: use :func:`repro.api.verify` (typed result, no raise)."""
+    _warnings.warn(
+        "repro.verify_source is deprecated; use repro.api.verify(), which "
+        "returns a VerifyResult instead of raising",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _verify_source_impl(*args, **kwargs)
+
 
 __all__ = [
+    "api",
+    "CheckResult",
     "Checker",
     "CheckProfile",
+    "Diagnostic",
+    "ExitCode",
+    "RunResult",
+    "VerifyResult",
     "check_source",
     "TypeError_",
     "ParseError",

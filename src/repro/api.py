@@ -1,0 +1,495 @@
+"""The stable programmatic facade: ``check`` / ``verify`` / ``run``.
+
+Before this module, callers reached into four inconsistent entry points
+(``core.checker.check_source``, ``verifier.verify_source``,
+``runtime.machine.run_function``, ``pipeline.Pipeline``) with mismatched
+signatures, exit-code conventions, and ad-hoc dict payloads.  The facade
+gives every consumer — the CLI, the batch pipeline, and the ``repro
+serve`` RPC daemon — one typed surface:
+
+* :func:`check`  → :class:`CheckResult`
+* :func:`verify` → :class:`VerifyResult`
+* :func:`run`    → :class:`RunResult`
+
+No facade function raises on a *program* problem: parse errors, type
+errors, verification failures, and runtime faults all come back as
+:class:`Diagnostic` records on the result (``result.ok`` is False).
+Exceptions are reserved for caller bugs (bad argument types).
+
+Every result is a frozen-ish dataclass with ``to_dict()``/``from_dict()``
+whose dict form IS the ``repro-rpc/1`` wire payload — the server returns
+exactly ``check(source).to_dict()``, which is what makes the "server
+responses are byte-identical to in-process results" guarantee checkable.
+
+Exit codes are normalized in :class:`ExitCode` (see docs/API.md):
+0 ok · 1 check-reject · 2 verify-fail · 3 runtime error / bench
+regression · 4 divergence · 5 fuzz violation · 64 usage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .core.checker import DEFAULT_PROFILE, CheckProfile
+from .core.errors import TypeError_
+from .lang.tokens import SourceSpan
+
+API_VERSION = "repro-api/1"
+
+
+class ExitCode(enum.IntEnum):
+    """Process exit codes, uniform across every ``repro`` subcommand.
+
+    ``BENCH_REGRESS`` and ``RUNTIME_ERROR`` share 3 deliberately: both
+    mean "the artifact was fine but executing it went wrong", and no
+    subcommand can produce both.
+    """
+
+    OK = 0
+    CHECK_REJECT = 1
+    VERIFY_FAIL = 2
+    RUNTIME_ERROR = 3
+    BENCH_REGRESS = 3  # alias of RUNTIME_ERROR
+    DIVERGENCE = 4
+    FUZZ_VIOLATION = 5
+    USAGE = 64
+
+
+#: Diagnostic codes rendered as "syntax error" with a caret excerpt.
+_SYNTAX_CODES = ("ParseError", "LexError")
+#: Diagnostic codes produced by the runtime, rendered without an excerpt.
+_RUNTIME_CODES = (
+    "MachineError",
+    "ReservationViolation",
+    "DeadlockError",
+    "StepLimitExceeded",
+)
+
+
+@dataclass
+class Diagnostic:
+    """One canonical failure record.
+
+    This is the single encoder behind CLI text output, ``--metrics-json``
+    failure records, and ``repro-rpc/1`` error payloads — the per-call-site
+    dict literals are gone.  ``span`` is ``(start, end, line, column)`` or
+    ``None`` when the failure has no source location.
+    """
+
+    file: str
+    severity: str  # "error" (reserved: "warning")
+    code: str  # the exception class name, e.g. "RegionConsumed"
+    message: str
+    span: Optional[Tuple[int, int, int, int]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "span": list(self.span) if self.span is not None else None,
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Diagnostic":
+        span = data.get("span")
+        return cls(
+            file=data["file"],
+            severity=data["severity"],
+            code=data["code"],
+            message=data["message"],
+            span=tuple(span) if span is not None else None,
+        )
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, file: str = "<input>"
+    ) -> "Diagnostic":
+        from .lang.diagnostics import strip_location_prefix
+
+        span = getattr(exc, "span", None)
+        return cls(
+            file=file,
+            severity="error",
+            code=type(exc).__name__,
+            message=getattr(exc, "message", None)
+            or strip_location_prefix(str(exc)),
+            span=None
+            if span is None
+            else (span.start, span.end, span.line, span.column),
+        )
+
+    def source_span(self) -> Optional[SourceSpan]:
+        if self.span is None:
+            return None
+        start, end, line, column = self.span
+        return SourceSpan(start, end, line, column)
+
+    def render(self, source: str = "") -> str:
+        """The human-facing form: caret excerpt for parse/type errors,
+        the historical one-liners for verify and runtime failures."""
+        from .lang.diagnostics import render_diagnostic
+
+        if self.code == "VerificationError":
+            return f"{self.file}: VERIFICATION FAILED: {self.message}"
+        if self.code in _RUNTIME_CODES:
+            return f"runtime error: {self.message}"
+        kind = "syntax error" if self.code in _SYNTAX_CODES else "type error"
+        return render_diagnostic(
+            source, self.source_span(), self.message, filename=self.file, kind=kind
+        )
+
+
+def _diagnostics_from(items: Sequence[Dict[str, Any]]) -> List[Diagnostic]:
+    return [Diagnostic.from_dict(item) for item in items]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of type-checking one program."""
+
+    ok: bool
+    functions: int = 0
+    nodes: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "functions": self.functions,
+            "nodes": self.nodes,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CheckResult":
+        return cls(
+            ok=data["ok"],
+            functions=data["functions"],
+            nodes=data["nodes"],
+            diagnostics=_diagnostics_from(data["diagnostics"]),
+        )
+
+    def summary(self, file: str) -> str:
+        return (
+            f"{file}: OK — {self.functions} functions, "
+            f"{self.nodes} derivation nodes"
+        )
+
+    @property
+    def exit_code(self) -> ExitCode:
+        return ExitCode.OK if self.ok else ExitCode.CHECK_REJECT
+
+
+@dataclass
+class VerifyResult:
+    """Outcome of checking and then independently verifying a program."""
+
+    ok: bool
+    functions: int = 0
+    nodes: int = 0
+    verified: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "functions": self.functions,
+            "nodes": self.nodes,
+            "verified": self.verified,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "VerifyResult":
+        return cls(
+            ok=data["ok"],
+            functions=data["functions"],
+            nodes=data["nodes"],
+            verified=data["verified"],
+            diagnostics=_diagnostics_from(data["diagnostics"]),
+        )
+
+    def summary(self, file: str) -> str:
+        return f"{file}: verified ({self.verified} nodes)"
+
+    @property
+    def exit_code(self) -> ExitCode:
+        if self.ok:
+            return ExitCode.OK
+        for diag in self.diagnostics:
+            if diag.code == "VerificationError":
+                return ExitCode.VERIFY_FAIL
+        return ExitCode.CHECK_REJECT
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one function single-threaded."""
+
+    ok: bool
+    value: Optional[str] = None  # rendered result (see render_value)
+    steps: int = 0
+    reservation_checks: int = 0
+    heap_reads: int = 0
+    heap_writes: int = 0
+    heap_objects: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "value": self.value,
+            "steps": self.steps,
+            "reservation_checks": self.reservation_checks,
+            "heap_reads": self.heap_reads,
+            "heap_writes": self.heap_writes,
+            "heap_objects": self.heap_objects,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        return cls(
+            ok=data["ok"],
+            value=data["value"],
+            steps=data["steps"],
+            reservation_checks=data["reservation_checks"],
+            heap_reads=data["heap_reads"],
+            heap_writes=data["heap_writes"],
+            heap_objects=data["heap_objects"],
+            diagnostics=_diagnostics_from(data["diagnostics"]),
+        )
+
+    @property
+    def exit_code(self) -> ExitCode:
+        if self.ok:
+            return ExitCode.OK
+        if any(d.code in _RUNTIME_CODES for d in self.diagnostics):
+            return ExitCode.RUNTIME_ERROR
+        return ExitCode.CHECK_REJECT
+
+
+def render_value(value, heap) -> str:
+    """Render a runtime value the way the CLI prints it (structs show
+    their fields and location; primitives show their repr)."""
+    from .runtime.values import NONE, UNIT, Loc
+
+    if value is UNIT:
+        return "()"
+    if value is NONE:
+        return "none"
+    if isinstance(value, Loc):
+        obj = heap.obj(value)
+        fields = ", ".join(
+            f"{name} = {_brief(v)}" for name, v in obj.fields.items()
+        )
+        return f"{obj.struct.name}{{{fields}}} @ {value}"
+    return repr(value)
+
+
+def _brief(value) -> str:
+    from .runtime.values import NONE, Loc
+
+    if value is NONE:
+        return "none"
+    if isinstance(value, Loc):
+        return str(value)
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# The facade functions
+# ---------------------------------------------------------------------------
+
+
+def _parse_failure(exc: BaseException, filename: str) -> List[Diagnostic]:
+    return [Diagnostic.from_exception(exc, file=filename)]
+
+
+def _make_session(
+    source: str,
+    filename: str,
+    program,
+    profile: CheckProfile,
+):
+    """(session, failure-diagnostics). Parse + program-level elaboration;
+    both kinds of failure come back as diagnostics, not exceptions."""
+    from .lang import ParseError, parse_program
+    from .lang.lexer import LexError
+    from .pipeline.session import ProgramSession
+
+    try:
+        if program is None:
+            program = parse_program(source)
+        return ProgramSession(source, program=program, profile=profile), []
+    except (ParseError, LexError) as exc:
+        return None, _parse_failure(exc, filename)
+    except TypeError_ as exc:
+        return None, _parse_failure(exc, filename)
+
+
+def check(
+    source: str,
+    *,
+    filename: str = "<input>",
+    program=None,
+    profile: CheckProfile = DEFAULT_PROFILE,
+    session=None,
+) -> CheckResult:
+    """Parse and type-check ``source``; never raises on program errors.
+
+    ``session`` lets warm callers (the server) reuse a parsed/elaborated
+    :class:`~repro.pipeline.ProgramSession`; results are identical.
+    """
+    if session is None:
+        session, failed = _make_session(source, filename, program, profile)
+        if session is None:
+            return CheckResult(ok=False, diagnostics=failed)
+    try:
+        derivation = session.checker.check_program()
+    except TypeError_ as exc:
+        return CheckResult(
+            ok=False,
+            functions=len(session.program.funcs),
+            diagnostics=[Diagnostic.from_exception(exc, file=filename)],
+        )
+    return CheckResult(
+        ok=True,
+        functions=len(session.program.funcs),
+        nodes=derivation.node_count(),
+    )
+
+
+def verify(
+    source: str,
+    *,
+    filename: str = "<input>",
+    program=None,
+    profile: CheckProfile = DEFAULT_PROFILE,
+    session=None,
+) -> VerifyResult:
+    """Check, then independently verify the derivation (§5)."""
+    from .verifier import VerificationError
+
+    if session is None:
+        session, failed = _make_session(source, filename, program, profile)
+        if session is None:
+            return VerifyResult(ok=False, diagnostics=failed)
+    try:
+        derivation = session.checker.check_program()
+    except TypeError_ as exc:
+        return VerifyResult(
+            ok=False,
+            functions=len(session.program.funcs),
+            diagnostics=[Diagnostic.from_exception(exc, file=filename)],
+        )
+    try:
+        verified = session.verifier.verify_program(derivation)
+    except VerificationError as exc:
+        return VerifyResult(
+            ok=False,
+            functions=len(session.program.funcs),
+            nodes=derivation.node_count(),
+            diagnostics=[Diagnostic.from_exception(exc, file=filename)],
+        )
+    return VerifyResult(
+        ok=True,
+        functions=len(session.program.funcs),
+        nodes=derivation.node_count(),
+        verified=verified,
+    )
+
+
+def run(
+    source: str,
+    function: str,
+    args: Sequence = (),
+    *,
+    filename: str = "<input>",
+    program=None,
+    profile: CheckProfile = DEFAULT_PROFILE,
+    check_first: bool = True,
+    erased: bool = False,
+    max_steps: Optional[int] = None,
+    sink_sends: bool = True,
+    seed: Optional[int] = None,
+    session=None,
+) -> RunResult:
+    """Type-check (unless ``check_first=False``) and run one function
+    single-threaded.  ``max_steps`` bounds execution (the server's step
+    budget); exceeding it is a ``StepLimitExceeded`` diagnostic.
+    ``erased=True`` uses the §3.2 verified-erasure fast path and is only
+    honored when the program was checked.
+    """
+    from .runtime.heap import Heap
+    from .runtime.machine import run_function
+
+    if session is None:
+        session, failed = _make_session(source, filename, program, profile)
+        if session is None:
+            return RunResult(ok=False, diagnostics=failed)
+    if check_first:
+        try:
+            session.checker.check_program()
+        except TypeError_ as exc:
+            return RunResult(
+                ok=False,
+                diagnostics=[Diagnostic.from_exception(exc, file=filename)],
+            )
+    if function not in session.program.funcs:
+        return RunResult(
+            ok=False,
+            diagnostics=[
+                Diagnostic(
+                    file=filename,
+                    severity="error",
+                    code="MachineError",
+                    message=f"no function {function!r}",
+                )
+            ],
+        )
+    heap = Heap()
+    check_reservations = not (erased and check_first)
+    try:
+        value, interp = run_function(
+            session.program,
+            function,
+            list(args),
+            heap=heap,
+            check_reservations=check_reservations,
+            sink_sends=sink_sends,
+            max_steps=max_steps,
+            seed=seed,
+        )
+    except Exception as exc:  # runtime faults are diagnostics, not crashes
+        return RunResult(
+            ok=False,
+            diagnostics=[Diagnostic.from_exception(exc, file=filename)],
+        )
+    return RunResult(
+        ok=True,
+        value=render_value(value, heap),
+        steps=interp.stats.steps,
+        reservation_checks=interp.stats.reservation_checks,
+        heap_reads=heap.reads,
+        heap_writes=heap.writes,
+        heap_objects=len(heap),
+    )
+
+
+__all__ = [
+    "API_VERSION",
+    "CheckResult",
+    "Diagnostic",
+    "ExitCode",
+    "RunResult",
+    "VerifyResult",
+    "check",
+    "render_value",
+    "run",
+    "verify",
+]

@@ -262,6 +262,73 @@ def bench_pipeline(small: bool = False, jobs: int = 4) -> List[Dict]:
     return rows
 
 
+def bench_server(small: bool = False) -> List[Dict]:
+    """Warm ``repro serve`` check latency vs a cold ``repro check``
+    process.
+
+    ``cold_process_ms`` spawns a fresh interpreter per request (what a
+    build system pays shelling out to ``repro check``); ``warm_first_ms``
+    is the first RPC against a running daemon (session construction);
+    ``warm_ms`` is the steady state (memoized result over a socket).
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+
+    from . import corpus as corpus_pkg
+    from .client import Client
+    from .corpus import load_source
+    from .server import ServerConfig, ServerThread
+
+    names = ("sll",) if small else ("sll", "rbtree")
+    repeats = 2 if small else 3
+    corpus_dir = os.path.dirname(os.path.abspath(corpus_pkg.__file__))
+    src_root = os.path.dirname(os.path.dirname(corpus_dir))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    rows = []
+    config = ServerConfig(
+        host=None, unix_path=tempfile.mktemp(suffix=".sock")
+    )
+    with ServerThread(config) as handle:
+        with Client(handle.address) as client:
+            for name in names:
+                fcl = os.path.join(corpus_dir, f"{name}.fcl")
+                source = load_source(name)
+                cold = float("inf")
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    proc = subprocess.run(
+                        [sys.executable, "-m", "repro", "check", fcl],
+                        env=env,
+                        capture_output=True,
+                    )
+                    cold = min(cold, (time.perf_counter() - t0) * 1000)
+                    assert proc.returncode == 0, proc.stderr.decode()
+                t0 = time.perf_counter()
+                first = client.check(source, filename=name)
+                warm_first_ms = (time.perf_counter() - t0) * 1000
+                assert first.ok, f"bench workload rejected: {name}"
+                warm = float("inf")
+                for _ in range(repeats * 3):
+                    t0 = time.perf_counter()
+                    client.check(source, filename=name)
+                    warm = min(warm, (time.perf_counter() - t0) * 1000)
+                rows.append(
+                    {
+                        "workload": name,
+                        "cold_process_ms": round(cold, 3),
+                        "warm_first_ms": round(warm_first_ms, 3),
+                        "warm_ms": round(warm, 3),
+                        "speedup_warm": round(cold / warm, 2) if warm else 0.0,
+                    }
+                )
+    return rows
+
+
 def bench_erasure(repeats: int = 5) -> List[Dict]:
     """§3.2: guarded vs erased-guard runtime wall-clock; the guarded run's
     reservation-check count is exactly what erasure elides."""
@@ -312,12 +379,13 @@ def collect(small: bool = False) -> Dict:
         repeats = 5
     return {
         "schema": SCHEMA,
-        "label": "PR4",
+        "label": "PR5",
         "corpus": bench_corpus(corpus_names),
         "generated": bench_generated(chains),
         "search": bench_search(widths),
         "erasure": bench_erasure(repeats),
         "pipeline": bench_pipeline(small),
+        "server": bench_server(small),
     }
 
 
@@ -391,6 +459,19 @@ def render_table(doc: Dict) -> str:
                 f"{row['trusted_ms']:10.1f} {row['speedup_warm']:7.1f} "
                 f"{row['speedup_trusted']:8.1f}"
             )
+    if doc.get("server"):
+        lines.append("")
+        lines.append("repro serve — warm daemon vs cold process per check")
+        lines.append(
+            f"{'workload':>9s} {'cold proc(ms)':>14s} {'warm 1st(ms)':>13s} "
+            f"{'warm(ms)':>9s} {'speedup':>8s}"
+        )
+        for row in doc["server"]:
+            lines.append(
+                f"{row['workload']:>9s} {row['cold_process_ms']:14.1f} "
+                f"{row['warm_first_ms']:13.2f} {row['warm_ms']:9.3f} "
+                f"{row['speedup_warm']:7.1f}x"
+            )
     return "\n".join(lines)
 
 
@@ -407,6 +488,7 @@ SECTION_KEYS = {
     "search": "width",
     "erasure": "workload",
     "pipeline": "workload",
+    "server": "workload",
 }
 
 

@@ -17,6 +17,15 @@ Commands:
 * ``fuzz``                  — differential soundness fuzzing: generate
   random programs and cross-check checker/verifier/runtime/erasure
   (``--json`` emits the ``repro-fuzz/1`` report; see docs/FUZZING.md).
+* ``serve``                 — long-running JSON-lines daemon answering
+  check/verify/run/batch against warm session state (``repro-rpc/1``
+  over TCP and/or a unix socket; see docs/API.md).
+* ``client ACTION``         — drive a running daemon (``ping``, ``check``,
+  ``verify``, ``run``, ``corpus``, ``batch``, ``stats``, ``shutdown``).
+
+Exit codes follow :class:`repro.api.ExitCode`: 0 success, 1 check
+rejection, 2 verification failure, 3 runtime error/bench regression,
+4 paranoid divergence, 5 fuzz violation, 64 usage error.
 
 ``check``/``run``/``verify``/``stats`` all accept ``--metrics-json FILE``
 to dump the telemetry registry as structured JSON (schema
@@ -41,6 +50,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import api
+from .api import Diagnostic, ExitCode
 from .core.checker import Checker
 from .core.errors import TypeError_
 from .lang import ParseError, parse_program
@@ -51,7 +62,33 @@ from .runtime.values import NONE, UNIT, Loc
 from .verifier import VerificationError, Verifier
 
 
+class Parser(argparse.ArgumentParser):
+    """argparse, but usage errors exit with ``ExitCode.USAGE`` (64) like
+    every other repro usage failure instead of argparse's default 2."""
+
+    def error(self, message):
+        self.print_usage(sys.stderr)
+        self.exit(int(ExitCode.USAGE), f"{self.prog}: error: {message}\n")
+
+
 _SOURCES: dict = {}
+
+#: Diagnostics reported during this invocation, in order.  ``main``
+#: exports them as the ``failures`` array of ``--metrics-json``
+#: documents so machine consumers get structured records, not stderr.
+_FAILURES: List[Diagnostic] = []
+
+
+def _fail(diag: Diagnostic, source: str = "") -> None:
+    """Report one diagnostic: render to stderr, record for metrics."""
+    _FAILURES.append(diag)
+    print(diag.render(source), file=sys.stderr)
+
+
+def _usage(message: str) -> SystemExit:
+    """A usage error: message on stderr, exit ``ExitCode.USAGE`` (64)."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(int(ExitCode.USAGE))
 
 
 def _extract_embedded_source(path: str, text: str) -> str:
@@ -62,7 +99,7 @@ def _extract_embedded_source(path: str, text: str) -> str:
     try:
         tree = pyast.parse(text)
     except SyntaxError as exc:
-        raise SystemExit(f"error: {path}: not valid Python: {exc}")
+        raise _usage(f"{path}: not valid Python: {exc}")
     for node in tree.body:
         if not isinstance(node, pyast.Assign):
             continue
@@ -74,47 +111,33 @@ def _extract_embedded_source(path: str, text: str) -> str:
                 and isinstance(node.value.value, str)
             ):
                 return node.value.value
-    raise SystemExit(
-        f"error: {path}: no module-level SOURCE string literal found"
-    )
+    raise _usage(f"{path}: no module-level SOURCE string literal found")
 
 
-def _load(path: str):
+def _read_source(path: str) -> str:
+    """Read program text (extracting an embedded ``SOURCE`` literal from
+    ``.py`` files) and remember it for diagnostic rendering."""
     try:
         source = Path(path).read_text()
     except OSError as exc:
-        raise SystemExit(f"error: cannot read {path}: {exc}")
+        raise _usage(f"cannot read {path}: {exc}")
     if path.endswith(".py"):
         source = _extract_embedded_source(path, source)
     _SOURCES[path] = source
+    return source
+
+
+def _load(path: str):
+    source = _read_source(path)
     try:
         return parse_program(source)
-    except ParseError as exc:
-        from .lang.diagnostics import render_diagnostic, strip_location_prefix
-
-        raise SystemExit(
-            render_diagnostic(
-                source,
-                exc.span,
-                strip_location_prefix(str(exc)),
-                filename=path,
-                kind="syntax error",
-            )
-        )
-    except LexError as exc:
-        raise SystemExit(f"{path}: syntax error: {exc}")
+    except (ParseError, LexError) as exc:
+        _fail(Diagnostic.from_exception(exc, file=path), source)
+        raise SystemExit(int(ExitCode.CHECK_REJECT))
 
 
 def _report_type_error(path: str, exc: TypeError_) -> None:
-    from .lang.diagnostics import render_diagnostic
-
-    source = _SOURCES.get(path, "")
-    print(
-        render_diagnostic(
-            source, exc.span, exc.message, filename=path, kind="type error"
-        ),
-        file=sys.stderr,
-    )
+    _fail(Diagnostic.from_exception(exc, file=path), _SOURCES.get(path, ""))
 
 
 def _wants_pipeline(args: argparse.Namespace) -> bool:
@@ -132,7 +155,7 @@ def _make_pipeline(args: argparse.Namespace, verify: bool = True):
     from .pipeline import Pipeline
 
     if getattr(args, "trust_cache", False) and not getattr(args, "cache", None):
-        raise SystemExit("error: --trust-cache requires --cache DIR")
+        raise _usage("--trust-cache requires --cache DIR")
     return Pipeline(
         jobs=args.jobs,
         cache_dir=args.cache,
@@ -143,62 +166,49 @@ def _make_pipeline(args: argparse.Namespace, verify: bool = True):
 
 def cmd_check(args: argparse.Namespace) -> int:
     program = _load(args.file)
+    source = _SOURCES[args.file]
     if _wants_pipeline(args):
         with _make_pipeline(args, verify=False) as pipeline:
-            result = pipeline.run(args.file, _SOURCES[args.file], program)
+            result = pipeline.run(args.file, source, program)
         if not result.ok:
-            print(
-                result.error.render(_SOURCES[args.file], args.file),
-                file=sys.stderr,
-            )
-            return 1
+            _fail(result.error.to_diagnostic(args.file), source)
+            return int(ExitCode.CHECK_REJECT)
         print(
             f"{args.file}: OK — {len(result.functions)} functions, "
             f"{result.nodes} derivation nodes"
         )
-        return 0
-    try:
-        derivation = Checker(program).check_program()
-    except TypeError_ as exc:
-        _report_type_error(args.file, exc)
-        return 1
-    print(
-        f"{args.file}: OK — {len(program.funcs)} functions, "
-        f"{derivation.node_count()} derivation nodes"
-    )
-    return 0
+        return int(ExitCode.OK)
+    result = api.check(source, filename=args.file, program=program)
+    if not result.ok:
+        for diag in result.diagnostics:
+            _fail(diag, source)
+        return int(result.exit_code)
+    print(result.summary(args.file))
+    return int(ExitCode.OK)
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
     program = _load(args.file)
+    source = _SOURCES[args.file]
     if _wants_pipeline(args):
         with _make_pipeline(args) as pipeline:
-            result = pipeline.run(args.file, _SOURCES[args.file], program)
+            result = pipeline.run(args.file, source, program)
         if not result.ok:
-            error = result.error
-            if error.stage == "check":
-                exc = error.as_type_error()
-                print(f"{args.file}: type error: {exc}", file=sys.stderr)
-                return 1
-            print(
-                f"{args.file}: VERIFICATION FAILED: {error.message}",
-                file=sys.stderr,
+            _fail(result.error.to_diagnostic(args.file), source)
+            return int(
+                ExitCode.CHECK_REJECT
+                if result.error.stage == "check"
+                else ExitCode.VERIFY_FAIL
             )
-            return 2
         print(f"{args.file}: verified ({result.verified} nodes)")
-        return 0
-    try:
-        derivation = Checker(program).check_program()
-    except TypeError_ as exc:
-        print(f"{args.file}: type error: {exc}", file=sys.stderr)
-        return 1
-    try:
-        nodes = Verifier(program).verify_program(derivation)
-    except VerificationError as exc:
-        print(f"{args.file}: VERIFICATION FAILED: {exc}", file=sys.stderr)
-        return 2
-    print(f"{args.file}: verified ({nodes} nodes)")
-    return 0
+        return int(ExitCode.OK)
+    result = api.verify(source, filename=args.file, program=program)
+    if not result.ok:
+        for diag in result.diagnostics:
+            _fail(diag, source)
+        return int(result.exit_code)
+    print(result.summary(args.file))
+    return int(ExitCode.OK)
 
 
 def _parse_args(raw: List[str]):
@@ -212,8 +222,8 @@ def _parse_args(raw: List[str]):
             try:
                 values.append(int(text))
             except ValueError:
-                raise SystemExit(
-                    f"error: arguments must be ints or true/false, got {text!r}"
+                raise _usage(
+                    f"arguments must be ints or true/false, got {text!r}"
                 )
     return values
 
@@ -249,14 +259,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             "drop --unchecked",
             file=sys.stderr,
         )
-        return 2
+        return int(ExitCode.USAGE)
     if args.paranoid and (args.erased or args.no_reservation_checks):
         print(
             "error: --paranoid runs both guard modes itself; drop "
             "--erased/--no-reservation-checks",
             file=sys.stderr,
         )
-        return 2
+        return int(ExitCode.USAGE)
     if not args.unchecked:
         try:
             Checker(program).check_program()
@@ -281,11 +291,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             _parse_args(args.args),
             heap=heap,
             check_reservations=check_reservations,
+            max_steps=args.max_steps,
             seed=args.seed,
         )
     except Exception as exc:  # surfaced verbatim: runtime failures matter
+        _FAILURES.append(Diagnostic.from_exception(exc, file=args.file))
         print(f"runtime error: {exc}", file=sys.stderr)
-        return 3
+        return int(ExitCode.RUNTIME_ERROR)
     if args.paranoid:
         # Cross-validate §3.2: re-run with guards erased on a fresh heap and
         # demand the observable trace (and result) are identical.
@@ -300,11 +312,12 @@ def cmd_run(args: argparse.Namespace) -> int:
                 _parse_args(args.args),
                 heap=heap2,
                 check_reservations=False,
+                max_steps=args.max_steps,
                 seed=args.seed,
             )
         except Exception as exc:
             print(f"paranoid: erased run failed: {exc}", file=sys.stderr)
-            return 4
+            return int(ExitCode.DIVERGENCE)
         if tracer.to_dicts() != tracer2.to_dicts() or _show(
             result, heap
         ) != _show(result2, heap2):
@@ -313,7 +326,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "differs from the guarded run",
                 file=sys.stderr,
             )
-            return 4
+            return int(ExitCode.DIVERGENCE)
         print(
             f"paranoid: guarded and erased traces identical "
             f"({len(tracer)} events, "
@@ -497,13 +510,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.against and not args.compare:
         print("error: --against requires --compare OLD.json", file=sys.stderr)
-        return 2
+        return int(ExitCode.USAGE)
     if args.compare:
         try:
             old = json.loads(Path(args.compare).read_text())
         except (OSError, ValueError) as exc:
             print(f"error: cannot load {args.compare}: {exc}", file=sys.stderr)
-            return 2
+            return int(ExitCode.USAGE)
         if args.against:
             try:
                 new = json.loads(Path(args.against).read_text())
@@ -511,7 +524,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(
                     f"error: cannot load {args.against}: {exc}", file=sys.stderr
                 )
-                return 2
+                return int(ExitCode.USAGE)
         else:
             new = bench.collect(small=args.small)
             if args.json:
@@ -521,9 +534,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             cmp = bench.compare_docs(old, new, threshold=args.threshold)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return int(ExitCode.USAGE)
         print(bench.render_compare(cmp))
-        return 3 if cmp["regressions"] else 0
+        return int(ExitCode.BENCH_REGRESS if cmp["regressions"] else ExitCode.OK)
 
     doc = bench.collect(small=args.small)
     print(bench.render_table(doc))
@@ -561,7 +574,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         report = run_campaign(config)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return int(ExitCode.USAGE)
     cases = report["cases"]
     violations = report["violations"]
     print(
@@ -607,8 +620,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             f"injected bug {args.inject_bug!r} ESCAPED every oracle",
             file=sys.stderr,
         )
-        return 5
-    return 5 if violations else 0
+        return int(ExitCode.FUZZ_VIOLATION)
+    return int(ExitCode.FUZZ_VIOLATION if violations else ExitCode.OK)
 
 
 def cmd_table1(_args: argparse.Namespace) -> int:
@@ -655,16 +668,215 @@ def cmd_batch(args: argparse.Namespace) -> int:
         programs = discover(args.paths)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return int(ExitCode.USAGE)
     if not programs:
         print("error: no programs found", file=sys.stderr)
-        return 2
+        return int(ExitCode.USAGE)
     with _make_pipeline(args) as pipeline:
         return run_batch(programs, pipeline)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived ``repro-rpc/1`` daemon (see docs/API.md)."""
+    import asyncio
+
+    from . import telemetry
+    from .client import ClientError, parse_address
+    from .server import Server, ServerConfig, Service
+
+    if args.trust_cache and not args.cache:
+        raise _usage("--trust-cache requires --cache DIR")
+    host: Optional[str] = None
+    port = 0
+    if args.tcp:
+        try:
+            spec = parse_address(args.tcp)
+        except ClientError as exc:
+            raise _usage(str(exc))
+        if not isinstance(spec, tuple):
+            raise _usage("--tcp wants HOST:PORT (use --unix for sockets)")
+        host, port = spec
+    elif not args.unix:
+        host, port = "127.0.0.1", 7621  # default listen address
+    telemetry.enable()
+    from .server.protocol import (
+        DEFAULT_MAX_QUEUE,
+        DEFAULT_MAX_STEPS,
+        DEFAULT_TIMEOUT_S,
+        MAX_FRAME_BYTES,
+    )
+
+    config = ServerConfig(
+        host=host,
+        port=port,
+        unix_path=args.unix,
+        max_queue=(
+            args.max_queue if args.max_queue is not None else DEFAULT_MAX_QUEUE
+        ),
+        timeout_s=(
+            args.timeout if args.timeout is not None else DEFAULT_TIMEOUT_S
+        ),
+        max_frame=(
+            args.max_frame if args.max_frame is not None else MAX_FRAME_BYTES
+        ),
+        workers=args.workers,
+    )
+    service = Service(
+        cache_dir=args.cache,
+        trust_cache=args.trust_cache,
+        max_steps=(
+            args.max_steps if args.max_steps is not None else DEFAULT_MAX_STEPS
+        ),
+    )
+    server = Server(service=service, config=config)
+
+    async def _serve() -> None:
+        await server.start()
+        listening = []
+        if server.tcp_address is not None:
+            listening.append(f"tcp {server.tcp_address[0]}:{server.tcp_address[1]}")
+        if server.unix_path is not None:
+            listening.append(f"unix {server.unix_path}")
+        print(f"repro serve: listening on {', '.join(listening)}", file=sys.stderr)
+        sys.stderr.flush()
+        await server.serve_forever(install_signals=True)
+
+    asyncio.run(_serve())
+    print("repro serve: drained, exiting", file=sys.stderr)
+    return int(ExitCode.OK)
+
+
+def _client_check(client, path: str) -> int:
+    source = _read_source(path)
+    result = client.check(source, filename=path)
+    if not result.ok:
+        for diag in result.diagnostics:
+            _fail(diag, source)
+        return int(result.exit_code)
+    print(result.summary(path))
+    return int(ExitCode.OK)
+
+
+def _client_verify(client, path: str) -> int:
+    source = _read_source(path)
+    result = client.verify(source, filename=path)
+    if not result.ok:
+        for diag in result.diagnostics:
+            _fail(diag, source)
+        return int(result.exit_code)
+    print(result.summary(path))
+    return int(ExitCode.OK)
+
+
+def _client_run(client, args: argparse.Namespace) -> int:
+    if not args.rest:
+        raise _usage("client run wants FILE FUNCTION [ARGS...]")
+    path, function, *raw = args.rest
+    source = _read_source(path)
+    result = client.run(
+        source,
+        function,
+        _parse_args(raw),
+        filename=path,
+        max_steps=args.max_steps,
+    )
+    if not result.ok:
+        for diag in result.diagnostics:
+            _fail(diag, source)
+        return int(result.exit_code)
+    print(result.value)
+    return int(ExitCode.OK)
+
+
+def _client_corpus(client) -> int:
+    """Byte-compatible with ``repro corpus``: same lines, same order."""
+    from .corpus import corpus_names, load_source
+
+    for name in corpus_names():
+        result = client.verify(load_source(name), filename=name)
+        if not result.ok:
+            for diag in result.diagnostics:
+                _fail(diag, load_source(name))
+            return int(result.exit_code)
+        print(
+            f"{name:8s} {result.functions:3d} functions  "
+            f"checked + verified ({result.verified} nodes)"
+        )
+    return int(ExitCode.OK)
+
+
+def _client_batch(client, paths: List[str]) -> int:
+    from .api import VerifyResult
+    from .pipeline import discover
+
+    try:
+        programs = discover(paths)
+    except (OSError, ValueError) as exc:
+        raise _usage(str(exc))
+    if not programs:
+        raise _usage("no programs found")
+    reply = client.batch([(path, source) for path, source in programs])
+    worst = ExitCode.OK
+    ok_count = 0
+    for entry in reply["programs"]:
+        result = VerifyResult.from_dict(entry["result"])
+        label = entry["label"]
+        if result.ok:
+            ok_count += 1
+            print(result.summary(label))
+        else:
+            for diag in result.diagnostics:
+                _fail(diag)
+            worst = max(worst, result.exit_code)
+    print(f"batch: {ok_count}/{len(reply['programs'])} programs OK")
+    return int(worst)
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Drive a running ``repro serve`` daemon over ``repro-rpc/1``."""
+    import json
+
+    from .client import Client, ClientError, RemoteError
+
+    try:
+        with Client(args.connect, timeout=args.timeout) as client:
+            if args.action == "ping":
+                print(json.dumps(client.ping(), sort_keys=True))
+                return int(ExitCode.OK)
+            if args.action == "check":
+                if len(args.rest) != 1:
+                    raise _usage("client check wants exactly one FILE")
+                return _client_check(client, args.rest[0])
+            if args.action == "verify":
+                if len(args.rest) != 1:
+                    raise _usage("client verify wants exactly one FILE")
+                return _client_verify(client, args.rest[0])
+            if args.action == "run":
+                return _client_run(client, args)
+            if args.action == "corpus":
+                return _client_corpus(client)
+            if args.action == "batch":
+                if not args.rest:
+                    raise _usage("client batch wants PATH...")
+                return _client_batch(client, args.rest)
+            if args.action == "stats":
+                print(json.dumps(client.stats(), indent=1, sort_keys=True))
+                return int(ExitCode.OK)
+            if args.action == "shutdown":
+                client.shutdown()
+                print("server draining", file=sys.stderr)
+                return int(ExitCode.OK)
+            raise _usage(f"unknown client action {args.action!r}")
+    except RemoteError as exc:
+        print(f"error: server rejected request: {exc}", file=sys.stderr)
+        return int(ExitCode.RUNTIME_ERROR)
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return int(ExitCode.RUNTIME_ERROR)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = Parser(
         prog="repro",
         description="Fearless-concurrency language tools (PLDI 2022 reproduction)",
     )
@@ -762,6 +974,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler seed recorded in trace/metrics metadata so a run "
         "can be reproduced exactly (single-threaded runs are "
         "deterministic regardless)",
+    )
+    p.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort with a runtime error after N interpreter steps "
+        "(the step budget `repro serve` applies to every run request)",
     )
     metrics_flag(p)
     p.set_defaults(func=cmd_run)
@@ -919,6 +1139,120 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_flag(p)
     p.set_defaults(func=cmd_batch)
 
+    p = sub.add_parser(
+        "serve",
+        help="long-running check/verify/run daemon (repro-rpc/1)",
+    )
+    p.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="TCP listen address (default 127.0.0.1:7621 when --unix "
+        "is not given; PORT 0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--unix",
+        metavar="PATH",
+        default=None,
+        help="also/instead listen on a Unix domain socket at PATH",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="serve verify/batch through the persistent certificate cache",
+    )
+    p.add_argument(
+        "--trust-cache",
+        action="store_true",
+        help="skip re-verifying cached certificates (requires --cache)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max requests in flight before new ones get an "
+        "'overloaded' error (default 16)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request timeout (default 30)",
+    )
+    p.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="step budget applied to every run request (default 5000000)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        metavar="N",
+        help="worker threads executing requests (default 8)",
+    )
+    p.add_argument(
+        "--max-frame",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="request frame size limit (default 4 MiB)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running `repro serve` daemon",
+    )
+    p.add_argument(
+        "--connect",
+        metavar="ADDR",
+        default="127.0.0.1:7621",
+        help="server address: HOST:PORT or unix:PATH "
+        "(default 127.0.0.1:7621)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="socket timeout (default 120)",
+    )
+    p.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="step budget to request for `client run`",
+    )
+    p.add_argument(
+        "action",
+        choices=(
+            "ping",
+            "check",
+            "verify",
+            "run",
+            "corpus",
+            "batch",
+            "stats",
+            "shutdown",
+        ),
+        help="what to ask the server",
+    )
+    p.add_argument(
+        "rest",
+        nargs="*",
+        metavar="ARG",
+        help="action arguments: check/verify FILE · run FILE FN [ARGS...] "
+        "· batch PATH...",
+    )
+    p.set_defaults(func=cmd_client)
+
     p = sub.add_parser("repl", help="interactive FCL session")
     p.set_defaults(func=lambda _args: __import__(
         "repro.repl", fromlist=["run_repl"]
@@ -929,6 +1263,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     sys.setrecursionlimit(100_000)
+    del _FAILURES[:]  # fresh per invocation (tests call main() repeatedly)
     args = build_parser().parse_args(argv)
     metrics_path = getattr(args, "metrics_json", None)
     reg = None
@@ -954,7 +1289,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from . import telemetry
 
         try:
-            Path(metrics_path).write_text(telemetry.export_json(reg))
+            Path(metrics_path).write_text(
+                telemetry.export_json(reg, failures=_FAILURES)
+            )
         except OSError as exc:
             print(f"error: cannot write {metrics_path}: {exc}", file=sys.stderr)
             return code or 1

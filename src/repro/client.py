@@ -1,0 +1,200 @@
+"""A small blocking client for the ``repro-rpc/1`` protocol.
+
+Used by ``repro client``, the server tests, and ``repro bench``'s server
+section.  One socket, JSON lines, strictly request/response::
+
+    from repro.client import Client
+
+    with Client(("127.0.0.1", 7621)) as client:
+        result = client.check(source, filename="list.fcl")   # CheckResult
+
+Addresses: a ``(host, port)`` tuple, a unix socket path (``"/run/x.sock"``
+or ``"unix:/run/x.sock"``), or ``"host:port"``.
+
+Protocol-level failures raise :class:`RemoteError` (carrying the server's
+error ``code``); transport failures raise :class:`ClientError`.  Program-
+level failures never raise — they come back as ``ok=False`` results with
+:class:`~repro.api.Diagnostic` records, exactly like :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .api import CheckResult, RunResult, VerifyResult
+from .server.protocol import RPC_SCHEMA
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ClientError(Exception):
+    """Transport-level failure (connect, framing, premature close)."""
+
+
+class RemoteError(ClientError):
+    """The server answered with a protocol-level error envelope."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+def parse_address(spec: str) -> Address:
+    """``unix:PATH`` / ``PATH-with-slash`` / ``HOST:PORT`` / ``:PORT``."""
+    if spec.startswith("unix:"):
+        return spec[len("unix:"):]
+    if "/" in spec:
+        return spec
+    if ":" in spec:
+        host, _, port = spec.rpartition(":")
+        try:
+            return (host or "127.0.0.1", int(port))
+        except ValueError:
+            raise ClientError(f"bad address {spec!r} (want HOST:PORT or unix:PATH)")
+    raise ClientError(f"bad address {spec!r} (want HOST:PORT or unix:PATH)")
+
+
+class Client:
+    """One connection to a ``repro serve`` daemon."""
+
+    def __init__(self, address: Address, timeout: Optional[float] = 120.0):
+        self.address = parse_address(address) if isinstance(address, str) else address
+        self.timeout = timeout
+        self._ids = itertools.count(1)
+        try:
+            if isinstance(self.address, str):
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(self.address)
+            else:
+                self._sock = socket.create_connection(
+                    self.address, timeout=timeout
+                )
+        except OSError as exc:
+            raise ClientError(f"cannot connect to {self.address}: {exc}")
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """One RPC round trip; returns the ``result`` payload."""
+        request_id = next(self._ids)
+        frame = {
+            "rpc": RPC_SCHEMA,
+            "id": request_id,
+            "method": method,
+            "params": params or {},
+        }
+        try:
+            self._sock.sendall(
+                (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+            )
+            line = self._file.readline()
+        except OSError as exc:
+            raise ClientError(f"transport failure: {exc}")
+        if not line:
+            raise ClientError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ClientError(f"bad response frame: {exc}")
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise RemoteError(
+            error.get("code", "unknown"), error.get("message", "?")
+        )
+
+    def send_raw(self, payload: bytes) -> Dict[str, Any]:
+        """Ship arbitrary bytes (tests: malformed/oversize frames) and
+        read back one response frame."""
+        try:
+            self._sock.sendall(payload)
+            line = self._file.readline()
+        except OSError as exc:
+            raise ClientError(f"transport failure: {exc}")
+        if not line:
+            raise ClientError("server closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Typed convenience methods (the facade, remotely)
+    # ------------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def check(self, source: str, filename: str = "<rpc>") -> CheckResult:
+        return CheckResult.from_dict(
+            self.call("check", {"source": source, "filename": filename})
+        )
+
+    def verify(self, source: str, filename: str = "<rpc>") -> VerifyResult:
+        return VerifyResult.from_dict(
+            self.call("verify", {"source": source, "filename": filename})
+        )
+
+    def run(
+        self,
+        source: str,
+        function: str,
+        args: Sequence = (),
+        filename: str = "<rpc>",
+        max_steps: Optional[int] = None,
+        erased: bool = False,
+    ) -> RunResult:
+        params: Dict[str, Any] = {
+            "source": source,
+            "function": function,
+            "args": list(args),
+            "filename": filename,
+            "erased": erased,
+        }
+        if max_steps is not None:
+            params["max_steps"] = max_steps
+        return RunResult.from_dict(self.call("run", params))
+
+    def batch(self, programs: List[Tuple[str, str]]) -> Dict[str, Any]:
+        """``programs`` is a list of ``(label, source)`` pairs."""
+        return self.call(
+            "batch",
+            {
+                "programs": [
+                    {"label": label, "source": source}
+                    for label, source in programs
+                ]
+            },
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.call("shutdown")
+
+
+__all__ = [
+    "Address",
+    "Client",
+    "ClientError",
+    "RemoteError",
+    "parse_address",
+]

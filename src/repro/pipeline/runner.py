@@ -38,7 +38,6 @@ from ..core.checker import CheckProfile, DEFAULT_PROFILE
 from ..core.errors import TypeError_
 from ..core.serialize import func_derivation_to_json
 from ..lang import ast
-from ..lang.diagnostics import render_diagnostic
 from ..verifier import VerificationError
 from .cache import CacheEntry, CertCache
 from .session import ProgramSession
@@ -89,13 +88,22 @@ class ErrorInfo:
             klass = TypeError_
         return klass(self.message, span_from_tuple(self.span))
 
-    def render(self, source: str, filename: str) -> str:
-        if self.stage == "verify":
-            return f"{filename}: VERIFICATION FAILED: {self.message}"
-        exc = self.as_type_error()
-        return render_diagnostic(
-            source, exc.span, exc.message, filename=filename, kind="type error"
+    def to_diagnostic(self, file: str = "<input>"):
+        """The canonical :class:`repro.api.Diagnostic` form — the one
+        encoder shared by CLI text output, ``--metrics-json`` failure
+        records, and ``repro-rpc/1`` responses."""
+        from ..api import Diagnostic
+
+        return Diagnostic(
+            file=file,
+            severity="error",
+            code="VerificationError" if self.stage == "verify" else self.cls,
+            message=self.message,
+            span=self.span,
         )
+
+    def render(self, source: str, filename: str) -> str:
+        return self.to_diagnostic(filename).render(source)
 
 
 @dataclass

@@ -49,6 +49,11 @@ class DeadlockError(Exception):
     """All live threads are blocked on send/recv."""
 
 
+class StepLimitExceeded(MachineError):
+    """A per-run step budget was exhausted (``run_function(max_steps=)``,
+    the ``repro serve`` per-request budget, or ``repro run --max-steps``)."""
+
+
 # Yield events from the interpreter generator to the scheduler.
 EV_STEP = "step"
 EV_SEND = "send"
@@ -757,6 +762,7 @@ def run_function(
     disconnect: str = "efficient",
     sink_sends: bool = False,
     seed: Optional[int] = None,
+    max_steps: Optional[int] = None,
 ) -> Tuple[RuntimeValue, Interpreter]:
     """Run a function to completion on a single thread.
 
@@ -776,12 +782,16 @@ def run_function(
     heap = heap if heap is not None else Heap()
     if reservation is None:
         reservation = set(heap.locations())
+    # A step budget needs the interpreter to yield control per evaluation
+    # step; without one the generator only surfaces at send/recv, exactly
+    # as before (so budget-free runs are bit-for-bit unchanged).
     interp = Interpreter(
         program,
         heap,
         reservation,
         check_reservations=check_reservations,
         disconnect=disconnect,
+        preemptive=max_steps is not None,
     )
     gen = interp.call(name, args)
     tel = _telemetry()
@@ -802,6 +812,11 @@ def run_function(
                 event = gen.send(UNIT)
                 continue
             event = next(gen)
+            if max_steps is not None and interp.stats.steps > max_steps:
+                gen.close()
+                raise StepLimitExceeded(
+                    f"step budget exceeded ({max_steps} steps)"
+                )
             if event[0] == EV_RECV:
                 raise MachineError(
                     "run_function cannot service recv; use Machine"

@@ -1,0 +1,33 @@
+"""``repro serve`` — a long-running check/verify/run service.
+
+The daemon (:mod:`.daemon`) speaks the ``repro-rpc/1`` JSON-lines
+protocol (:mod:`.protocol`) over TCP and/or a Unix domain socket and
+dispatches to a warm-state :class:`~.service.Service`.  See docs/API.md
+for the wire schema and README for the quickstart.
+"""
+
+from .daemon import Server, ServerConfig, ServerThread
+from .protocol import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_MAX_STEPS,
+    DEFAULT_TIMEOUT_S,
+    MAX_FRAME_BYTES,
+    METHODS,
+    RPC_SCHEMA,
+    RpcError,
+)
+from .service import Service
+
+__all__ = [
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_MAX_STEPS",
+    "DEFAULT_TIMEOUT_S",
+    "MAX_FRAME_BYTES",
+    "METHODS",
+    "RPC_SCHEMA",
+    "RpcError",
+    "Server",
+    "ServerConfig",
+    "ServerThread",
+    "Service",
+]

@@ -1,0 +1,403 @@
+"""The asyncio JSON-lines daemon behind ``repro serve``.
+
+One :class:`Server` listens on TCP and/or a Unix domain socket, reads
+``repro-rpc/1`` frames line by line, and dispatches them to a
+:class:`~.service.Service` on a thread pool.  Robustness properties (all
+tested in ``tests/test_server.py``):
+
+* **bounded in-flight queue** — at most ``max_queue`` requests execute at
+  once; excess requests get an explicit ``overloaded`` error immediately
+  instead of queueing unboundedly (clients retry with backoff);
+* **per-request timeouts** — a request that exceeds ``timeout_s`` gets a
+  ``timeout`` error; the worker keeps running to completion (``run``
+  requests are additionally bounded by the service's step budget) but its
+  slot is only released when it actually finishes, so the queue bound is
+  honest;
+* **request-size limits + malformed-frame recovery** — an oversize or
+  non-JSON line produces one error response and the connection keeps
+  working; bytes of an oversize frame are discarded, never buffered;
+* **graceful drain** — SIGTERM/SIGINT (or a ``shutdown`` request) stops
+  accepting work, answers everything in flight, then exits 0.
+
+All ``server.*`` telemetry is recorded on the event-loop thread, so the
+counters need no locks (see docs/OBSERVABILITY.md for the table).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .. import telemetry as tel
+from .protocol import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_TIMEOUT_S,
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_SHUTTING_DOWN,
+    E_TIMEOUT,
+    E_TOO_LARGE,
+    MAX_FRAME_BYTES,
+    RpcError,
+    encode_error,
+    encode_response,
+    parse_request,
+    recovered_id,
+)
+from .service import Service
+
+
+@dataclass
+class ServerConfig:
+    """Listening and robustness knobs for one :class:`Server`."""
+
+    host: Optional[str] = "127.0.0.1"  # None disables TCP
+    port: int = 0  # 0 = ephemeral
+    unix_path: Optional[str] = None
+    max_queue: int = DEFAULT_MAX_QUEUE
+    timeout_s: float = DEFAULT_TIMEOUT_S
+    max_frame: int = MAX_FRAME_BYTES
+    workers: int = 8
+    drain_grace_s: float = 10.0
+
+
+class Server:
+    """One long-running check/verify/run service."""
+
+    def __init__(
+        self,
+        service: Optional[Service] = None,
+        config: Optional[ServerConfig] = None,
+    ):
+        self.service = service if service is not None else Service()
+        self.config = config if config is not None else ServerConfig()
+        if self.config.host is None and self.config.unix_path is None:
+            raise ValueError("server needs a TCP host or a unix socket path")
+        self.tcp_address: Optional[Tuple[str, int]] = None
+        self.unix_path: Optional[str] = None
+        #: method.outcome -> count; kept as plain dicts (loop thread only)
+        #: so `stats` works even when telemetry is disabled.
+        self.counts: Dict[str, int] = {}
+        self._started_at = time.monotonic()
+        self._inflight = 0
+        self._draining = False
+        self._drain_event: Optional[asyncio.Event] = None
+        self._pending: set = set()
+        self._servers: list = []
+        self._conns: set = set()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._drain_event = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-rpc"
+        )
+        if self.config.host is not None:
+            server = await asyncio.start_server(
+                self._client_loop, self.config.host, self.config.port
+            )
+            self.tcp_address = server.sockets[0].getsockname()[:2]
+            self._servers.append(server)
+        if self.config.unix_path is not None:
+            path = self.config.unix_path
+            if os.path.exists(path):
+                os.unlink(path)  # stale socket from a previous run
+            server = await asyncio.start_unix_server(self._client_loop, path)
+            self.unix_path = path
+            self._servers.append(server)
+
+    def request_drain(self) -> None:
+        """Begin a graceful shutdown; safe to call from signal handlers
+        and (via ``call_soon_threadsafe``) from other threads."""
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        """Start (if needed), serve until drain is requested, drain, exit."""
+        if self._loop is None:
+            await self.start()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                self._loop.add_signal_handler(signum, self.request_drain)
+        await self._drain_event.wait()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        self._draining = True
+        self._count("server.drain.inflight", self._inflight)
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        if self._pending:
+            # Answer everything already admitted; the grace period only
+            # matters for a worker stuck past its own timeout.
+            await asyncio.wait(
+                list(self._pending), timeout=self.config.drain_grace_s
+            )
+        # Give connection tasks one tick to flush final responses.
+        await asyncio.sleep(0)
+        for writer in list(self._conns):
+            writer.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self.service.close()
+        if self.unix_path and os.path.exists(self.unix_path):
+            os.unlink(self.unix_path)
+
+    # ------------------------------------------------------------------
+    # Connections and framing
+    # ------------------------------------------------------------------
+
+    async def _client_loop(self, reader, writer) -> None:
+        self._conns.add(writer)
+        self._count("server.connections.opened")
+        buf = bytearray()
+        dropping = False
+        try:
+            while True:
+                newline = buf.find(b"\n")
+                if newline < 0:
+                    if not dropping and len(buf) > self.config.max_frame:
+                        # Oversize frame: stop buffering, remember to
+                        # answer once its newline finally shows up.
+                        dropping = True
+                        buf.clear()
+                    if dropping:
+                        buf.clear()
+                    chunk = await reader.read(65536)
+                    if not chunk:
+                        break
+                    buf += chunk
+                    continue
+                line = bytes(buf[:newline])
+                del buf[: newline + 1]
+                if dropping:
+                    dropping = False
+                    self._count("server.frames.oversize")
+                    response = encode_error(
+                        None,
+                        E_TOO_LARGE,
+                        f"frame exceeds {self.config.max_frame} bytes",
+                    )
+                elif len(line) > self.config.max_frame:
+                    self._count("server.frames.oversize")
+                    response = encode_error(
+                        None,
+                        E_TOO_LARGE,
+                        f"frame exceeds {self.config.max_frame} bytes",
+                    )
+                elif not line.strip():
+                    continue  # blank keep-alive line
+                else:
+                    response = await self._handle_frame(line)
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conns.discard(writer)
+            self._count("server.connections.closed")
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # One request
+    # ------------------------------------------------------------------
+
+    async def _handle_frame(self, line: bytes) -> bytes:
+        try:
+            request_id, method, params = parse_request(line)
+        except RpcError as exc:
+            self._count(f"server.requests.unknown.{exc.code}")
+            return encode_error(recovered_id(exc), exc.code, exc.message)
+
+        # Control-plane methods answer inline on the loop thread: ping
+        # stays responsive under load (it is the readiness probe), stats
+        # reads loop-thread state, shutdown must not need a queue slot.
+        if method == "ping":
+            self._count("server.requests.ping.ok")
+            return encode_response(request_id, self.service.ping())
+        if method == "stats":
+            self._count("server.requests.stats.ok")
+            return encode_response(request_id, self._stats())
+        if method == "shutdown":
+            self._count("server.requests.shutdown.ok")
+            response = encode_response(request_id, {"draining": True})
+            self.request_drain()
+            return response
+
+        if self._draining:
+            self._count(f"server.requests.{method}.{E_SHUTTING_DOWN}")
+            return encode_error(
+                request_id, E_SHUTTING_DOWN, "server is draining"
+            )
+        if self._inflight >= self.config.max_queue:
+            self._count(f"server.requests.{method}.{E_OVERLOADED}")
+            return encode_error(
+                request_id,
+                E_OVERLOADED,
+                f"{self._inflight} requests in flight (limit "
+                f"{self.config.max_queue}); retry with backoff",
+            )
+
+        self._inflight += 1
+        self._gauge("server.queue_depth", self._inflight)
+        self._observe("server.queue_depth.sampled", self._inflight)
+        future = self._loop.run_in_executor(
+            self._pool, self.service.dispatch, method, params
+        )
+        self._pending.add(future)
+        future.add_done_callback(self._request_done)
+
+        t0 = time.perf_counter()
+        try:
+            result = await asyncio.wait_for(
+                asyncio.shield(future), self.config.timeout_s
+            )
+        except asyncio.TimeoutError:
+            self._count(f"server.requests.{method}.{E_TIMEOUT}")
+            return encode_error(
+                request_id,
+                E_TIMEOUT,
+                f"request exceeded {self.config.timeout_s}s",
+            )
+        except RpcError as exc:
+            self._count(f"server.requests.{method}.{exc.code}")
+            return encode_error(request_id, exc.code, exc.message)
+        except Exception as exc:  # worker crash: report, keep serving
+            self._count(f"server.requests.{method}.{E_INTERNAL}")
+            return encode_error(
+                request_id, E_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        latency_ms = (time.perf_counter() - t0) * 1000.0
+        self._count(f"server.requests.{method}.ok")
+        self._observe("server.latency_ms", latency_ms)
+        self._observe(f"server.latency_ms.{method}", latency_ms)
+        return encode_response(request_id, result)
+
+    def _request_done(self, future) -> None:
+        self._pending.discard(future)
+        self._inflight -= 1
+        self._gauge("server.queue_depth", self._inflight)
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None and not isinstance(exc, RpcError):
+            self._count("server.worker.crashes")
+
+    # ------------------------------------------------------------------
+    # Bookkeeping (event-loop thread only)
+    # ------------------------------------------------------------------
+
+    def _stats(self) -> Dict[str, Any]:
+        return {
+            "uptime_ms": round((time.monotonic() - self._started_at) * 1000.0, 3),
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "requests": dict(sorted(self.counts.items())),
+            "service": self.service.stats(),
+        }
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + n
+        reg = tel.registry()
+        if reg.enabled:
+            reg.inc(name, n)
+
+    def _gauge(self, name: str, value: int) -> None:
+        reg = tel.registry()
+        if reg.enabled:
+            reg.counter(name).value = value
+
+    def _observe(self, name: str, value: float) -> None:
+        reg = tel.registry()
+        if reg.enabled:
+            reg.observe(name, value)
+
+
+class ServerThread:
+    """A :class:`Server` on a background thread — the harness tests and
+    ``repro bench`` use this to measure warm-path latency in-process.
+
+    ::
+
+        with ServerThread() as handle:
+            client = Client(handle.address)
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        service: Optional[Service] = None,
+    ):
+        self.config = config if config is not None else ServerConfig()
+        self.service = service
+        self.server: Optional[Server] = None
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread did not become ready")
+        if self._error is not None:
+            raise RuntimeError(f"server thread failed: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures to start()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = Server(service=self.service, config=self.config)
+        await self.server.start()
+        self._ready.set()
+        # No signal handlers: the thread is stopped via request_drain.
+        await self.server._drain_event.wait()
+        await self.server._shutdown()
+
+    @property
+    def address(self):
+        """``(host, port)`` for TCP, or the unix socket path string."""
+        if self.server is None:
+            raise RuntimeError("server not started")
+        if self.server.tcp_address is not None:
+            return self.server.tcp_address
+        return self.server.unix_path
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self.server is not None and self.server._loop is not None:
+            try:
+                self.server._loop.call_soon_threadsafe(self.server.request_drain)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,132 @@
+"""The ``repro-rpc/1`` wire protocol: JSON lines over TCP or a Unix socket.
+
+One request per line, one response per line, in order.  The schema is not
+invented separately from the programmatic API: a response ``result`` is
+exactly the ``to_dict()`` form of the matching :mod:`repro.api` dataclass
+(:class:`~repro.api.CheckResult` for ``check``, and so on), which is what
+makes server/in-process byte-identity a checkable property.
+
+Request frame::
+
+    {"rpc": "repro-rpc/1", "id": 7, "method": "check",
+     "params": {"source": "...", "filename": "list.fcl"}}
+
+Success / error responses::
+
+    {"rpc": "repro-rpc/1", "id": 7, "ok": true,  "result": {...}}
+    {"rpc": "repro-rpc/1", "id": 7, "ok": false,
+     "error": {"code": "timeout", "message": "..."}}
+
+``id`` is echoed verbatim (any JSON scalar; ``null`` when absent).
+Protocol-level failures use the error envelope; *program*-level failures
+(a type error in the submitted source) are successful RPCs whose result
+carries ``ok: false`` plus :class:`~repro.api.Diagnostic` records — the
+same split as the facade.
+
+Error codes: ``malformed-frame`` · ``too-large`` · ``invalid-request`` ·
+``unknown-method`` · ``overloaded`` · ``timeout`` · ``shutting-down`` ·
+``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+RPC_SCHEMA = "repro-rpc/1"
+
+#: Methods a server understands.  ``ping``/``stats``/``shutdown`` are
+#: answered by the daemon itself; the rest dispatch to the Service.
+METHODS = ("ping", "check", "verify", "run", "batch", "stats", "shutdown")
+
+# Defaults, overridable per server via ServerConfig / `repro serve` flags.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+DEFAULT_TIMEOUT_S = 30.0
+DEFAULT_MAX_QUEUE = 16
+DEFAULT_MAX_STEPS = 5_000_000
+
+E_MALFORMED = "malformed-frame"
+E_TOO_LARGE = "too-large"
+E_INVALID = "invalid-request"
+E_UNKNOWN_METHOD = "unknown-method"
+E_OVERLOADED = "overloaded"
+E_TIMEOUT = "timeout"
+E_SHUTTING_DOWN = "shutting-down"
+E_INTERNAL = "internal"
+
+
+class RpcError(Exception):
+    """A protocol-level failure that becomes an error envelope."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode_response(request_id: Any, result: Dict[str, Any]) -> bytes:
+    return (
+        json.dumps(
+            {"rpc": RPC_SCHEMA, "id": request_id, "ok": True, "result": result},
+            separators=(",", ":"),
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
+def encode_error(request_id: Any, code: str, message: str) -> bytes:
+    return (
+        json.dumps(
+            {
+                "rpc": RPC_SCHEMA,
+                "id": request_id,
+                "ok": False,
+                "error": {"code": code, "message": message},
+            },
+            separators=(",", ":"),
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
+def parse_request(line: bytes) -> Tuple[Any, str, Dict[str, Any]]:
+    """Decode and validate one request frame.
+
+    Returns ``(id, method, params)``; raises :class:`RpcError`.  The id is
+    recovered on a best-effort basis even from invalid frames so the error
+    envelope can still be correlated by the client.
+    """
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RpcError(E_MALFORMED, f"frame is not valid JSON: {exc}")
+    if not isinstance(frame, dict):
+        raise RpcError(E_MALFORMED, "frame must be a JSON object")
+    request_id = frame.get("id")
+    if frame.get("rpc") != RPC_SCHEMA:
+        raise _invalid(
+            request_id, f"missing or unsupported rpc version (want {RPC_SCHEMA!r})"
+        )
+    method = frame.get("method")
+    if not isinstance(method, str):
+        raise _invalid(request_id, "method must be a string")
+    if method not in METHODS:
+        exc = RpcError(E_UNKNOWN_METHOD, f"unknown method {method!r}")
+        exc.request_id = request_id
+        raise exc
+    params = frame.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise _invalid(request_id, "params must be an object")
+    return request_id, method, params
+
+
+def _invalid(request_id: Any, message: str) -> RpcError:
+    exc = RpcError(E_INVALID, message)
+    exc.request_id = request_id
+    return exc
+
+
+def recovered_id(exc: RpcError) -> Optional[Any]:
+    return getattr(exc, "request_id", None)

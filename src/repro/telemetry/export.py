@@ -128,8 +128,22 @@ def merge_doc(reg: Registry, doc: Dict[str, Any]) -> Registry:
     return reg
 
 
-def export_json(reg: Registry, indent: int = 1) -> str:
-    return json.dumps(registry_to_doc(reg), indent=indent, sort_keys=False)
+def export_json(reg: Registry, indent: int = 1, failures=None) -> str:
+    """Serialize ``reg`` as a ``repro-telemetry/1`` document.
+
+    ``failures`` is an optional sequence of :class:`repro.api.Diagnostic`
+    records (or their dicts); when non-empty they ride along as the
+    document's ``failures`` array so machine consumers get structured
+    error records instead of scraping stderr.  Failure-free exports are
+    byte-identical to previous releases.
+    """
+    doc = registry_to_doc(reg)
+    if failures:
+        doc["failures"] = [
+            item if isinstance(item, dict) else item.to_dict()
+            for item in failures
+        ]
+    return json.dumps(doc, indent=indent, sort_keys=False)
 
 
 def load_json(text: str) -> Registry:

@@ -279,6 +279,58 @@ class TestEmbeddedPythonSource:
         assert "OK" in capsys.readouterr().out
 
 
+class TestExitCodes:
+    """The documented exit-code contract (README + `repro.api.ExitCode`)."""
+
+    def test_ok_is_zero(self, fcl_file):
+        assert main(["check", fcl_file(GOOD)]) == 0
+        assert main(["verify", fcl_file(GOOD)]) == 0
+        assert main(["run", fcl_file(GOOD), "add", "1", "2"]) == 0
+
+    def test_check_reject_is_one(self, fcl_file, capsys):
+        assert main(["check", fcl_file(BAD)]) == 1
+        assert main(["verify", fcl_file(BAD)]) == 1
+        capsys.readouterr()
+
+    def test_syntax_error_is_one(self, fcl_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", fcl_file("struct {")])
+        assert excinfo.value.code == 1
+        capsys.readouterr()
+
+    def test_runtime_error_is_three(self, fcl_file, capsys):
+        racy = """
+        struct data { v : int; }
+        def f() : int { let d = new data(v = 1); send(d); d.v }
+        """
+        assert main(["run", "--unchecked", fcl_file(racy), "f"]) == 3
+        capsys.readouterr()
+
+    def test_step_budget_exhaustion_is_three(self, fcl_file, capsys):
+        assert (
+            main(["run", "--max-steps", "1", fcl_file(GOOD), "add", "1", "2"])
+            == 3
+        )
+        assert "step budget" in capsys.readouterr().err
+
+    def test_usage_error_is_sixty_four(self, fcl_file, capsys):
+        # argparse-level: unknown subcommand and unknown flag.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 64
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--no-such-flag", fcl_file(GOOD)])
+        assert excinfo.value.code == 64
+        # Hand-rolled validation: flag conflicts and bad values.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--trust-cache", fcl_file(GOOD)])
+        assert excinfo.value.code == 64
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", fcl_file(GOOD), "add", "zzz"])
+        assert excinfo.value.code == 64
+        capsys.readouterr()
+
+
 class TestConsoleScript:
     def test_fcl_entry_point(self):
         import subprocess

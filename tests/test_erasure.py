@@ -201,6 +201,7 @@ class TestCLI:
 
     def test_paranoid_conflicts_rejected(self, capsys):
         sll = str(CORPUS / "sll.fcl")
-        assert main(["run", sll, "make_list", "2", "--paranoid", "--erased"]) == 2
-        assert main(["run", sll, "make_list", "2", "--unchecked", "--erased"]) == 2
+        # Flag conflicts are usage errors: ExitCode.USAGE (64).
+        assert main(["run", sll, "make_list", "2", "--paranoid", "--erased"]) == 64
+        assert main(["run", sll, "make_list", "2", "--unchecked", "--erased"]) == 64
         capsys.readouterr()

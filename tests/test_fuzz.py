@@ -223,5 +223,5 @@ class TestCLI:
         out = capsys.readouterr().out
         assert code == 0  # caught = success for the self-test
         assert "caught" in out
-        assert main(["fuzz", "--inject-bug", "bogus"]) == 2
+        assert main(["fuzz", "--inject-bug", "bogus"]) == 64  # usage error
         capsys.readouterr()
