@@ -29,6 +29,7 @@ regression · 4 divergence · 5 fuzz violation · 64 usage.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -306,6 +307,28 @@ def _brief(value) -> str:
 # ---------------------------------------------------------------------------
 
 
+def _traced(name: str):
+    """Wrap a facade function in an ``api.*`` tracer span, so every
+    entry through the facade anchors a trace tree (or nests under the
+    caller's ambient span).  Free when tracing is off: one lazy import
+    plus one attribute check."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from . import telemetry as tel
+
+            tr = tel.tracer()
+            if not tr.enabled:
+                return fn(*args, **kwargs)
+            with tr.span(name, cat="api"):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
 def _parse_failure(exc: BaseException, filename: str) -> List[Diagnostic]:
     return [Diagnostic.from_exception(exc, file=filename)]
 
@@ -332,6 +355,7 @@ def _make_session(
         return None, _parse_failure(exc, filename)
 
 
+@_traced("api.check")
 def check(
     source: str,
     *,
@@ -364,6 +388,7 @@ def check(
     )
 
 
+@_traced("api.verify")
 def verify(
     source: str,
     *,
@@ -404,6 +429,7 @@ def verify(
     )
 
 
+@_traced("api.run")
 def run(
     source: str,
     function: str,

@@ -312,17 +312,23 @@ def bench_server(small: bool = False) -> List[Dict]:
                 first = client.check(source, filename=name)
                 warm_first_ms = (time.perf_counter() - t0) * 1000
                 assert first.ok, f"bench workload rejected: {name}"
-                warm = float("inf")
+                samples = []
                 for _ in range(repeats * 3):
                     t0 = time.perf_counter()
                     client.check(source, filename=name)
-                    warm = min(warm, (time.perf_counter() - t0) * 1000)
+                    samples.append((time.perf_counter() - t0) * 1000)
+                samples.sort()
+                warm = samples[0]
+                p50 = samples[len(samples) // 2]
+                p99 = samples[min(len(samples) - 1, int(len(samples) * 0.99))]
                 rows.append(
                     {
                         "workload": name,
                         "cold_process_ms": round(cold, 3),
                         "warm_first_ms": round(warm_first_ms, 3),
                         "warm_ms": round(warm, 3),
+                        "warm_p50_ms": round(p50, 3),
+                        "warm_p99_ms": round(p99, 3),
                         "speedup_warm": round(cold / warm, 2) if warm else 0.0,
                     }
                 )
@@ -379,7 +385,7 @@ def collect(small: bool = False) -> Dict:
         repeats = 5
     return {
         "schema": SCHEMA,
-        "label": "PR5",
+        "label": "PR6",
         "corpus": bench_corpus(corpus_names),
         "generated": bench_generated(chains),
         "search": bench_search(widths),
@@ -464,12 +470,14 @@ def render_table(doc: Dict) -> str:
         lines.append("repro serve — warm daemon vs cold process per check")
         lines.append(
             f"{'workload':>9s} {'cold proc(ms)':>14s} {'warm 1st(ms)':>13s} "
-            f"{'warm(ms)':>9s} {'speedup':>8s}"
+            f"{'warm(ms)':>9s} {'p50(ms)':>8s} {'p99(ms)':>8s} {'speedup':>8s}"
         )
         for row in doc["server"]:
             lines.append(
                 f"{row['workload']:>9s} {row['cold_process_ms']:14.1f} "
                 f"{row['warm_first_ms']:13.2f} {row['warm_ms']:9.3f} "
+                f"{row.get('warm_p50_ms', 0.0):8.3f} "
+                f"{row.get('warm_p99_ms', 0.0):8.3f} "
                 f"{row['speedup_warm']:7.1f}x"
             )
     return "\n".join(lines)

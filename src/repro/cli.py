@@ -19,9 +19,18 @@ Commands:
   (``--json`` emits the ``repro-fuzz/1`` report; see docs/FUZZING.md).
 * ``serve``                 — long-running JSON-lines daemon answering
   check/verify/run/batch against warm session state (``repro-rpc/1``
-  over TCP and/or a unix socket; see docs/API.md).
+  over TCP and/or a unix socket; see docs/API.md).  Event tracing is on
+  by default (``--trace-buffer 0`` disables).
 * ``client ACTION``         — drive a running daemon (``ping``, ``check``,
-  ``verify``, ``run``, ``corpus``, ``batch``, ``stats``, ``shutdown``).
+  ``verify``, ``run``, ``corpus``, ``batch``, ``stats``, ``metrics``,
+  ``trace``, ``shutdown``).  ``--prom`` renders ``metrics`` as Prometheus
+  text; ``--trace-json FILE`` runs the action under client-side tracing
+  and writes the stitched client+server Chrome trace.
+* ``trace FILE [FN]``       — check + verify + run one program under
+  event tracing and write Chrome trace-event JSON (Perfetto-loadable;
+  see docs/OBSERVABILITY.md).
+* ``top``                   — live terminal dashboard for a running
+  daemon: request rates, per-method p50/p99, memo hit ratio, queue depth.
 
 Exit codes follow :class:`repro.api.ExitCode`: 0 success, 1 check
 rejection, 2 verification failure, 3 runtime error/bench regression,
@@ -434,6 +443,78 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Check + verify + (optionally) run one program under event-level
+    tracing; write the Chrome trace-event JSON document.  The registry is
+    enabled too, so checker/verifier/machine spans ride into the trace
+    through the registry→tracer bridge."""
+    import json
+
+    from . import telemetry
+
+    program = _load(args.file)
+    source = _SOURCES[args.file]
+    telemetry.enable()
+    tr = telemetry.enable_tracing(capacity=args.buffer)
+    try:
+        result = api.check(source, filename=args.file, program=program)
+        if not result.ok:
+            for diag in result.diagnostics:
+                _fail(diag, source)
+            return int(result.exit_code)
+        vresult = api.verify(source, filename=args.file, program=program)
+        if not vresult.ok:
+            for diag in vresult.diagnostics:
+                _fail(diag, source)
+            return int(vresult.exit_code)
+        ran = ""
+        fname = args.function or _pick_entry(program)
+        if fname is not None:
+            if fname not in program.funcs:
+                print(f"error: no function {fname!r}", file=sys.stderr)
+                return 1
+            rresult = api.run(
+                source,
+                fname,
+                _parse_args(args.args),
+                filename=args.file,
+                program=program,
+                check_first=False,
+            )
+            if not rresult.ok:
+                for diag in rresult.diagnostics:
+                    _fail(diag, source)
+                return int(rresult.exit_code)
+            ran = f"; ran {fname}()"
+    finally:
+        telemetry.disable_tracing()
+        telemetry.disable()
+    doc = telemetry.to_chrome(tr)
+    try:
+        Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: checked + verified{ran}")
+    print(
+        f"wrote {len(doc['traceEvents'])} trace events to {args.out}"
+        + (f" ({tr.dropped} dropped)" if tr.dropped else "")
+    )
+    return int(ExitCode.OK)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over the daemon's stats + metrics RPCs."""
+    from .top import run_top
+
+    return run_top(
+        args.connect,
+        interval=args.interval,
+        once=args.once,
+        iterations=args.iterations,
+    )
+
+
 def cmd_prove(args: argparse.Namespace) -> int:
     """Emit a JSON derivation certificate (the prover half of §5)."""
     from .core.serialize import program_derivation_to_json
@@ -699,6 +780,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     elif not args.unix:
         host, port = "127.0.0.1", 7621  # default listen address
     telemetry.enable()
+    if args.trace_buffer > 0:
+        # Event tracing rides in a bounded ring buffer (constant memory
+        # forever); exported through the `trace` RPC.
+        telemetry.enable_tracing(
+            capacity=args.trace_buffer, sample=args.trace_sample
+        )
     from .server.protocol import (
         DEFAULT_MAX_QUEUE,
         DEFAULT_MAX_STEPS,
@@ -832,47 +919,141 @@ def _client_batch(client, paths: List[str]) -> int:
     return int(worst)
 
 
-def cmd_client(args: argparse.Namespace) -> int:
-    """Drive a running ``repro serve`` daemon over ``repro-rpc/1``."""
+def _client_metrics(client, prom: bool) -> int:
     import json
 
-    from .client import Client, ClientError, RemoteError
+    from . import telemetry
+
+    doc = client.metrics()
+    if prom:
+        print(telemetry.render_prometheus(telemetry.doc_to_registry(doc)), end="")
+    else:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    return int(ExitCode.OK)
+
+
+def _client_trace(client, rest: List[str]) -> int:
+    """Fetch the server's trace ring buffer as a Chrome trace document
+    (to stdout, or to ``rest[0]`` when given)."""
+    import json
+
+    from . import telemetry
+
+    tdoc = client.trace_doc()
+    tr = telemetry.Tracer(capacity=max(len(tdoc.get("events", [])), 1))
+    tr.ingest(tdoc.get("events", []))
+    tr.dropped = int(tdoc.get("dropped", 0))
+    doc = telemetry.to_chrome(tr)
+    if rest:
+        try:
+            Path(rest[0]).write_text(json.dumps(doc, indent=1) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {rest[0]}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events to {rest[0]}",
+            file=sys.stderr,
+        )
+    else:
+        print(json.dumps(doc, indent=1))
+    if not tdoc.get("enabled", False):
+        print(
+            "note: server tracing is disabled (serve --trace-buffer 0)",
+            file=sys.stderr,
+        )
+    return int(ExitCode.OK)
+
+
+def _stitched_trace(client, tracer, path: str) -> None:
+    """Pull the server's events into the client tracer and write the
+    combined (cross-process) Chrome trace document."""
+    import json
+
+    from . import telemetry
 
     try:
+        tdoc = client.trace_doc()
+        tracer.ingest(tdoc.get("events", []))
+    except Exception as exc:  # observability must not fail the action
+        print(f"warning: could not fetch server trace: {exc}", file=sys.stderr)
+    doc = telemetry.to_chrome(tracer)
+    try:
+        Path(path).write_text(json.dumps(doc, indent=1) + "\n")
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return
+    print(
+        f"wrote {len(doc['traceEvents'])} stitched trace events to {path}",
+        file=sys.stderr,
+    )
+
+
+def _client_dispatch(client, args: argparse.Namespace) -> int:
+    import json
+
+    if args.action == "ping":
+        print(json.dumps(client.ping(), sort_keys=True))
+        return int(ExitCode.OK)
+    if args.action == "check":
+        if len(args.rest) != 1:
+            raise _usage("client check wants exactly one FILE")
+        return _client_check(client, args.rest[0])
+    if args.action == "verify":
+        if len(args.rest) != 1:
+            raise _usage("client verify wants exactly one FILE")
+        return _client_verify(client, args.rest[0])
+    if args.action == "run":
+        return _client_run(client, args)
+    if args.action == "corpus":
+        return _client_corpus(client)
+    if args.action == "batch":
+        if not args.rest:
+            raise _usage("client batch wants PATH...")
+        return _client_batch(client, args.rest)
+    if args.action == "stats":
+        print(json.dumps(client.stats(), indent=1, sort_keys=True))
+        return int(ExitCode.OK)
+    if args.action == "metrics":
+        return _client_metrics(client, args.prom)
+    if args.action == "trace":
+        return _client_trace(client, args.rest)
+    if args.action == "shutdown":
+        client.shutdown()
+        print("server draining", file=sys.stderr)
+        return int(ExitCode.OK)
+    raise _usage(f"unknown client action {args.action!r}")
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Drive a running ``repro serve`` daemon over ``repro-rpc/1``."""
+    from .client import Client, ClientError, RemoteError
+
+    local_tr = None
+    if args.trace_json:
+        from . import telemetry
+
+        # Client-side tracing: every RPC round trip becomes an
+        # `rpc.<method>` span whose context the daemon parents its own
+        # request span under; afterwards the server's events are pulled
+        # back and the stitched cross-process trace written to FILE.
+        local_tr = telemetry.enable_tracing()
+    try:
         with Client(args.connect, timeout=args.timeout) as client:
-            if args.action == "ping":
-                print(json.dumps(client.ping(), sort_keys=True))
-                return int(ExitCode.OK)
-            if args.action == "check":
-                if len(args.rest) != 1:
-                    raise _usage("client check wants exactly one FILE")
-                return _client_check(client, args.rest[0])
-            if args.action == "verify":
-                if len(args.rest) != 1:
-                    raise _usage("client verify wants exactly one FILE")
-                return _client_verify(client, args.rest[0])
-            if args.action == "run":
-                return _client_run(client, args)
-            if args.action == "corpus":
-                return _client_corpus(client)
-            if args.action == "batch":
-                if not args.rest:
-                    raise _usage("client batch wants PATH...")
-                return _client_batch(client, args.rest)
-            if args.action == "stats":
-                print(json.dumps(client.stats(), indent=1, sort_keys=True))
-                return int(ExitCode.OK)
-            if args.action == "shutdown":
-                client.shutdown()
-                print("server draining", file=sys.stderr)
-                return int(ExitCode.OK)
-            raise _usage(f"unknown client action {args.action!r}")
+            code = _client_dispatch(client, args)
+            if local_tr is not None:
+                _stitched_trace(client, local_tr, args.trace_json)
+            return code
     except RemoteError as exc:
         print(f"error: server rejected request: {exc}", file=sys.stderr)
         return int(ExitCode.RUNTIME_ERROR)
     except ClientError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return int(ExitCode.RUNTIME_ERROR)
+    finally:
+        if local_tr is not None:
+            from . import telemetry
+
+            telemetry.disable_tracing()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1004,6 +1185,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("args", nargs="*")
     metrics_flag(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="check + verify + run under event tracing; write Chrome "
+        "trace-event JSON (Perfetto-loadable)",
+    )
+    p.add_argument("file")
+    p.add_argument(
+        "function",
+        nargs="?",
+        default=None,
+        help="entry function to run (default: main/demo/first zero-arg)",
+    )
+    p.add_argument("args", nargs="*")
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="trace.json",
+        help="output path for the trace document (default trace.json)",
+    )
+    p.add_argument(
+        "--buffer",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="event ring-buffer capacity (default 8192)",
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a running daemon "
+        "(request rates, p50/p99 latency, memo hits, queue depth)",
+    )
+    p.add_argument(
+        "--connect",
+        metavar="ADDR",
+        default="127.0.0.1:7621",
+        help="server address: HOST:PORT or unix:PATH "
+        "(default 127.0.0.1:7621)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll interval (default 2)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N frames (default: until interrupted)",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("prove", help="emit a JSON derivation certificate")
     p.add_argument("file")
@@ -1203,6 +1445,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES",
         help="request frame size limit (default 4 MiB)",
     )
+    p.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="event-trace ring buffer capacity (0 disables tracing; "
+        "default 4096)",
+    )
+    p.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="probability a root span is recorded (default 1.0)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1231,6 +1488,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="step budget to request for `client run`",
     )
     p.add_argument(
+        "--prom",
+        action="store_true",
+        help="render `client metrics` as Prometheus text exposition",
+    )
+    p.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        default=None,
+        help="trace the action client-side, pull the server's events, "
+        "and write the stitched Chrome trace document to FILE",
+    )
+    p.add_argument(
         "action",
         choices=(
             "ping",
@@ -1240,6 +1509,8 @@ def build_parser() -> argparse.ArgumentParser:
             "corpus",
             "batch",
             "stats",
+            "metrics",
+            "trace",
             "shutdown",
         ),
         help="what to ask the server",
@@ -1249,7 +1520,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="ARG",
         help="action arguments: check/verify FILE · run FILE FN [ARGS...] "
-        "· batch PATH...",
+        "· batch PATH... · trace [OUT.json]",
     )
     p.set_defaults(func=cmd_client)
 

@@ -15,6 +15,14 @@ Protocol-level failures raise :class:`RemoteError` (carrying the server's
 error ``code``); transport failures raise :class:`ClientError`.  Program-
 level failures never raise — they come back as ``ok=False`` results with
 :class:`~repro.api.Diagnostic` records, exactly like :mod:`repro.api`.
+
+When event tracing is enabled in the client process
+(``telemetry.enable_tracing()``), every :meth:`Client.call` wraps the
+round trip in an ``rpc.<method>`` span and stamps its context into the
+frame's ``trace`` key, so the daemon's ``server.<method>`` span (and
+everything beneath it) becomes a child of the client's span — one trace
+tree across both processes.  With tracing off, frames are byte-identical
+to previous releases.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import socket
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .api import CheckResult, RunResult, VerifyResult
+from . import telemetry as tel
 from .server.protocol import RPC_SCHEMA
 
 Address = Union[str, Tuple[str, int]]
@@ -83,7 +92,24 @@ class Client:
     # ------------------------------------------------------------------
 
     def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
-        """One RPC round trip; returns the ``result`` payload."""
+        """One RPC round trip; returns the ``result`` payload.
+
+        With tracing enabled, the round trip runs under an
+        ``rpc.<method>`` span whose context rides in the frame's
+        ``trace`` key for the daemon to parent its request span under.
+        """
+        tr = tel.tracer()
+        if tr.enabled:
+            with tr.span(f"rpc.{method}", cat="rpc") as ctx:
+                return self._call(method, params, ctx)
+        return self._call(method, params, None)
+
+    def _call(
+        self,
+        method: str,
+        params: Optional[Dict[str, Any]],
+        ctx,
+    ) -> Any:
         request_id = next(self._ids)
         frame = {
             "rpc": RPC_SCHEMA,
@@ -91,6 +117,8 @@ class Client:
             "method": method,
             "params": params or {},
         }
+        if ctx is not None:
+            frame["trace"] = ctx.to_wire()
         try:
             self._sock.sendall(
                 (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
@@ -186,6 +214,18 @@ class Client:
 
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's full metrics export (a ``repro-telemetry/2``
+        document — render locally with :func:`repro.telemetry
+        .render_prometheus` for text exposition)."""
+        return self.call("metrics")
+
+    def trace_doc(self) -> Dict[str, Any]:
+        """The server's trace ring buffer: ``{"schema", "enabled",
+        "events", "dropped"}`` — ingest into a local tracer to stitch a
+        cross-process tree."""
+        return self.call("trace")
 
     def shutdown(self) -> Dict[str, Any]:
         return self.call("shutdown")

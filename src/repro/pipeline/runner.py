@@ -200,6 +200,21 @@ class Pipeline:
         program: Optional[ast.Program] = None,
     ) -> ProgramResult:
         """Check (and verify) every function of one program."""
+        tr = tel.tracer()
+        if not tr.enabled:
+            return self._run(label, source, program)
+        # Under the ambient span when there is one (the daemon's request
+        # span, the facade's api.* span), a new root otherwise; worker
+        # tasks inherit this context and stitch under it.
+        with tr.span("pipeline.program", cat="pipeline", args={"label": label}):
+            return self._run(label, source, program)
+
+    def _run(
+        self,
+        label: str,
+        source: str,
+        program: Optional[ast.Program] = None,
+    ) -> ProgramResult:
         t0 = time.perf_counter()
         reg = tel.registry()
         try:
@@ -272,6 +287,10 @@ class Pipeline:
             "want_cert": self.cache is not None and self.verify,
             "verify": self.verify,
             "collect": tel.registry().enabled,
+            # Wire trace context (None when tracing is off): workers run
+            # under a local tracer parented here and ship events back as
+            # `trace_doc` for the parent ring buffer to ingest.
+            "trace": tel.current_wire() if tel.tracer().enabled else None,
         }
 
     # ------------------------------------------------------------------
@@ -383,7 +402,13 @@ class Pipeline:
         with _maybe_span(reg, "check.program"):
             raw = list(executor.map(run_function_task, tasks))
         outcomes: Dict[str, Dict[str, Any]] = {}
+        tr = tel.tracer()
         for record in raw:
+            # Trace events describe what actually ran, so unlike the
+            # metric documents below they are ingested unconditionally —
+            # no serial-parity discard.
+            if tr.enabled and record.get("trace_doc"):
+                tr.ingest(record["trace_doc"])
             out = _outcome(
                 record["func"],
                 cached=record["cached"],

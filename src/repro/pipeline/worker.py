@@ -93,8 +93,24 @@ def run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
     certificate should go through the verifier), ``cert`` (the stored
     certificate JSON for replays), ``want_cert`` (serialize the fresh
     derivation so the parent can store it), ``verify``, ``collect``
-    (gather telemetry documents).
+    (gather telemetry documents), ``trace`` (optional trace-context wire
+    dict: run under a worker-local tracer and ship the events back as
+    ``trace_doc`` for the parent to stitch into its ring buffer).
     """
+    parent_ctx = tel.TraceContext.from_wire(task.get("trace"))
+    if parent_ctx is None:
+        return _run_function_task(task)
+    local = tel.Tracer(capacity=4096)
+    with tel.use_tracer(local):
+        with local.span(
+            f"pipeline.func.{task['func']}", cat="pipeline", parent=parent_ctx
+        ):
+            result = _run_function_task(task)
+    result["trace_doc"] = local.events()
+    return result
+
+
+def _run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
     t0 = time.perf_counter()
     collect = task["collect"]
     check_reg = tel.Registry(enabled=True) if collect else None

@@ -648,9 +648,10 @@ class Machine:
             tel.inc("machine.heap_reads", self.heap.reads - reads0)
             tel.inc("machine.heap_writes", self.heap.writes - writes0)
             if self.seed is not None:
-                tel.counter("machine.seed").value = self.seed
-            gauge = tel.counter("machine.starvation_max_wait")
-            gauge.value = max(gauge.value, self.starvation_max_wait)
+                tel.set_gauge("machine.seed", self.seed)
+            tel.set_gauge_max(
+                "machine.starvation_max_wait", self.starvation_max_wait
+            )
             for t in self.threads:
                 publish_thread_stats(t.interp.stats)
 
@@ -832,4 +833,4 @@ def run_function(
             tel.inc("machine.heap_writes", heap.writes - writes0)
             tel.counter("machine.heap_objects").value = len(heap)
             if seed is not None:
-                tel.counter("machine.seed").value = seed
+                tel.set_gauge("machine.seed", seed)

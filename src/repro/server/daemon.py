@@ -19,8 +19,21 @@ tested in ``tests/test_server.py``):
 * **graceful drain** — SIGTERM/SIGINT (or a ``shutdown`` request) stops
   accepting work, answers everything in flight, then exits 0.
 
-All ``server.*`` telemetry is recorded on the event-loop thread, so the
-counters need no locks (see docs/OBSERVABILITY.md for the table).
+All ``server.*`` telemetry lands in the service's registry (the enabled
+process-global one under ``repro serve``, a private always-enabled one
+in embedded ``ServerThread`` uses) — the registry is thread-safe, so the
+event loop and the worker threads record into the same place and the
+``stats``/``metrics`` RPCs read real metrics, not a shadow dict.
+Request latency is recorded for **every** dispatch-path outcome —
+``ok``, ``timeout``, ``overloaded``, ``shutting-down``, ``internal`` —
+so tail latency under overload is honest, not survivor-biased.
+
+When tracing is enabled (``repro serve --trace-buffer``), each request
+frame's optional ``trace`` context becomes the parent of a
+``server.<method>`` span opened on the worker thread, under which the
+service/session/checker/verifier spans nest via the registry→tracer
+bridge; the ``trace`` RPC exports the ring buffer for client-side
+stitching (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -81,9 +94,10 @@ class Server:
             raise ValueError("server needs a TCP host or a unix socket path")
         self.tcp_address: Optional[Tuple[str, int]] = None
         self.unix_path: Optional[str] = None
-        #: method.outcome -> count; kept as plain dicts (loop thread only)
-        #: so `stats` works even when telemetry is disabled.
-        self.counts: Dict[str, int] = {}
+        # Shared with the Service: the process-global registry under
+        # `repro serve`, a private always-enabled one otherwise.  The
+        # registry is thread-safe, so no shadow dict is needed for stats.
+        self.registry = self.service.registry
         self._started_at = time.monotonic()
         self._inflight = 0
         self._draining = False
@@ -221,74 +235,126 @@ class Server:
 
     async def _handle_frame(self, line: bytes) -> bytes:
         try:
-            request_id, method, params = parse_request(line)
+            request_id, method, params, trace = parse_request(line)
         except RpcError as exc:
             self._count(f"server.requests.unknown.{exc.code}")
             return encode_error(recovered_id(exc), exc.code, exc.message)
 
         # Control-plane methods answer inline on the loop thread: ping
-        # stays responsive under load (it is the readiness probe), stats
-        # reads loop-thread state, shutdown must not need a queue slot.
+        # stays responsive under load (it is the readiness probe), stats/
+        # metrics/trace read resident state, shutdown must not need a
+        # queue slot.
         if method == "ping":
             self._count("server.requests.ping.ok")
             return encode_response(request_id, self.service.ping())
         if method == "stats":
             self._count("server.requests.stats.ok")
             return encode_response(request_id, self._stats())
+        if method == "metrics":
+            self._count("server.requests.metrics.ok")
+            return encode_response(request_id, tel.registry_to_doc(self.registry))
+        if method == "trace":
+            self._count("server.requests.trace.ok")
+            tr = tel.tracer()
+            return encode_response(
+                request_id,
+                {
+                    "schema": tel.TRACE_SCHEMA,
+                    "enabled": tr.enabled,
+                    "events": tr.events(),
+                    "dropped": tr.dropped,
+                },
+            )
         if method == "shutdown":
             self._count("server.requests.shutdown.ok")
             response = encode_response(request_id, {"draining": True})
             self.request_drain()
             return response
 
+        # Latency is clocked from admission, so refused requests record
+        # too — `server.latency_ms` must not be survivor-biased.
+        t0 = time.perf_counter()
         if self._draining:
-            self._count(f"server.requests.{method}.{E_SHUTTING_DOWN}")
-            return encode_error(
-                request_id, E_SHUTTING_DOWN, "server is draining"
+            return self._refuse(
+                request_id, method, E_SHUTTING_DOWN, "server is draining", t0
             )
         if self._inflight >= self.config.max_queue:
-            self._count(f"server.requests.{method}.{E_OVERLOADED}")
-            return encode_error(
+            return self._refuse(
                 request_id,
+                method,
                 E_OVERLOADED,
                 f"{self._inflight} requests in flight (limit "
                 f"{self.config.max_queue}); retry with backoff",
+                t0,
             )
 
         self._inflight += 1
         self._gauge("server.queue_depth", self._inflight)
         self._observe("server.queue_depth.sampled", self._inflight)
         future = self._loop.run_in_executor(
-            self._pool, self.service.dispatch, method, params
+            self._pool, self._dispatch_traced, method, params, trace
         )
         self._pending.add(future)
         future.add_done_callback(self._request_done)
 
-        t0 = time.perf_counter()
         try:
             result = await asyncio.wait_for(
                 asyncio.shield(future), self.config.timeout_s
             )
         except asyncio.TimeoutError:
-            self._count(f"server.requests.{method}.{E_TIMEOUT}")
-            return encode_error(
+            return self._refuse(
                 request_id,
+                method,
                 E_TIMEOUT,
                 f"request exceeded {self.config.timeout_s}s",
+                t0,
             )
         except RpcError as exc:
-            self._count(f"server.requests.{method}.{exc.code}")
-            return encode_error(request_id, exc.code, exc.message)
+            return self._refuse(request_id, method, exc.code, exc.message, t0)
         except Exception as exc:  # worker crash: report, keep serving
-            self._count(f"server.requests.{method}.{E_INTERNAL}")
-            return encode_error(
-                request_id, E_INTERNAL, f"{type(exc).__name__}: {exc}"
+            return self._refuse(
+                request_id,
+                method,
+                E_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+                t0,
             )
-        latency_ms = (time.perf_counter() - t0) * 1000.0
         self._count(f"server.requests.{method}.ok")
+        self._latency(method, t0)
+        return encode_response(request_id, result)
+
+    def _refuse(
+        self, request_id: Any, method: str, code: str, message: str, t0: float
+    ) -> bytes:
+        """Count + clock a failed/refused request and build its error
+        envelope.  Refusals record latency like successes do."""
+        self._count(f"server.requests.{method}.{code}")
+        self._latency(method, t0)
+        return encode_error(request_id, code, message)
+
+    def _latency(self, method: str, t0: float) -> None:
+        latency_ms = (time.perf_counter() - t0) * 1000.0
         self._observe("server.latency_ms", latency_ms)
         self._observe(f"server.latency_ms.{method}", latency_ms)
-        return encode_response(request_id, result)
+
+    def _dispatch_traced(
+        self,
+        method: str,
+        params: Dict[str, Any],
+        trace: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Runs on a worker thread.  Opens the per-request
+        ``server.<method>`` span — a child of the client's span when the
+        frame carried trace context, a new root otherwise — so the
+        service/session/checker spans beneath it stitch into one tree
+        across the RPC boundary.  ``run_in_executor`` does not propagate
+        contextvars, hence the explicit parent hand-off."""
+        tr = tel.tracer()
+        if not tr.enabled:
+            return self.service.dispatch(method, params)
+        parent = tel.TraceContext.from_wire(trace)
+        with tr.span(f"server.{method}", cat="server", parent=parent):
+            return self.service.dispatch(method, params)
 
     def _request_done(self, future) -> None:
         self._pending.discard(future)
@@ -301,33 +367,31 @@ class Server:
             self._count("server.worker.crashes")
 
     # ------------------------------------------------------------------
-    # Bookkeeping (event-loop thread only)
+    # Bookkeeping (the registry is thread-safe; loop + workers share it)
     # ------------------------------------------------------------------
 
     def _stats(self) -> Dict[str, Any]:
+        requests = {
+            name: counter.value
+            for name, counter in sorted(self.registry.counters.items())
+            if name.startswith("server.")
+        }
         return {
             "uptime_ms": round((time.monotonic() - self._started_at) * 1000.0, 3),
             "inflight": self._inflight,
             "draining": self._draining,
-            "requests": dict(sorted(self.counts.items())),
+            "requests": requests,
             "service": self.service.stats(),
         }
 
     def _count(self, name: str, n: int = 1) -> None:
-        self.counts[name] = self.counts.get(name, 0) + n
-        reg = tel.registry()
-        if reg.enabled:
-            reg.inc(name, n)
+        self.registry.inc(name, n)
 
     def _gauge(self, name: str, value: int) -> None:
-        reg = tel.registry()
-        if reg.enabled:
-            reg.counter(name).value = value
+        self.registry.set_gauge(name, value)
 
     def _observe(self, name: str, value: float) -> None:
-        reg = tel.registry()
-        if reg.enabled:
-            reg.observe(name, value)
+        self.registry.observe(name, value)
 
 
 class ServerThread:

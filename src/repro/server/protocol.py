@@ -9,7 +9,13 @@ makes server/in-process byte-identity a checkable property.
 Request frame::
 
     {"rpc": "repro-rpc/1", "id": 7, "method": "check",
-     "params": {"source": "...", "filename": "list.fcl"}}
+     "params": {"source": "...", "filename": "list.fcl"},
+     "trace": {"id": "6fb2c0...", "span": "a41b...", "sampled": true}}
+
+``trace`` is optional distributed-tracing context (see
+``telemetry/tracer.py``): when present, the daemon opens its per-request
+span as a child of the client's span, so one trace tree spans both
+processes.  A malformed ``trace`` is ignored, never an error.
 
 Success / error responses::
 
@@ -35,9 +41,20 @@ from typing import Any, Dict, Optional, Tuple
 
 RPC_SCHEMA = "repro-rpc/1"
 
-#: Methods a server understands.  ``ping``/``stats``/``shutdown`` are
-#: answered by the daemon itself; the rest dispatch to the Service.
-METHODS = ("ping", "check", "verify", "run", "batch", "stats", "shutdown")
+#: Methods a server understands.  ``ping``/``stats``/``metrics``/
+#: ``trace``/``shutdown`` are answered by the daemon itself; the rest
+#: dispatch to the Service.
+METHODS = (
+    "ping",
+    "check",
+    "verify",
+    "run",
+    "batch",
+    "stats",
+    "metrics",
+    "trace",
+    "shutdown",
+)
 
 # Defaults, overridable per server via ServerConfig / `repro serve` flags.
 MAX_FRAME_BYTES = 4 * 1024 * 1024
@@ -89,12 +106,19 @@ def encode_error(request_id: Any, code: str, message: str) -> bytes:
     ).encode("utf-8")
 
 
-def parse_request(line: bytes) -> Tuple[Any, str, Dict[str, Any]]:
+def parse_request(
+    line: bytes,
+) -> Tuple[Any, str, Dict[str, Any], Optional[Dict[str, Any]]]:
     """Decode and validate one request frame.
 
-    Returns ``(id, method, params)``; raises :class:`RpcError`.  The id is
-    recovered on a best-effort basis even from invalid frames so the error
-    envelope can still be correlated by the client.
+    Returns ``(id, method, params, trace)``; raises :class:`RpcError`.
+    The id is recovered on a best-effort basis even from invalid frames
+    so the error envelope can still be correlated by the client.
+
+    ``trace`` is the frame's optional trace-context object (``{"id":
+    str, "span": str, "sampled": bool}``) — validated softly: a
+    malformed context degrades to ``None`` rather than failing the
+    request, because observability must never break a caller.
     """
     try:
         frame = json.loads(line.decode("utf-8"))
@@ -119,7 +143,14 @@ def parse_request(line: bytes) -> Tuple[Any, str, Dict[str, Any]]:
         params = {}
     if not isinstance(params, dict):
         raise _invalid(request_id, "params must be an object")
-    return request_id, method, params
+    trace = frame.get("trace")
+    if not (
+        isinstance(trace, dict)
+        and isinstance(trace.get("id"), str)
+        and isinstance(trace.get("span"), str)
+    ):
+        trace = None
+    return request_id, method, params, trace
 
 
 def _invalid(request_id: Any, message: str) -> RpcError:

@@ -72,8 +72,15 @@ class Service:
             OrderedDict()
         )
         self._lock = threading.Lock()
-        self.memo_hits = 0
-        self.memo_misses = 0
+        # The service's metrics home.  When the process-global registry
+        # is enabled (repro serve does this at startup) it IS that
+        # registry, so exports see service metrics; otherwise a private
+        # always-enabled one, so the `stats`/`metrics` RPCs stay truthful
+        # even in embedded ServerThread uses with telemetry off.  The
+        # registry is thread-safe now, so this replaced the plain-dict
+        # request/memo counter shadows that existed because it wasn't.
+        ambient = tel.registry()
+        self.registry = ambient if ambient.enabled else tel.Registry(enabled=True)
         self._pipeline = None
         self._pipeline_lock = threading.Lock()
         if cache_dir is not None:
@@ -219,8 +226,8 @@ class Service:
             return {
                 "sessions": len(self._sessions),
                 "memo_entries": len(self._memo),
-                "memo_hits": self.memo_hits,
-                "memo_misses": self.memo_misses,
+                "memo_hits": self.registry.value("server.memo.hits"),
+                "memo_misses": self.registry.value("server.memo.misses"),
                 "cache_dir": self.cache_dir,
                 "max_steps": self.max_steps,
             }
@@ -262,18 +269,13 @@ class Service:
         return entry
 
     def _memo_get(self, key) -> Optional[Dict[str, Any]]:
-        reg = tel.registry()
         with self._lock:
             hit = self._memo.get(key)
             if hit is not None:
                 self._memo.move_to_end(key)
-                self.memo_hits += 1
-                if reg.enabled:
-                    reg.inc("server.memo.hits")
+                self.registry.inc("server.memo.hits")
                 return hit
-            self.memo_misses += 1
-            if reg.enabled:
-                reg.inc("server.memo.misses")
+            self.registry.inc("server.memo.misses")
         return None
 
     def _memo_put(self, key, result: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,178 @@
+"""``repro top`` — a live terminal dashboard for a running daemon.
+
+Polls the ``stats`` and ``metrics`` RPCs (no server-side support beyond
+those two read-only methods) and renders request rates, per-method
+p50/p99 latency, memo/cache hit ratios, and queue depth.  Rates come
+from counter deltas between consecutive polls; quantiles come from the
+histogram bucket counts in the ``repro-telemetry/2`` document, so the
+server never stores raw observations.
+
+Rendering is a pure function (:func:`render_top`) over two metric
+documents and a stats payload — tested without a terminal or a server.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from . import telemetry as tel
+from .api import ExitCode
+
+#: Dispatch methods worth a latency row (control-plane methods are
+#: answered inline and never hit the latency histograms).
+_METHODS = ("check", "verify", "run", "batch")
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _counters(doc: Dict[str, Any]) -> Dict[str, int]:
+    return {name: int(v) for name, v in doc.get("counters", {}).items()}
+
+
+def _method_totals(counters: Dict[str, int]) -> Dict[str, Dict[str, int]]:
+    """``method -> {outcome -> count}`` from ``server.requests.*``."""
+    out: Dict[str, Dict[str, int]] = {}
+    prefix = "server.requests."
+    for name, value in counters.items():
+        if not name.startswith(prefix):
+            continue
+        rest = name[len(prefix):]
+        method, _, outcome = rest.partition(".")
+        if not outcome:
+            continue
+        out.setdefault(method, {})[outcome] = value
+    return out
+
+
+def _num(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+def render_top(
+    stats: Dict[str, Any],
+    doc: Dict[str, Any],
+    prev_doc: Optional[Dict[str, Any]],
+    interval: float,
+    address: str = "",
+) -> str:
+    """One dashboard frame.  ``prev_doc`` (the previous poll's metrics
+    document) enables the rate columns; on the first frame they show
+    ``-``."""
+    reg = tel.doc_to_registry(doc)
+    counters = _counters(doc)
+    prev = _counters(prev_doc) if prev_doc else None
+    totals = _method_totals(counters)
+    service = stats.get("service", {})
+
+    total_requests = sum(
+        count for outcomes in totals.values() for count in outcomes.values()
+    )
+    if prev is not None and interval > 0:
+        prev_total = sum(_method_totals(prev).get(m, {}).get(o, 0)
+                         for m, outcomes in totals.items() for o in outcomes)
+        total_rate = f"{(total_requests - prev_total) / interval:6.1f}/s"
+    else:
+        total_rate = "     -"
+
+    lines: List[str] = []
+    lines.append(
+        f"repro top — {address or '?'}   "
+        f"uptime {stats.get('uptime_ms', 0) / 1000.0:.1f}s   "
+        f"inflight {stats.get('inflight', 0)}   "
+        f"queue depth {reg.gauge_value('server.queue_depth'):g}   "
+        f"draining {'yes' if stats.get('draining') else 'no'}"
+    )
+    lines.append(f"requests {total_requests}   rate {total_rate.strip()}")
+    lines.append("")
+    lines.append(
+        f"{'method':<8s} {'ok':>8s} {'err':>6s} {'rate/s':>8s} "
+        f"{'p50 ms':>9s} {'p99 ms':>9s} {'mean ms':>9s}"
+    )
+    for method in _METHODS:
+        outcomes = totals.get(method, {})
+        ok = outcomes.get("ok", 0)
+        err = sum(v for k, v in outcomes.items() if k != "ok")
+        if prev is not None and interval > 0:
+            prev_outcomes = _method_totals(prev).get(method, {})
+            delta = sum(outcomes.values()) - sum(prev_outcomes.values())
+            rate = f"{delta / interval:8.1f}"
+        else:
+            rate = f"{'-':>8s}"
+        hist = reg.histograms.get(f"server.latency_ms.{method}")
+        if hist is not None and hist.count:
+            p50, p99, mean = hist.quantile(0.5), hist.quantile(0.99), hist.mean
+        else:
+            p50 = p99 = mean = None
+        lines.append(
+            f"{method:<8s} {ok:>8d} {err:>6d} {rate} "
+            f"{_num(p50):>9s} {_num(p99):>9s} {_num(mean):>9s}"
+        )
+    lines.append("")
+
+    hits = int(service.get("memo_hits", 0))
+    misses = int(service.get("memo_misses", 0))
+    ratio = f"{100.0 * hits / (hits + misses):.1f}%" if hits + misses else "-"
+    lines.append(
+        f"memo {hits} hits / {misses} misses ({ratio} hit)   "
+        f"sessions {service.get('sessions', 0)}   "
+        f"entries {service.get('memo_entries', 0)}   "
+        f"cache {service.get('cache_dir') or 'none'}"
+    )
+    cache_hit = counters.get("pipeline.cache.hit", 0)
+    cache_miss = counters.get("pipeline.cache.miss", 0)
+    if cache_hit or cache_miss:
+        cratio = f"{100.0 * cache_hit / (cache_hit + cache_miss):.1f}%"
+        lines.append(
+            f"cert cache {cache_hit} hits / {cache_miss} misses ({cratio} hit)"
+        )
+    overall = reg.histograms.get("server.latency_ms")
+    if overall is not None and overall.count:
+        lines.append(
+            f"latency (all) n={overall.count} p50={_num(overall.quantile(0.5))} "
+            f"p99={_num(overall.quantile(0.99))} max={_num(overall.max)} ms"
+        )
+    return "\n".join(lines)
+
+
+def run_top(
+    connect: str,
+    interval: float = 2.0,
+    once: bool = False,
+    iterations: Optional[int] = None,
+    out=None,
+) -> int:
+    """Poll + render until interrupted (or ``iterations`` frames)."""
+    from .client import Client, ClientError, RemoteError
+
+    out = out if out is not None else sys.stdout
+    prev_doc: Optional[Dict[str, Any]] = None
+    frame = 0
+    try:
+        with Client(connect, timeout=max(interval * 4, 10.0)) as client:
+            while True:
+                try:
+                    stats = client.stats()
+                    doc = client.metrics()
+                except RemoteError as exc:
+                    print(f"error: server rejected poll: {exc}", file=sys.stderr)
+                    return int(ExitCode.RUNTIME_ERROR)
+                text = render_top(stats, doc, prev_doc, interval, connect)
+                if once or iterations is not None:
+                    print(text, file=out)
+                else:
+                    print(_CLEAR + text, file=out, flush=True)
+                prev_doc = doc
+                frame += 1
+                if once or (iterations is not None and frame >= iterations):
+                    return int(ExitCode.OK)
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        return int(ExitCode.OK)
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return int(ExitCode.RUNTIME_ERROR)
+
+
+__all__ = ["render_top", "run_top"]

@@ -271,6 +271,65 @@ class TestSerialParallelParity:
                     assert _counters(reg) == counters
 
 
+class TestPartialFailureDiscard:
+    """A batch where one function fails check: worker metric documents
+    past the failing function are discarded for serial parity, while
+    trace events are kept (they describe what actually ran)."""
+
+    # Sorted order: a_ok, m_bad, z_ok — serial checking stops at m_bad.
+    BAD_MID = """
+def a_ok(x : int) : int { x + 1 }
+def m_bad(x : int) : int { missing }
+def z_ok(x : int) : int { x + 2 }
+"""
+
+    def _serial_counters(self):
+        reg = telemetry.enable()
+        try:
+            Checker(parse_program(self.BAD_MID)).check_program()
+        except TypeError_:
+            pass
+        finally:
+            telemetry.disable()
+        return {n: c.value for n, c in reg.counters.items()}
+
+    def test_metric_docs_past_failure_are_discarded(self):
+        baseline = self._serial_counters()
+        reg = telemetry.enable()
+        with Pipeline(jobs=2) as pipeline:
+            result = pipeline.run("bad-mid", self.BAD_MID)
+        telemetry.disable()
+        assert not result.ok and result.error.stage == "check"
+        merged = _counters(reg)
+        for name, value in baseline.items():
+            assert merged.get(name) == value, name
+        # The parallel run checked z_ok and could have verified a_ok, but
+        # none of that work may leak into the merged counters.
+        assert not any(n.startswith("verifier.") for n in merged)
+
+    def test_trace_events_survive_the_metric_discard(self):
+        import os
+
+        tr = telemetry.Tracer(capacity=4096)
+        with telemetry.use_tracer(tr):
+            with Pipeline(jobs=2) as pipeline:
+                result = pipeline.run("bad-mid", self.BAD_MID)
+        assert not result.ok
+        events = tr.events()
+        root = next(e for e in events if e["name"] == "pipeline.program")
+        worker = [e for e in events if e["name"].startswith("pipeline.func.")]
+        # Worker spans from other processes stitched under this trace —
+        # including work the metric merge discarded.
+        assert worker, "worker spans must be ingested"
+        assert all(e["pid"] != os.getpid() for e in worker)
+        assert all(
+            e["args"]["trace_id"] == root["args"]["trace_id"] for e in worker
+        )
+        assert all(
+            e["args"]["parent_id"] == root["args"]["span_id"] for e in worker
+        )
+
+
 class TestBatchCli:
     def test_cold_and_warm_stdout_identical(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")

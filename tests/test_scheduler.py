@@ -83,9 +83,9 @@ class TestFairness:
         reg = tel.enable()
         try:
             machine, _ = _pipeline(seed=13)
-            assert reg.value("machine.seed") == 13
+            assert reg.gauge_value("machine.seed") == 13
             assert (
-                reg.value("machine.starvation_max_wait")
+                reg.gauge_value("machine.starvation_max_wait")
                 >= machine.starvation_max_wait
             )
         finally:

@@ -431,6 +431,117 @@ class TestLifecycle:
         assert canon(by_label["bad"]) == canon(local)
 
 
+class TestObservabilityRpcs:
+    def _metrics_schema(self):
+        path = (
+            Path(__file__).parent.parent / "benchmarks" / "metrics.schema.json"
+        )
+        return json.loads(path.read_text())
+
+    def test_metrics_rpc_returns_schema_valid_doc(self):
+        from repro import telemetry
+
+        with ServerThread(_unix_config()) as handle:
+            with Client(handle.address) as client:
+                client.check(GOOD)
+                doc = client.metrics()
+        assert doc["schema"] == "repro-telemetry/2"
+        assert doc["counters"]["server.requests.check.ok"] == 1
+        assert "server.latency_ms.check" in doc["histograms"]
+        assert doc["gauges"]["server.queue_depth"] == 0
+        telemetry.validate(doc, self._metrics_schema())
+        # The doc rebuilds into a registry with usable quantiles.
+        reg = telemetry.doc_to_registry(doc)
+        assert reg.histogram("server.latency_ms.check").quantile(0.5) is not None
+
+    def test_trace_rpc_round_trips_client_minted_trace_id(self):
+        from repro import telemetry
+
+        with telemetry.use_tracer(telemetry.Tracer()) as tr:
+            with ServerThread(_unix_config()) as handle:
+                with Client(handle.address) as client:
+                    client.check(GOOD)
+                    trace = client.trace_doc()
+        assert trace["schema"] == "repro-trace/1"
+        assert trace["enabled"] is True
+        by_name = {}
+        for event in trace["events"]:
+            by_name.setdefault(event["name"], event)
+        # The client minted the trace on its rpc.check span; the server's
+        # worker-thread span must be its child in the same trace.
+        rpc = by_name["rpc.check"]
+        server = by_name["server.check"]
+        assert server["args"]["trace_id"] == rpc["args"]["trace_id"]
+        assert server["args"]["parent_id"] == rpc["args"]["span_id"]
+        assert tr.dropped == 0
+
+    def test_trace_rpc_reports_disabled_when_tracing_off(self):
+        with ServerThread(_unix_config()) as handle:
+            with Client(handle.address) as client:
+                trace = client.trace_doc()
+        assert trace["enabled"] is False
+        assert trace["events"] == []
+
+    def test_refused_requests_record_latency(self):
+        from repro import telemetry
+
+        config = _unix_config(max_queue=1)
+        reg = telemetry.Registry(enabled=True)
+        with telemetry.use(reg):
+            # Constructed inside use(): the service adopts ``reg``.
+            service = BlockingService()
+            with ServerThread(config, service=service) as handle:
+                blocked = Client(handle.address)
+                try:
+                    blocked._sock.sendall(
+                        (
+                            json.dumps(
+                                {
+                                    "rpc": RPC_SCHEMA,
+                                    "id": 1,
+                                    "method": "check",
+                                    "params": {"source": GOOD},
+                                }
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    assert service.entered.wait(timeout=10)
+                    with Client(handle.address) as second:
+                        with pytest.raises(RemoteError) as excinfo:
+                            second.call("check", {"source": GOOD})
+                        assert excinfo.value.code == "overloaded"
+                        # The refusal shows up in the latency histograms —
+                        # refused requests have latency too.
+                        assert reg.histogram("server.latency_ms").count >= 1
+                        assert reg.histogram("server.latency_ms.check").count >= 1
+                        assert reg.value("server.requests.check.overloaded") == 1
+                finally:
+                    service.release.set()
+                    blocked.close()
+
+    def test_timed_out_requests_record_latency(self):
+        from repro import telemetry
+
+        config = _unix_config(timeout_s=0.2)
+        reg = telemetry.Registry(enabled=True)
+        with telemetry.use(reg):
+            service = BlockingService()
+            with ServerThread(config, service=service) as handle:
+                try:
+                    with Client(handle.address) as client:
+                        with pytest.raises(RemoteError) as excinfo:
+                            client.call("check", {"source": GOOD})
+                        assert excinfo.value.code == "timeout"
+                finally:
+                    service.release.set()
+        hist = reg.histogram("server.latency_ms.check")
+        assert hist.count >= 1
+        # The timed-out request waited at least the timeout budget.
+        assert hist.max >= 200.0
+        assert reg.value("server.requests.check.timeout") == 1
+
+
 class TestClientCli:
     def test_client_corpus_matches_corpus_command(self, capsys):
         from repro.cli import main

@@ -1,0 +1,77 @@
+"""``repro top`` rendering tests — :func:`repro.top.render_top` is a
+pure function over a stats payload and two metrics documents, so the
+dashboard is tested without a terminal or a server."""
+
+from repro.telemetry import Registry, registry_to_doc
+from repro.top import render_top
+
+
+def _doc(checks_ok=0, checks_err=0, latencies=(), queue_depth=0.0):
+    reg = Registry()
+    if checks_ok:
+        reg.inc("server.requests.check.ok", checks_ok)
+    if checks_err:
+        reg.inc("server.requests.check.overloaded", checks_err)
+    for ms in latencies:
+        reg.observe("server.latency_ms", ms)
+        reg.observe("server.latency_ms.check", ms)
+    reg.set_gauge("server.queue_depth", queue_depth)
+    return registry_to_doc(reg)
+
+
+def _stats(**service):
+    return {
+        "uptime_ms": 12_000,
+        "inflight": 1,
+        "draining": False,
+        "service": service,
+    }
+
+
+class TestRenderTop:
+    def test_first_frame_shows_dash_rates(self):
+        text = render_top(_stats(), _doc(checks_ok=3), None, 2.0, "sock")
+        assert "repro top — sock" in text
+        assert "uptime 12.0s" in text
+        assert "requests 3   rate -" in text
+        check_row = next(l for l in text.splitlines() if l.startswith("check"))
+        assert "-" in check_row  # no previous frame: no rate
+
+    def test_rates_come_from_counter_deltas(self):
+        prev = _doc(checks_ok=10)
+        now = _doc(checks_ok=30)
+        text = render_top(_stats(), now, prev, 2.0)
+        assert "rate 10.0/s" in text  # (30 - 10) / 2s
+        check_row = next(l for l in text.splitlines() if l.startswith("check"))
+        assert "10.0" in check_row
+
+    def test_latency_quantiles_render(self):
+        doc = _doc(checks_ok=4, latencies=[10.0, 20.0, 30.0, 400.0])
+        text = render_top(_stats(), doc, None, 2.0)
+        check_row = next(l for l in text.splitlines() if l.startswith("check"))
+        # p50/p99/mean columns populated (not "-").
+        assert check_row.count("-") == 1  # only the rate column
+        assert "latency (all) n=4" in text
+
+    def test_error_counts_are_separate_column(self):
+        doc = _doc(checks_ok=5, checks_err=2)
+        text = render_top(_stats(), doc, None, 2.0)
+        check_row = next(l for l in text.splitlines() if l.startswith("check"))
+        columns = check_row.split()
+        assert columns[1] == "5" and columns[2] == "2"
+
+    def test_memo_and_queue_lines(self):
+        stats = _stats(
+            memo_hits=3, memo_misses=1, sessions=2, memo_entries=4,
+            cache_dir="/tmp/c",
+        )
+        text = render_top(stats, _doc(queue_depth=7.0), None, 2.0)
+        assert "queue depth 7" in text
+        assert "memo 3 hits / 1 misses (75.0% hit)" in text
+        assert "sessions 2" in text
+        assert "cache /tmp/c" in text
+
+    def test_zero_traffic_renders_placeholders(self):
+        text = render_top(_stats(), _doc(), None, 2.0)
+        assert "requests 0" in text
+        assert "memo 0 hits / 0 misses (- hit)" in text

@@ -1,0 +1,258 @@
+"""Event-level tracing tests: TraceContext wire round trips, the ring
+buffer, sampling, span parent chains, ingest/stitching, the Chrome
+export, the registry bridge, and the global enable/disable/use swap.
+
+(``tests/test_trace.py`` covers the older heap-event tracer; this file
+covers ``repro.telemetry.tracer``.)
+"""
+
+import json
+import os
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    Registry,
+    TraceContext,
+    Tracer,
+    to_chrome,
+    use_tracer,
+    validate,
+)
+from repro.telemetry.tracer import current_context, current_wire
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    telemetry.disable_tracing()
+    telemetry.disable()
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext("aa" * 8, "bb" * 4, sampled=False)
+        wire = ctx.to_wire()
+        assert wire == {"id": "aa" * 8, "span": "bb" * 4, "sampled": False}
+        assert TraceContext.from_wire(wire) == ctx
+
+    def test_sampled_defaults_true_on_wire(self):
+        ctx = TraceContext.from_wire({"id": "t", "span": "s"})
+        assert ctx is not None and ctx.sampled is True
+
+    @pytest.mark.parametrize(
+        "data",
+        [None, "text", 7, [], {}, {"id": "t"}, {"span": "s"},
+         {"id": 1, "span": "s"}, {"id": "t", "span": None}],
+    )
+    def test_malformed_wire_degrades_to_none(self, data):
+        assert TraceContext.from_wire(data) is None
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_memory_and_counts_drops(self):
+        tr = Tracer(capacity=3)
+        for i in range(5):
+            with tr.span(f"s{i}"):
+                pass
+        events = tr.events()
+        assert len(events) == 3
+        assert tr.dropped == 2
+        assert [e["name"] for e in events] == ["s2", "s3", "s4"]
+
+    def test_clear_resets_buffer_and_drop_count(self):
+        tr = Tracer(capacity=1)
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        tr.clear()
+        assert tr.events() == [] and tr.dropped == 0
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.span("s") as ctx:
+            tr.instant("i")
+        assert tr.events() == []
+        assert ctx is None  # no ambient context minted
+
+
+class TestSampling:
+    def test_unsampled_root_records_nothing_but_propagates_ids(self):
+        tr = Tracer(sample=0.0)
+        with tr.span("root") as ctx:
+            assert ctx is not None and ctx.sampled is False
+            assert current_wire()["sampled"] is False
+            with tr.span("child"):
+                tr.instant("i")
+        assert tr.events() == []
+
+    def test_children_inherit_the_root_decision(self):
+        tr = Tracer(sample=0.0)
+        # An explicitly sampled remote parent wins over local sample=0.
+        parent = TraceContext("t" * 16, "p" * 8, sampled=True)
+        with tr.span("child", parent=parent):
+            pass
+        assert len(tr.events()) == 1
+
+    def test_sample_one_records_everything(self):
+        tr = Tracer(sample=1.0)
+        with tr.span("root"):
+            pass
+        assert len(tr.events()) == 1
+
+
+class TestSpanChains:
+    def test_nested_spans_link_parent_ids(self):
+        tr = Tracer()
+        with tr.span("outer") as outer_ctx:
+            with tr.span("inner") as inner_ctx:
+                pass
+        assert inner_ctx.trace_id == outer_ctx.trace_id
+        inner, outer = tr.events()  # inner completes first
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert outer["args"]["parent_id"] is None
+        assert inner["args"]["parent_id"] == outer_ctx.span_id
+        assert inner["args"]["trace_id"] == outer["args"]["trace_id"]
+
+    def test_explicit_parent_stitches_remote_context(self):
+        tr = Tracer()
+        remote = TraceContext("cafe" * 4, "beef" * 2)
+        with tr.span("server.check", parent=remote) as ctx:
+            pass
+        assert ctx.trace_id == remote.trace_id
+        event = tr.events()[0]
+        assert event["args"]["parent_id"] == remote.span_id
+        assert event["args"]["trace_id"] == remote.trace_id
+
+    def test_parent_none_forces_new_root(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("fresh", parent=None) as ctx:
+                pass
+            assert ctx.trace_id != current_context().trace_id
+        fresh = tr.events()[0]
+        assert fresh["args"]["parent_id"] is None
+
+    def test_ambient_context_restored_after_span(self):
+        tr = Tracer()
+        assert current_context() is None
+        with tr.span("s"):
+            assert current_context() is not None
+        assert current_context() is None
+
+    def test_instant_tags_ambient_context(self):
+        tr = Tracer()
+        with tr.span("s") as ctx:
+            tr.instant("marker", args={"k": "v"})
+        instant = next(e for e in tr.events() if e["ph"] == "i")
+        assert instant["args"]["trace_id"] == ctx.trace_id
+        assert instant["args"]["span_id"] == ctx.span_id
+        assert instant["args"]["k"] == "v"
+
+
+class TestIngest:
+    def test_ingest_accepts_events_and_skips_malformed(self):
+        tr = Tracer()
+        good = {"name": "w", "ph": "X", "ts": 1.0, "dur": 2.0,
+                "pid": 42, "tid": 1, "args": {}}
+        accepted = tr.ingest([good, {"ph": "X"}, "junk", None, {"name": "x"}])
+        assert accepted == 1
+        assert tr.events()[0]["name"] == "w"
+
+    def test_ingested_events_interleave_in_chrome_export(self):
+        tr = Tracer()
+        with tr.span("local"):
+            pass
+        tr.ingest([{"name": "remote", "ph": "X", "ts": 0.0, "dur": 1.0,
+                    "pid": 999, "tid": 1, "args": {}}])
+        doc = to_chrome(tr)
+        # Sorted by timestamp: the epoch-0 remote event leads.
+        assert [e["name"] for e in doc["traceEvents"]] == ["remote", "local"]
+
+
+class TestChromeExport:
+    def _schema(self):
+        path = Path(__file__).parent.parent / "benchmarks" / "trace.schema.json"
+        return json.loads(path.read_text())
+
+    def test_document_shape_and_schema_validity(self):
+        tr = Tracer(capacity=2)
+        for i in range(3):
+            with tr.span(f"s{i}", cat="test"):
+                tr.instant("tick")
+        doc = to_chrome(tr)
+        assert doc["displayTimeUnit"] == "ms"
+        # 3 spans + 3 instants into a 2-slot ring: 4 dropped.
+        assert doc["otherData"] == {"schema": "repro-trace/1", "dropped": 4}
+        assert all(e["pid"] == os.getpid() for e in doc["traceEvents"])
+        validate(doc, self._schema())
+        json.dumps(doc)  # JSON-serializable end to end
+
+    def test_empty_tracer_exports_valid_document(self):
+        doc = to_chrome(Tracer())
+        assert doc["traceEvents"] == []
+        validate(doc, self._schema())
+
+
+class TestRegistryBridge:
+    def test_registry_spans_emit_trace_events_when_tracing(self):
+        reg = Registry()
+        tr = Tracer()
+        with use_tracer(tr):
+            with reg.span("check.program"):
+                with reg.span("check.fn.main"):
+                    pass
+        names = [e["name"] for e in tr.events()]
+        assert names == ["check.fn.main", "check.program"]
+        assert all(e["cat"] == "registry" for e in tr.events())
+        inner = tr.events()[0]
+        outer = tr.events()[1]
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        # Registry aggregation unaffected by the bridge.
+        assert reg.spans[("check.fn.main", "check.program")].count == 1
+
+    def test_registry_spans_free_when_tracing_disabled(self):
+        reg = Registry()
+        with reg.span("s"):
+            pass
+        assert telemetry.tracer().events() == []
+        assert reg.spans[("s", None)].count == 1
+
+
+class TestGlobalSwap:
+    def test_default_global_tracer_is_disabled(self):
+        assert telemetry.tracer().enabled is False
+
+    def test_enable_disable(self):
+        tr = telemetry.enable_tracing(capacity=16, sample=0.5)
+        assert telemetry.tracer() is tr
+        assert tr.capacity == 16 and tr.sample == 0.5
+        telemetry.disable_tracing()
+        assert telemetry.tracer().enabled is False
+
+    def test_use_tracer_restores_previous(self):
+        mine = Tracer()
+        with use_tracer(mine):
+            assert telemetry.tracer() is mine
+        assert telemetry.tracer().enabled is False
+
+    def test_emit_is_thread_safe(self):
+        tr = Tracer(capacity=10_000)
+        n_threads, n_iter = 8, 200
+
+        def work():
+            for _ in range(n_iter):
+                with tr.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.events()) == n_threads * n_iter
+        assert tr.dropped == 0
