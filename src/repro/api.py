@@ -238,6 +238,7 @@ class RunResult:
     heap_reads: int = 0
     heap_writes: int = 0
     heap_objects: int = 0
+    engine: str = "tree"
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -249,6 +250,7 @@ class RunResult:
             "heap_reads": self.heap_reads,
             "heap_writes": self.heap_writes,
             "heap_objects": self.heap_objects,
+            "engine": self.engine,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
@@ -262,6 +264,7 @@ class RunResult:
             heap_reads=data["heap_reads"],
             heap_writes=data["heap_writes"],
             heap_objects=data["heap_objects"],
+            engine=data.get("engine", "tree"),
             diagnostics=_diagnostics_from(data["diagnostics"]),
         )
 
@@ -443,32 +446,52 @@ def run(
     max_steps: Optional[int] = None,
     sink_sends: bool = True,
     seed: Optional[int] = None,
+    engine: str = "tree",
     session=None,
 ) -> RunResult:
     """Type-check (unless ``check_first=False``) and run one function
     single-threaded.  ``max_steps`` bounds execution (the server's step
     budget); exceeding it is a ``StepLimitExceeded`` diagnostic.
     ``erased=True`` uses the §3.2 verified-erasure fast path and is only
-    honored when the program was checked.
+    honored when the program was checked.  ``engine`` selects the tree
+    interpreter (``"tree"``, the default) or the compiled bytecode engine
+    (``"ir"``, see :mod:`repro.ir`).
     """
     from .runtime.heap import Heap
     from .runtime.machine import run_function
 
+    if engine not in ("tree", "ir"):
+        return RunResult(
+            ok=False,
+            engine=engine,
+            diagnostics=[
+                Diagnostic(
+                    file=filename,
+                    severity="error",
+                    code="MachineError",
+                    message=(
+                        f"unknown engine {engine!r}; expected 'tree' or 'ir'"
+                    ),
+                )
+            ],
+        )
     if session is None:
         session, failed = _make_session(source, filename, program, profile)
         if session is None:
-            return RunResult(ok=False, diagnostics=failed)
+            return RunResult(ok=False, engine=engine, diagnostics=failed)
     if check_first:
         try:
             session.checker.check_program()
         except TypeError_ as exc:
             return RunResult(
                 ok=False,
+                engine=engine,
                 diagnostics=[Diagnostic.from_exception(exc, file=filename)],
             )
     if function not in session.program.funcs:
         return RunResult(
             ok=False,
+            engine=engine,
             diagnostics=[
                 Diagnostic(
                     file=filename,
@@ -490,10 +513,12 @@ def run(
             sink_sends=sink_sends,
             max_steps=max_steps,
             seed=seed,
+            engine=engine,
         )
     except Exception as exc:  # runtime faults are diagnostics, not crashes
         return RunResult(
             ok=False,
+            engine=engine,
             diagnostics=[Diagnostic.from_exception(exc, file=filename)],
         )
     return RunResult(
@@ -504,6 +529,7 @@ def run(
         heap_reads=heap.reads,
         heap_writes=heap.writes,
         heap_objects=len(heap),
+        engine=engine,
     )
 
 

@@ -10,6 +10,10 @@ pytest-benchmark needed) and reports a document in schema ``repro-bench/1``
 * **search** — E4: greedy-with-oracle vs bounded backtracking search;
 * **erasure** — §3.2: guarded vs erased-guard runtime on corpus workloads,
   plus the number of reservation checks erasure elides;
+* **ir** — tree-walking interpreter vs the compiled bytecode engine
+  (``--engine ir``) in both guard modes, with compile wall-clock and the
+  optimizer's pass counters (calls inlined, loads eliminated, checks
+  erased at lowering);
 * **pipeline** — §5 at batch scale: serial vs process-pool fan-out vs
   warm certificate cache (replayed and trusted) on the corpus and on a
   generated many-function workload.  Rows record the host's ``cpu_count``
@@ -371,6 +375,107 @@ def bench_erasure(repeats: int = 5) -> List[Dict]:
     return rows
 
 
+def bench_ir(repeats: int = 5, small: bool = False) -> List[Dict]:
+    """Tree-walking interpreter vs the compiled bytecode engine
+    (``--engine ir``) on run-heavy corpus workloads.
+
+    Each workload is timed in all four engine × guard-mode configurations
+    (min over ``repeats``, after a cold compile whose wall-clock is
+    reported separately), and the row carries the compile-time pass
+    counters of the erased full-tier module, so a report shows both *how
+    fast* the bytecode runs and *why* (calls inlined, loads eliminated,
+    checks erased at lowering).
+    """
+    from .ir.bytecode import compile_program
+    from .corpus import load_source
+
+    n_tree = 40 if small else 120
+    n_list = 40 if small else 100
+    queries = 4 if small else 48
+    sums = 4 if small else 20
+
+    def rb_build(program, heap):
+        return [("build_tree", [n_tree, 7])]
+
+    def rb_query(program, heap):
+        t, _ = run_function(
+            program, "build_tree", [n_tree, 7], heap=heap,
+            check_reservations=False,
+        )
+        calls = []
+        for i in range(queries):
+            if i % 2 == 0:
+                calls.append(("tree_size", [t]))
+            else:
+                calls.append(("rb_contains", [t, (i * 37) % 1000]))
+        return calls
+
+    def chain(program, heap):
+        # Build once, then traverse repeatedly: the recursive sum is what
+        # the chain workload measures, not the allocation-bound build.
+        l, _ = run_function(
+            program, "make_list", [n_list], heap=heap,
+            check_reservations=False,
+        )
+        return [("sum", [l])] * sums
+
+    rows = []
+    for label, corpus, setup in (
+        ("rbtree-build", "rbtree", rb_build),
+        ("rbtree-query", "rbtree", rb_query),
+        ("chain-traverse", "sll", chain),
+    ):
+        # A fresh parse per workload guarantees the compile is cold.
+        program = parse_program(load_source(corpus))
+        t0 = time.perf_counter()
+        compile_program(program, checked=True, observable=False)
+        erased_mod = compile_program(program, checked=False, observable=False)
+        compile_ms = (time.perf_counter() - t0) * 1000
+        heap = Heap()
+        calls = setup(program, heap)
+        best: Dict = {}
+        for engine in ("tree", "ir"):
+            for checks in (True, False):
+                key = (engine, checks)
+                best[key] = float("inf")
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    for fn, fargs in calls:
+                        run_function(
+                            program, fn, fargs, heap=heap,
+                            check_reservations=checks, engine=engine,
+                        )
+                    best[key] = min(
+                        best[key], (time.perf_counter() - t0) * 1000
+                    )
+        counters = erased_mod.counters
+        rows.append(
+            {
+                "workload": label,
+                "tree_checked_ms": round(best[("tree", True)], 3),
+                "tree_erased_ms": round(best[("tree", False)], 3),
+                "ir_checked_ms": round(best[("ir", True)], 3),
+                "ir_erased_ms": round(best[("ir", False)], 3),
+                "compile_ms": round(compile_ms, 3),
+                "speedup_checked": round(
+                    best[("tree", True)] / best[("ir", True)], 2
+                ),
+                "speedup_erased": round(
+                    best[("tree", False)] / best[("ir", False)], 2
+                ),
+                "inlined_calls": counters.get("inlined_calls", 0),
+                "loads_eliminated": counters.get("loads_eliminated", 0),
+                "checks_erased": counters.get("checks_erased", 0),
+                "consts_pooled": counters.get("consts_pooled", 0),
+                "dests_sunk": counters.get("dests_sunk", 0),
+                "instructions_emitted": counters.get(
+                    "instructions_emitted", 0
+                ),
+            }
+        )
+    return rows
+
+
 def collect(small: bool = False) -> Dict:
     """The full ``repro-bench/1`` document."""
     if small:
@@ -385,11 +490,12 @@ def collect(small: bool = False) -> Dict:
         repeats = 5
     return {
         "schema": SCHEMA,
-        "label": "PR6",
+        "label": "PR7",
         "corpus": bench_corpus(corpus_names),
         "generated": bench_generated(chains),
         "search": bench_search(widths),
         "erasure": bench_erasure(repeats),
+        "ir": bench_ir(repeats, small),
         "pipeline": bench_pipeline(small),
         "server": bench_server(small),
     }
@@ -448,6 +554,24 @@ def render_table(doc: Dict) -> str:
             f"{row['workload']:>14s} {row['checked_ms']:12.2f} "
             f"{row['erased_ms']:11.2f} {row['reservation_checks_elided']:14d}"
         )
+    if doc.get("ir"):
+        lines.append("")
+        lines.append("bytecode engine — tree interpreter vs --engine ir")
+        lines.append(
+            f"{'workload':>15s} {'tree chk':>9s} {'ir chk':>8s} "
+            f"{'tree ers':>9s} {'ir ers':>8s} {'compile':>8s} "
+            f"{'chk x':>6s} {'ers x':>6s} {'inl':>4s} {'rle':>4s} "
+            f"{'erased':>7s}"
+        )
+        for row in doc["ir"]:
+            lines.append(
+                f"{row['workload']:>15s} {row['tree_checked_ms']:9.1f} "
+                f"{row['ir_checked_ms']:8.1f} {row['tree_erased_ms']:9.1f} "
+                f"{row['ir_erased_ms']:8.1f} {row['compile_ms']:8.1f} "
+                f"{row['speedup_checked']:6.2f} {row['speedup_erased']:6.2f} "
+                f"{row['inlined_calls']:4d} {row['loads_eliminated']:4d} "
+                f"{row['checks_erased']:7d}"
+            )
     if doc.get("pipeline"):
         lines.append("")
         lines.append("§5 — batch pipeline: serial vs fan-out vs warm cache")
@@ -495,6 +619,7 @@ SECTION_KEYS = {
     "generated": "chain",
     "search": "width",
     "erasure": "workload",
+    "ir": "workload",
     "pipeline": "workload",
     "server": "workload",
 }

@@ -302,6 +302,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             check_reservations=check_reservations,
             max_steps=args.max_steps,
             seed=args.seed,
+            engine=args.engine,
         )
     except Exception as exc:  # surfaced verbatim: runtime failures matter
         _FAILURES.append(Diagnostic.from_exception(exc, file=args.file))
@@ -323,6 +324,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 check_reservations=False,
                 max_steps=args.max_steps,
                 seed=args.seed,
+                engine=args.engine,
             )
         except Exception as exc:
             print(f"paranoid: erased run failed: {exc}", file=sys.stderr)
@@ -336,6 +338,38 @@ def cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return int(ExitCode.DIVERGENCE)
+        if args.engine == "ir":
+            # Cross-engine leg: the bytecode run must also match a fresh
+            # guarded tree-interpreter run byte for byte.
+            tracer3 = Tracer()
+            heap3 = Heap(tracer=tracer3)
+            try:
+                result3, _ = run_function(
+                    program,
+                    args.function,
+                    _parse_args(args.args),
+                    heap=heap3,
+                    check_reservations=check_reservations,
+                    max_steps=args.max_steps,
+                    seed=args.seed,
+                    engine="tree",
+                )
+            except Exception as exc:
+                print(f"paranoid: tree run failed: {exc}", file=sys.stderr)
+                return int(ExitCode.DIVERGENCE)
+            if tracer.to_dicts() != tracer3.to_dicts() or _show(
+                result, heap
+            ) != _show(result3, heap3):
+                print(
+                    "paranoid: DIVERGENCE — ir engine's observable trace "
+                    "differs from the tree interpreter",
+                    file=sys.stderr,
+                )
+                return int(ExitCode.DIVERGENCE)
+            print(
+                "paranoid: ir and tree traces identical",
+                file=sys.stderr,
+            )
         print(
             f"paranoid: guarded and erased traces identical "
             f"({len(tracer)} events, "
@@ -665,6 +699,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         f"(benign {cases['mutants_benign']}) "
         f"schedules={report['schedules']['random']}+"
         f"{report['schedules']['enumerated']} "
+        f"engines={'+'.join(report['engines'])} "
         f"violations={len(violations)} [{report['wall_ms']} ms]"
     )
     coverage = " ".join(
@@ -866,6 +901,7 @@ def _client_run(client, args: argparse.Namespace) -> int:
         _parse_args(raw),
         filename=path,
         max_steps=args.max_steps,
+        engine=args.engine,
     )
     if not result.ok:
         for diag in result.diagnostics:
@@ -1163,6 +1199,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="abort with a runtime error after N interpreter steps "
         "(the step budget `repro serve` applies to every run request)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("tree", "ir"),
+        default="tree",
+        help="execution engine: the tree-walking interpreter (default) "
+        "or the optimizing bytecode compiler (--engine ir)",
     )
     metrics_flag(p)
     p.set_defaults(func=cmd_run)
@@ -1486,6 +1529,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="step budget to request for `client run`",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("tree", "ir"),
+        default="tree",
+        help="execution engine to request for `client run`",
     )
     p.add_argument(
         "--prom",

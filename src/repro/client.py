@@ -188,6 +188,7 @@ class Client:
         filename: str = "<rpc>",
         max_steps: Optional[int] = None,
         erased: bool = False,
+        engine: str = "tree",
     ) -> RunResult:
         params: Dict[str, Any] = {
             "source": source,
@@ -195,6 +196,7 @@ class Client:
             "args": list(args),
             "filename": filename,
             "erased": erased,
+            "engine": engine,
         }
         if max_steps is not None:
             params["max_steps"] = max_steps

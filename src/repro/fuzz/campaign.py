@@ -186,6 +186,8 @@ def run_campaign(config: FuzzConfig = FuzzConfig()) -> Dict[str, Any]:
                 "random": reg.value("fuzz.schedules.random"),
                 "enumerated": reg.value("fuzz.schedules.enumerated"),
             },
+            # Execution engines the differential oracles cross-checked.
+            "engines": ["tree", "ir"],
             "coverage": {
                 rule: reg.value(f"checker.vt.{rule}")
                 for rule in (

@@ -17,6 +17,11 @@ layers are made to disagree-check each other:
 3. **guarded/erased** — a guarded run and an `--erased` run replayed over
    the *same* schedule must produce byte-identical heap traces and equal
    results (the reservation machinery must be observationally free).
+4. **tree/ir** — the tree-walking interpreter and the compiled bytecode
+   engine (``--engine ir``), each under the canonical first-option
+   schedule, must produce byte-identical heap traces and equal results;
+   an additional erased-ir leg (the full optimization tier) must agree on
+   the result map.
 
 Any disagreement is a :class:`Violation`; the campaign driver shrinks it
 and writes a ``repro-fuzz/1`` report entry.
@@ -58,7 +63,8 @@ class Violation:
     """One oracle disagreement."""
 
     oracle: str  # verifier | diagnostic | checker-crash | schedule |
-    #            deadlock | determinism | erasure | runtime-crash | generator
+    #            deadlock | determinism | erasure | engine | runtime-crash |
+    #            generator
     detail: str
     #: How to reproduce the failing schedule, when one is implicated:
     #: ``{"kind": "seed", "value": 3}`` or ``{"kind": "decisions",
@@ -288,6 +294,12 @@ def check_case(
     # Oracle 3: guarded and erased runs over the same schedule must have
     # byte-identical heap traces and equal results.
     outcome.violation, outcome.results = _erasure_oracle(program, case.spawns)
+    if outcome.violation is not None:
+        return outcome
+
+    # Oracle 4: the compiled bytecode engine must be observationally
+    # indistinguishable from the tree interpreter.
+    outcome.violation = _engine_oracle(program, case.spawns)
     return outcome
 
 
@@ -322,12 +334,14 @@ def _run_once(
     *,
     check_reservations: bool = True,
     tracer: Optional[Tracer] = None,
+    engine: str = "tree",
 ) -> Tuple[Optional[Violation], Optional[Dict[int, Any]]]:
     machine = Machine(
         program,
         check_reservations=check_reservations,
         scheduler=scheduler,
         tracer=tracer,
+        engine=engine,
     )
     for name, args in spawns:
         machine.spawn(name, list(args))
@@ -390,12 +404,72 @@ def _erasure_oracle(
     return None, guarded
 
 
-def _first_divergence(left: Tracer, right: Tracer) -> str:
+def _engine_oracle(
+    program: ast.Program, spawns: List[Tuple[str, List[Any]]]
+) -> Optional[Violation]:
+    """Tree interpreter vs bytecode engine over the canonical schedule.
+
+    Both engines run guarded with a fresh first-option scheduler (the
+    canonical schedule is yield-granularity-independent, so the decision
+    lists need not match) and must produce byte-identical heap traces and
+    equal results.  A final erased-ir run — the full optimization tier,
+    where redundant loads are actually eliminated — must agree on the
+    result map."""
+    tree_tracer = Tracer()
+    violation, tree = _run_once(
+        program, spawns, ScriptedScheduler(), tracer=tree_tracer
+    )
+    if violation is not None:
+        violation.schedule = {"kind": "decisions", "value": []}
+        return violation
+    schedule = {"kind": "decisions", "value": []}
+    ir_tracer = Tracer()
+    violation, ir_results = _run_once(
+        program, spawns, ScriptedScheduler(), tracer=ir_tracer, engine="ir"
+    )
+    if violation is not None:
+        violation.oracle = "engine"
+        violation.detail = f"ir run failed: {violation.detail}"
+        violation.schedule = schedule
+        return violation
+    tree_bytes = json.dumps(list(tree_tracer.to_dicts()), sort_keys=True)
+    ir_bytes = json.dumps(list(ir_tracer.to_dicts()), sort_keys=True)
+    if tree_bytes != ir_bytes:
+        detail = _first_divergence(tree_tracer, ir_tracer, ("tree", "ir"))
+        return Violation("engine", f"trace divergence: {detail}", schedule)
+    if tree != ir_results:
+        return Violation(
+            "engine",
+            f"result divergence: tree {tree!r} vs ir {ir_results!r}",
+            schedule,
+        )
+    violation, ir_erased = _run_once(
+        program, spawns, ScriptedScheduler(),
+        check_reservations=False, engine="ir",
+    )
+    if violation is not None:
+        violation.oracle = "engine"
+        violation.detail = f"erased ir run failed: {violation.detail}"
+        violation.schedule = schedule
+        return violation
+    if ir_erased != tree:
+        return Violation(
+            "engine",
+            f"erased-ir result divergence: tree {tree!r} vs ir {ir_erased!r}",
+            schedule,
+        )
+    return None
+
+
+def _first_divergence(
+    left: Tracer, right: Tracer, names: Tuple[str, str] = ("guarded", "erased")
+) -> str:
     lefts = list(left.to_dicts())
     rights = list(right.to_dicts())
+    lname, rname = names
     for index, (a, b) in enumerate(zip(lefts, rights)):
         if a != b:
-            return f"event {index}: guarded {a!r} vs erased {b!r}"
+            return f"event {index}: {lname} {a!r} vs {rname} {b!r}"
     return (
-        f"trace lengths differ: guarded {len(lefts)} vs erased {len(rights)}"
+        f"trace lengths differ: {lname} {len(lefts)} vs {rname} {len(rights)}"
     )

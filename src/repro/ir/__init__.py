@@ -1,0 +1,33 @@
+"""Compilation of checked FCL to a basic-block IR and bytecode.
+
+Pipeline: ``lang/ast.py`` → :mod:`repro.ir.lower` (lowering with
+lowering-time guard erasure) → :mod:`repro.ir.passes` (PassManager:
+inlining, simplification, redundant-load elimination, mem2var, DCE) →
+:mod:`repro.ir.bytecode` (flat linear bytecode) →
+:mod:`repro.ir.engine` (the dispatch loop, protocol-compatible with the
+tree interpreter).
+
+Select it at the surface with ``repro run --engine ir`` (or
+``engine="ir"`` through :func:`repro.api.run`, the ``run`` RPC, and
+``runtime.machine.run_function``/``Machine``).
+"""
+
+from .bytecode import CompiledModule, compile_program
+from .engine import IREngine
+from .lower import lower_function
+from .nodes import BasicBlock, Instr, IRFunction, render_function
+from .passes import IRModule, PassManager, default_pipeline
+
+__all__ = [
+    "BasicBlock",
+    "CompiledModule",
+    "IREngine",
+    "IRFunction",
+    "IRModule",
+    "Instr",
+    "PassManager",
+    "compile_program",
+    "default_pipeline",
+    "lower_function",
+    "render_function",
+]

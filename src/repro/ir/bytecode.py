@@ -1,0 +1,322 @@
+"""Flattening the block IR into linear bytecode, and the compile cache.
+
+Each function becomes a list of plain tuples ``(opcode, ...)`` with
+branch targets resolved to instruction indices and call targets linked to
+:class:`BytecodeFunc` objects directly (so recursion works and dispatch
+never does a name lookup).  Generic ``unop``/``binop`` instructions are
+specialized into per-operator opcodes here, which keeps the dispatch loop
+an integer-compare ladder with trivial bodies.
+
+Compiled modules are cached per ``(checked, observable)`` on the Program
+object itself: the fuzzer and the bench harness compile each program at
+most four times no matter how many runs they do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..lang import ast
+from ..runtime.machine import MachineError
+from ..telemetry import registry as _telemetry
+from .lower import lower_function
+from .nodes import IRFunction, instr_uses
+from .passes import IRModule, default_pipeline
+
+# Opcodes, roughly ordered by expected dynamic frequency.
+OP_MOV = 0
+OP_CONST = 1
+OP_LOAD = 2
+OP_BR = 3
+OP_JMP = 4
+OP_ADD = 5
+OP_SUB = 6
+OP_MUL = 7
+OP_DIV = 8
+OP_MOD = 9
+OP_LT = 10
+OP_GT = 11
+OP_LE = 12
+OP_GE = 13
+OP_EQ = 14
+OP_NE = 15
+OP_AND = 16
+OP_OR = 17
+OP_NOT = 18
+OP_NEG = 19
+OP_ISNONE = 20
+OP_ISSOME = 21
+OP_CHECK = 22
+OP_ASLOC = 23
+OP_STORE = 24
+OP_NEW = 25
+OP_CALL = 26
+OP_RET = 27
+OP_SEND = 28
+OP_SENDC = 29
+OP_RECV = 30
+OP_DISC = 31
+# Fused compare-and-branch superinstructions (flatten-time fusion of a
+# single-use comparison feeding the block's br terminator).
+OP_BRLT = 32
+OP_BRGT = 33
+OP_BRLE = 34
+OP_BRGE = 35
+OP_BREQ = 36
+OP_BRNE = 37
+OP_BRNONE = 38
+OP_BRSOME = 39
+# Call with exactly one argument: skips the generic argument-copy loop.
+OP_CALL1 = 40
+
+_BINOPS = {
+    "+": OP_ADD, "-": OP_SUB, "*": OP_MUL, "/": OP_DIV, "%": OP_MOD,
+    "<": OP_LT, ">": OP_GT, "<=": OP_LE, ">=": OP_GE,
+    "==": OP_EQ, "!=": OP_NE, "&&": OP_AND, "||": OP_OR,
+}
+
+_CMP_FUSE = {
+    "<": OP_BRLT, ">": OP_BRGT, "<=": OP_BRLE, ">=": OP_BRGE,
+    "==": OP_BREQ, "!=": OP_BRNE,
+}
+
+# Planning marker: a `!cond` feeding a br becomes a plain BR with swapped
+# targets rather than a new opcode.
+_BR_SWAPPED = -1
+
+OPCODE_NAMES = {
+    value: name[3:].lower()
+    for name, value in sorted(globals().items())
+    if name.startswith("OP_")
+}
+
+
+class BytecodeFunc:
+    """One flattened function: executable code plus a frame prototype."""
+
+    __slots__ = ("name", "nparams", "nslots", "code", "blank")
+
+    def __init__(self, name: str, nparams: int, nslots: int):
+        self.name = name
+        self.nparams = nparams
+        self.nslots = nslots
+        self.code: List[Tuple] = []
+        self.blank: List = [None] * nslots
+
+
+class CompiledModule:
+    """All functions of one program compiled for one (checked, observable)
+    configuration, plus the compile-time counters."""
+
+    def __init__(self, checked: bool, observable: bool):
+        self.checked = checked
+        self.observable = observable
+        self.funcs: Dict[str, BytecodeFunc] = {}
+        self.counters: Dict[str, int] = {}
+
+
+def flatten(fn: IRFunction, program: ast.Program, checked: bool) -> BytecodeFunc:
+    out = BytecodeFunc(fn.name, fn.nparams, fn.nslots)
+    for slot, value in fn.const_slots.items():
+        out.blank[slot] = value
+    code = out.code
+    blocks = fn.block_map()
+    use_count: Dict[int, int] = {}
+    for ins in fn.instructions():
+        for slot in instr_uses(ins):
+            use_count[slot] = use_count.get(slot, 0) + 1
+
+    # Planning pass: per block, decide whether the final comparison fuses
+    # into the br (skipping the compare), whether a jmp to an instruction-
+    # free ret block becomes the ret itself, or whether a fall-through jmp
+    # is elided entirely.  Only forward fall-throughs are ever elided, so
+    # every loop back-edge still crosses a budget-checking control op.
+    fused: Dict[int, Tuple] = {}
+    ret_dup: Dict[int, "BasicBlock"] = {}
+    elided: Dict[int, bool] = {}
+    for idx, block in enumerate(fn.blocks):
+        term = block.term
+        elided[block.label] = False
+        if term is None:
+            continue
+        if term.op == "br" and block.instrs:
+            last = block.instrs[-1]
+            cond = term.args[0]
+            if last.dest == cond and use_count.get(cond, 0) == 1:
+                if last.op == "binop" and last.args[0] in _CMP_FUSE:
+                    fused[block.label] = (
+                        _CMP_FUSE[last.args[0]], last.args[1], last.args[2]
+                    )
+                elif last.op == "isnone":
+                    fused[block.label] = (OP_BRNONE, last.args[0])
+                elif last.op == "issome":
+                    fused[block.label] = (OP_BRSOME, last.args[0])
+                elif last.op == "unop" and last.args[0] == "!":
+                    fused[block.label] = (_BR_SWAPPED, last.args[1])
+        elif term.op == "jmp":
+            target = blocks.get(term.args[0])
+            if (
+                target is not None
+                and len(target.instrs) <= 2
+                and target.term is not None
+                and target.term.op == "ret"
+            ):
+                # Duplicate the tiny returning tail in place of the jmp.
+                # A ret-terminated target cannot be a loop back-edge, so no
+                # budget-checking control op is lost.
+                ret_dup[block.label] = target
+            else:
+                elided[block.label] = (
+                    idx + 1 < len(fn.blocks)
+                    and fn.blocks[idx + 1].label == term.args[0]
+                )
+
+    # First pass: block label → starting pc.
+    offsets: Dict[int, int] = {}
+    pc = 0
+    for block in fn.blocks:
+        offsets[block.label] = pc
+        pc += len(block.instrs)
+        if block.label in fused:
+            pc -= 1
+        dup = ret_dup.get(block.label)
+        if dup is not None:
+            pc += len(dup.instrs)
+        if not elided[block.label] and block.term is not None:
+            pc += 1
+    # Second pass: emit.
+    for block in fn.blocks:
+        instrs = block.instrs
+        fuse = fused.get(block.label)
+        if fuse is not None:
+            instrs = instrs[:-1]
+        for ins in instrs:
+            code.append(_encode(ins, program, checked))
+        term = block.term
+        if term is None or elided[block.label]:
+            continue
+        if fuse is not None:
+            t, f = offsets[term.args[1]], offsets[term.args[2]]
+            if fuse[0] == _BR_SWAPPED:
+                code.append((OP_BR, fuse[1], f, t))
+            else:
+                code.append(fuse + (t, f))
+        elif term.op == "jmp":
+            dup = ret_dup.get(block.label)
+            if dup is not None:
+                for ins in dup.instrs:
+                    code.append(_encode(ins, program, checked))
+                code.append((OP_RET, dup.term.args[0]))
+            else:
+                code.append((OP_JMP, offsets[term.args[0]]))
+        elif term.op == "br":
+            code.append(
+                (OP_BR, term.args[0], offsets[term.args[1]],
+                 offsets[term.args[2]])
+            )
+        else:  # ret
+            code.append((OP_RET, term.args[0]))
+    return out
+
+
+def _encode(ins, program: ast.Program, checked: bool) -> Tuple:
+    op = ins.op
+    if op == "mov":
+        return (OP_MOV, ins.dest, ins.args[0])
+    if op == "const":
+        return (OP_CONST, ins.dest, ins.args[0])
+    if op == "load":
+        return (OP_LOAD, ins.dest, ins.args[0], ins.args[1])
+    if op == "binop":
+        bop, l, r = ins.args
+        return (_BINOPS[bop], ins.dest, l, r)
+    if op == "unop":
+        uop, s = ins.args
+        return (OP_NOT if uop == "!" else OP_NEG, ins.dest, s)
+    if op == "isnone":
+        return (OP_ISNONE, ins.dest, ins.args[0])
+    if op == "issome":
+        return (OP_ISSOME, ins.dest, ins.args[0])
+    if op == "check":
+        return (OP_CHECK, ins.args[0])
+    if op == "asloc":
+        return (OP_ASLOC, ins.args[0])
+    if op == "store":
+        return (OP_STORE, ins.args[0], ins.args[1], ins.args[2])
+    if op == "new":
+        sdef = program.struct(ins.args[0])
+        return (OP_NEW, ins.dest, sdef, ins.args[1], ins.args[2])
+    if op == "call":
+        # The callee name is patched to the BytecodeFunc object in _link.
+        if len(ins.args[1]) == 1:
+            return (OP_CALL1, ins.dest, ins.args[0], ins.args[1][0])
+        return (OP_CALL, ins.dest, ins.args[0], ins.args[1])
+    if op == "send":
+        return (OP_SENDC if checked else OP_SEND, ins.dest, ins.args[0])
+    if op == "recv":
+        return (OP_RECV, ins.dest, ins.args[0])
+    if op == "disc":
+        return (OP_DISC, ins.dest, ins.args[0], ins.args[1])
+    raise MachineError(f"cannot flatten IR op {op!r}")
+
+
+def _link(module: CompiledModule) -> None:
+    for func in module.funcs.values():
+        for idx, ins in enumerate(func.code):
+            if ins[0] == OP_CALL or ins[0] == OP_CALL1:
+                func.code[idx] = (
+                    ins[0], ins[1], module.funcs[ins[2]], ins[3]
+                )
+
+
+def compile_program(
+    program: ast.Program, checked: bool, observable: bool
+) -> CompiledModule:
+    """Compile (or fetch from the per-program cache) every function.
+
+    ``observable`` means a tracer is attached: only heap-event-preserving
+    passes run, so traces stay byte-comparable with the tree interpreter.
+    The full optimization tier requires ``not checked and not observable``.
+    """
+    try:
+        cache = program._ir_cache  # type: ignore[attr-defined]
+    except AttributeError:
+        cache = program._ir_cache = {}  # type: ignore[attr-defined]
+    key = (checked, observable)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+
+    full = not checked and not observable
+    funcs: Dict[str, IRFunction] = {}
+    checks_erased = 0
+    for name, fdef in program.funcs.items():
+        fn, erased = lower_function(program, fdef, checked)
+        funcs[name] = fn
+        checks_erased += erased
+    module = IRModule(program, funcs, full)
+    module.counters["checks_erased"] = checks_erased
+    default_pipeline(full).run(module)
+
+    compiled = CompiledModule(checked, observable)
+    for name, fn in funcs.items():
+        compiled.funcs[name] = flatten(fn, program, checked)
+    _link(compiled)
+    compiled.counters = dict(module.counters)
+    compiled.counters["instructions_emitted"] = sum(
+        len(f.code) for f in compiled.funcs.values()
+    )
+
+    tel = _telemetry()
+    if tel.enabled:
+        tel.inc("machine.engine.compiles")
+        tel.inc("machine.engine.inlined_calls",
+                compiled.counters["inlined_calls"])
+        tel.inc("machine.engine.loads_eliminated",
+                compiled.counters["loads_eliminated"])
+        tel.inc("machine.engine.checks_erased",
+                compiled.counters["checks_erased"])
+        tel.inc("machine.engine.fields_promoted",
+                compiled.counters["fields_promoted"])
+    cache[key] = compiled
+    return compiled

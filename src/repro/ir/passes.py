@@ -1,0 +1,713 @@
+"""The optimizing pass pipeline over the basic-block IR.
+
+Two tiers exist because optimization must not outrun observability:
+
+* **observable tier** (a tracer is attached, or checks are on): only
+  passes that preserve the exact heap-event sequence and reservation-check
+  count run — inlining, constant folding / branch simplification, local
+  copy propagation, dead *pure* code elimination.  This is what
+  ``--paranoid`` and the fuzzer's tree≡ir oracle compare byte-for-byte
+  against the tree interpreter.
+* **full tier** (erased mode, no tracer): adds redundant-load elimination
+  and mem2var promotion of region-local primitive fields, which change
+  *how often* the heap is read but never the values computed.
+
+The aliasing facts that license the full tier come from the checker:
+reservations are disjoint and only rendezvous transfers move locations
+between them (§3.2/fig 15), so between two instructions of one thread no
+*other* thread can write a field the thread may read — a cached field
+value stays valid until this thread itself stores to that field name or
+reaches a call/send/recv.  Mem2var additionally uses the region discipline:
+an allocation whose reference never escapes the frame (never stored,
+passed, sent, returned, or compared for disconnection) is invisible to
+``if disconnected`` traversals and to other threads, so its primitive
+fields can live in registers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast
+from ..runtime.machine import Interpreter
+from ..runtime.values import NONE, UNIT
+from .cfg import liveness, predecessors, remove_unreachable, successors
+from .nodes import BasicBlock, Instr, IRFunction, instr_uses, rewrite_uses
+
+
+class IRModule:
+    """All lowered functions of one program plus compile counters."""
+
+    def __init__(self, program: ast.Program, funcs: Dict[str, IRFunction],
+                 full: bool):
+        self.program = program
+        self.funcs = funcs
+        #: Full tier: erased mode with no tracer attached (see module doc).
+        self.full = full
+        self.counters = {
+            "inlined_calls": 0,
+            "loads_eliminated": 0,
+            "checks_erased": 0,
+            "fields_promoted": 0,
+            "consts_pooled": 0,
+            "dests_sunk": 0,
+        }
+
+
+class Pass:
+    name = "pass"
+
+    def run(self, module: IRModule) -> None:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a fixed pass sequence over a module."""
+
+    def __init__(self, passes: List[Pass]):
+        self.passes = passes
+
+    def run(self, module: IRModule) -> None:
+        for p in self.passes:
+            p.run(module)
+
+
+def default_pipeline(full: bool) -> "PassManager":
+    passes: List[Pass] = [InlinePass(), SimplifyPass()]
+    if full:
+        # DCE + dest sinking first, so mem2var's escape analysis sees the
+        # canonical base slot instead of dead copy chains of it.
+        passes += [DeadCodePass(), SinkDestPass(), RedundantLoadPass(),
+                   Mem2VarPass(), SimplifyPass()]
+    passes += [DeadCodePass(), SimplifyPass(), ConstPoolPass(), SinkDestPass()]
+    return PassManager(passes)
+
+
+# ---------------------------------------------------------------------------
+# Function inlining
+# ---------------------------------------------------------------------------
+
+
+class InlinePass(Pass):
+    """Inline small leaf functions into their callers.
+
+    Sound for any FCL function: calls are by-value over slots, the callee's
+    parameter-guard ``check`` instructions travel with its body, and
+    ``send``/``recv`` yields work identically from spliced code.  Rounds
+    iterate so that a function whose calls were all inlined away becomes a
+    leaf itself (rbtree's rotation helpers chain into ``balance`` this
+    way), bounded by a caller-size cap.
+    """
+
+    name = "inline"
+
+    def __init__(self, max_callee: int = 120, max_caller: int = 2500,
+                 rounds: int = 4):
+        self.max_callee = max_callee
+        self.max_caller = max_caller
+        self.rounds = rounds
+
+    def run(self, module: IRModule) -> None:
+        for _ in range(self.rounds):
+            leaves = {
+                name: fn
+                for name, fn in module.funcs.items()
+                if self._is_leaf(fn) and fn.size() <= self.max_callee
+            }
+            changed = False
+            for fn in module.funcs.values():
+                while fn.size() < self.max_caller:
+                    site = self._find_site(fn, leaves)
+                    if site is None:
+                        break
+                    bidx, iidx = site
+                    callee = leaves[fn.blocks[bidx].instrs[iidx].args[0]]
+                    self._splice(fn, bidx, iidx, callee)
+                    module.counters["inlined_calls"] += 1
+                    changed = True
+            if not changed:
+                break
+
+    @staticmethod
+    def _is_leaf(fn: IRFunction) -> bool:
+        return all(ins.op != "call" for ins in fn.instructions())
+
+    @staticmethod
+    def _find_site(
+        fn: IRFunction, leaves: Dict[str, IRFunction]
+    ) -> Optional[Tuple[int, int]]:
+        for bidx, block in enumerate(fn.blocks):
+            for iidx, ins in enumerate(block.instrs):
+                if ins.op == "call" and ins.args[0] in leaves:
+                    if ins.args[0] != fn.name:
+                        return bidx, iidx
+        return None
+
+    @staticmethod
+    def _splice(caller: IRFunction, bidx: int, iidx: int,
+                callee: IRFunction) -> None:
+        block = caller.blocks[bidx]
+        call_ins = block.instrs[iidx]
+        _fname, argslots = call_ins.args
+        dest = call_ins.dest
+        offset = caller.nslots
+        caller.nslots += callee.nslots
+        slot_map = {s: s + offset for s in range(callee.nslots)}
+        label_map = {b.label: caller.new_label() for b in callee.blocks}
+        cont = BasicBlock(caller.new_label(), block.instrs[iidx + 1:],
+                          block.term)
+        new_blocks: List[BasicBlock] = []
+        for cb in callee.blocks:
+            nb = BasicBlock(label_map[cb.label])
+            for ins in cb.instrs:
+                copy = Instr(
+                    ins.op,
+                    None if ins.dest is None else ins.dest + offset,
+                    *ins.args,
+                )
+                rewrite_uses(copy, slot_map)
+                nb.instrs.append(copy)
+            term = cb.term
+            if term.op == "ret":
+                nb.instrs.append(Instr("mov", dest, term.args[0] + offset))
+                nb.term = Instr("jmp", None, cont.label)
+            elif term.op == "jmp":
+                nb.term = Instr("jmp", None, label_map[term.args[0]])
+            else:  # br
+                nb.term = Instr(
+                    "br",
+                    None,
+                    term.args[0] + offset,
+                    label_map[term.args[1]],
+                    label_map[term.args[2]],
+                )
+            new_blocks.append(nb)
+        # Redirect the call site: bind arguments into the callee's
+        # parameter slots, jump into the spliced body, resume at `cont`.
+        pre = block.instrs[:iidx]
+        for i, s in enumerate(argslots):
+            pre.append(Instr("mov", offset + i, s))
+        block.instrs = pre
+        block.term = Instr("jmp", None, label_map[callee.blocks[0].label])
+        caller.blocks[bidx + 1:bidx + 1] = new_blocks + [cont]
+
+
+# ---------------------------------------------------------------------------
+# Simplification: constant folding, copy propagation, branch/jump cleanup
+# ---------------------------------------------------------------------------
+
+_FOLDABLE = (int, bool)
+
+
+class SimplifyPass(Pass):
+    """Trace-preserving cleanups: per-block constant folding and copy
+    propagation, constant-branch conversion, jump threading, unreachable
+    block removal, and straight-line block merging."""
+
+    name = "simplify"
+
+    def run(self, module: IRModule) -> None:
+        for fn in module.funcs.values():
+            for _ in range(10):
+                changed = self._local(fn)
+                changed |= self._branches(fn)
+                changed |= self._thread_jumps(fn)
+                changed |= remove_unreachable(fn)
+                changed |= self._merge_chains(fn)
+                if not changed:
+                    break
+
+    # -- per-block value numbering -----------------------------------------
+
+    @staticmethod
+    def _local(fn: IRFunction) -> bool:
+        changed = False
+        for block in fn.blocks:
+            consts: Dict[int, object] = {}
+            copies: Dict[int, int] = {}
+            asloced: Set[int] = set()
+
+            def invalidate(slot: int) -> None:
+                consts.pop(slot, None)
+                copies.pop(slot, None)
+                asloced.discard(slot)
+                for d in [d for d, s in copies.items() if s == slot]:
+                    del copies[d]
+
+            new_instrs: List[Instr] = []
+            for ins in block.instrs:
+                if copies:
+                    rewrite_uses(ins, copies)
+                folded = SimplifyPass._fold(ins, consts)
+                if folded is not None:
+                    ins = folded
+                    changed = True
+                if ins.op == "asloc":
+                    # A repeated assertion on an unmodified slot is a no-op
+                    # (asloc has no counter, unlike check).
+                    slot = ins.args[0]
+                    if slot in asloced:
+                        changed = True
+                        continue
+                    asloced.add(slot)
+                dest = ins.dest
+                if dest is not None:
+                    invalidate(dest)
+                    if ins.op == "const":
+                        consts[dest] = ins.args[0]
+                    elif ins.op == "mov":
+                        src = ins.args[0]
+                        if src in consts:
+                            ins = Instr("const", dest, consts[src])
+                            consts[dest] = ins.args[0]
+                            changed = True
+                        elif src != dest:
+                            copies[dest] = copies.get(src, src)
+                new_instrs.append(ins)
+            block.instrs = new_instrs
+            if block.term is not None and copies:
+                rewrite_uses(block.term, copies)
+            # Constant branch condition → unconditional jump.
+            term = block.term
+            if (
+                term is not None
+                and term.op == "br"
+                and term.args[0] in consts
+            ):
+                taken = term.args[1] if consts[term.args[0]] else term.args[2]
+                block.term = Instr("jmp", None, taken)
+                changed = True
+        return changed
+
+    @staticmethod
+    def _fold(ins: Instr, consts: Dict[int, object]) -> Optional[Instr]:
+        op = ins.op
+        if op == "binop":
+            bop, l, r = ins.args
+            if l in consts and r in consts:
+                lv, rv = consts[l], consts[r]
+                if type(lv) in _FOLDABLE and type(rv) in _FOLDABLE:
+                    try:
+                        return Instr("const", ins.dest,
+                                     Interpreter._binop(bop, lv, rv))
+                    except Exception:
+                        return None  # e.g. division by zero: fold nothing
+            return None
+        if op == "unop":
+            uop, s = ins.args
+            if s in consts and type(consts[s]) in _FOLDABLE:
+                value = consts[s]
+                return Instr("const", ins.dest,
+                             (not value) if uop == "!" else -value)
+            return None
+        if op == "isnone" and ins.args[0] in consts:
+            return Instr("const", ins.dest, consts[ins.args[0]] is NONE)
+        if op == "issome" and ins.args[0] in consts:
+            return Instr("const", ins.dest, consts[ins.args[0]] is not NONE)
+        return None
+
+    # -- CFG cleanups ------------------------------------------------------
+
+    @staticmethod
+    def _branches(fn: IRFunction) -> bool:
+        changed = False
+        for block in fn.blocks:
+            term = block.term
+            if term is not None and term.op == "br" and term.args[1] == term.args[2]:
+                block.term = Instr("jmp", None, term.args[1])
+                changed = True
+        return changed
+
+    @staticmethod
+    def _thread_jumps(fn: IRFunction) -> bool:
+        blocks = fn.block_map()
+
+        def final_target(label: int) -> int:
+            seen = set()
+            while label not in seen:
+                seen.add(label)
+                block = blocks.get(label)
+                if (
+                    block is None
+                    or block.instrs
+                    or block.term is None
+                    or block.term.op != "jmp"
+                ):
+                    return label
+                label = block.term.args[0]
+            return label
+
+        changed = False
+        for block in fn.blocks:
+            term = block.term
+            if term is None:
+                continue
+            if term.op == "jmp":
+                target = final_target(term.args[0])
+                if target != term.args[0]:
+                    term.args = (target,)
+                    changed = True
+            elif term.op == "br":
+                t = final_target(term.args[1])
+                f = final_target(term.args[2])
+                if (t, f) != (term.args[1], term.args[2]):
+                    term.args = (term.args[0], t, f)
+                    changed = True
+        return changed
+
+    @staticmethod
+    def _merge_chains(fn: IRFunction) -> bool:
+        """Splice a block into its unique predecessor when that predecessor
+        jumps straight to it — fewer jumps means fewer dispatch-loop
+        iterations at run time."""
+        changed = False
+        while True:
+            preds = predecessors(fn)
+            blocks = fn.block_map()
+            merged = False
+            for block in fn.blocks:
+                term = block.term
+                if term is None or term.op != "jmp":
+                    continue
+                target_label = term.args[0]
+                target = blocks.get(target_label)
+                if (
+                    target is None
+                    or target is block
+                    or target is fn.blocks[0]
+                    or len(preds[target_label]) != 1
+                ):
+                    continue
+                block.instrs.extend(target.instrs)
+                block.term = target.term
+                fn.blocks.remove(target)
+                merged = True
+                changed = True
+                break
+            if not merged:
+                return changed
+
+
+# ---------------------------------------------------------------------------
+# Redundant load elimination (full tier)
+# ---------------------------------------------------------------------------
+
+
+class RedundantLoadPass(Pass):
+    """Forward per-block available-load analysis.
+
+    A ``load base.f`` whose value is already in a slot (from an earlier
+    load or store of ``base.f`` with no intervening clobber) becomes a
+    ``mov``.  Clobbers are conservative: any store to field name ``f``
+    kills every cached ``·.f`` (two live slots may alias one object), and
+    calls/sends/recvs kill everything (a callee may write; a rendezvous
+    hands the subgraph to a thread that may write).  No *other* clobbers
+    exist precisely because the checker keeps reservations disjoint
+    between rendezvous points.
+    """
+
+    name = "rle"
+
+    def run(self, module: IRModule) -> None:
+        for fn in module.funcs.values():
+            for block in fn.blocks:
+                module.counters["loads_eliminated"] += self._block(block)
+
+    @staticmethod
+    def _block(block: BasicBlock) -> int:
+        avail: Dict[Tuple[int, str], int] = {}
+        eliminated = 0
+        for idx, ins in enumerate(block.instrs):
+            op = ins.op
+            if op == "load":
+                base, fieldname = ins.args
+                key = (base, fieldname)
+                cached = avail.get(key)
+                if cached is not None:
+                    ins = Instr("mov", ins.dest, cached)
+                    block.instrs[idx] = ins
+                    eliminated += 1
+            elif op == "store":
+                base, fieldname, value = ins.args
+                for key in [k for k in avail if k[1] == fieldname]:
+                    del avail[key]
+            elif op in ("call", "send", "recv"):
+                avail.clear()
+            dest = ins.dest
+            if dest is not None:
+                for key in [
+                    k for k, v in avail.items() if v == dest or k[0] == dest
+                ]:
+                    del avail[key]
+            if ins.op == "load":
+                avail[(ins.args[0], ins.args[1])] = ins.dest
+            elif ins.op == "store":
+                avail[(ins.args[0], ins.args[1])] = ins.args[2]
+        return eliminated
+
+
+# ---------------------------------------------------------------------------
+# Mem2var promotion (full tier)
+# ---------------------------------------------------------------------------
+
+_PRIMS = (ast.INT, ast.BOOL, ast.UNIT)
+
+
+def _promotable_field(decl: ast.FieldDecl) -> bool:
+    """Primitive or maybe-of-primitive fields only: their values are never
+    locations, so skipping ``write_field`` can never desynchronize the
+    stored reference counts ``if disconnected`` relies on (§5.2)."""
+    ty = decl.ty
+    if ty in _PRIMS:
+        return True
+    return isinstance(ty, ast.MaybeType) and ty.inner in _PRIMS
+
+
+_FIELD_DEFAULTS = {ast.INT: 0, ast.BOOL: False, ast.UNIT: UNIT}
+
+
+class Mem2VarPass(Pass):
+    """Promote primitive fields of non-escaping allocations to slots.
+
+    A candidate is a slot defined exactly once, by a ``new``, and used only
+    as the base of loads/stores — never stored into another object, passed
+    to a call, sent, returned, branched on, or compared by ``disc``.  Such
+    an object is unreachable from any other slot or heap object, so
+    nothing (including disconnect traversals in other parts of the heap)
+    can observe its fields; reads and writes of its primitive fields become
+    register moves.  The allocation itself stays, keeping object counts,
+    allocation telemetry, and reservation contents identical.
+    """
+
+    name = "mem2var"
+
+    def run(self, module: IRModule) -> None:
+        for fn in module.funcs.values():
+            self._function(module, fn)
+
+    @staticmethod
+    def _function(module: IRModule, fn: IRFunction) -> None:
+        def_count: Dict[int, int] = {}
+        new_defs: Dict[int, Instr] = {}
+        escaped: Set[int] = set()
+        for ins in fn.instructions():
+            if ins.dest is not None:
+                def_count[ins.dest] = def_count.get(ins.dest, 0) + 1
+                if ins.op == "new":
+                    new_defs[ins.dest] = ins
+            if ins.op == "load":
+                continue  # base use is fine
+            if ins.op == "asloc":
+                continue  # asserts the base is a location; nothing leaks
+            if ins.op == "store":
+                escaped.add(ins.args[2])  # the stored value escapes
+                continue  # base use is fine
+            for slot in instr_uses(ins):
+                escaped.add(slot)
+
+        for slot, new_ins in new_defs.items():
+            if def_count.get(slot) != 1 or slot in escaped:
+                continue
+            sdef = module.program.struct(new_ins.args[0])
+            promoted = {
+                decl.name: decl
+                for decl in sdef.fields
+                if _promotable_field(decl)
+            }
+            if not promoted:
+                continue
+            regs = {name: fn.new_slot() for name in promoted}
+            module.counters["fields_promoted"] += len(regs)
+            init_names, init_slots = new_ins.args[1], new_ins.args[2]
+            inits = dict(zip(init_names, init_slots))
+            seed: List[Instr] = []
+            for name, decl in promoted.items():
+                if name in inits:
+                    seed.append(Instr("mov", regs[name], inits[name]))
+                elif isinstance(decl.ty, ast.MaybeType):
+                    seed.append(Instr("const", regs[name], NONE))
+                else:
+                    seed.append(Instr("const", regs[name],
+                                      _FIELD_DEFAULTS[decl.ty]))
+            for block in fn.blocks:
+                out: List[Instr] = []
+                for ins in block.instrs:
+                    if ins is new_ins:
+                        out.append(ins)
+                        out.extend(seed)
+                        continue
+                    if (
+                        ins.op == "load"
+                        and ins.args[0] == slot
+                        and ins.args[1] in regs
+                    ):
+                        out.append(Instr("mov", ins.dest, regs[ins.args[1]]))
+                        module.counters["loads_eliminated"] += 1
+                        continue
+                    if (
+                        ins.op == "store"
+                        and ins.args[0] == slot
+                        and ins.args[1] in regs
+                    ):
+                        out.append(Instr("mov", regs[ins.args[1]],
+                                         ins.args[2]))
+                        continue
+                    out.append(ins)
+                block.instrs = out
+
+
+# ---------------------------------------------------------------------------
+# Constant pooling and destination sinking (dispatch-count reduction)
+# ---------------------------------------------------------------------------
+
+
+class ConstPoolPass(Pass):
+    """Move single-def constants into the frame prototype.
+
+    A ``const`` whose destination is defined exactly once always produces
+    the same value, so the value can live in a dedicated pool slot that the
+    frame prototype (``BytecodeFunc.blank``) pre-initializes — the
+    instruction then never executes at run time.  Constants inside loop
+    bodies stop costing one dispatch per iteration.  Multi-def slots
+    (surface variables reassigned to literals) are left alone.
+    """
+
+    name = "constpool"
+
+    def run(self, module: IRModule) -> None:
+        for fn in module.funcs.values():
+            module.counters["consts_pooled"] += self._function(fn)
+
+    @staticmethod
+    def _function(fn: IRFunction) -> int:
+        def_count: Dict[int, int] = {}
+        const_defs: Dict[int, Instr] = {}
+        for ins in fn.instructions():
+            if ins.dest is not None:
+                def_count[ins.dest] = def_count.get(ins.dest, 0) + 1
+                if ins.op == "const":
+                    const_defs[ins.dest] = ins
+        pool: Dict[Tuple[type, object], int] = {}
+        mapping: Dict[int, int] = {}
+        for slot, ins in const_defs.items():
+            if def_count[slot] != 1:
+                continue
+            value = ins.args[0]
+            # Key by type too: True == 1 but bool and int pool separately.
+            key = (value.__class__, value)
+            p = pool.get(key)
+            if p is None:
+                p = pool[key] = fn.new_slot()
+                fn.const_slots[p] = value
+            mapping[slot] = p
+        if not mapping:
+            return 0
+        for block in fn.blocks:
+            block.instrs = [
+                ins for ins in block.instrs
+                if not (ins.op == "const" and ins.dest in mapping)
+            ]
+            for ins in block.instrs:
+                rewrite_uses(ins, mapping)
+            if block.term is not None:
+                rewrite_uses(block.term, mapping)
+        return len(mapping)
+
+
+class SinkDestPass(Pass):
+    """Merge ``X %t, ...; mov %v, %t`` into ``X %v, ...``.
+
+    Lowering materializes every sub-expression into a fresh temporary and
+    then moves it into the surface variable's slot; when the temporary has
+    no other reader the move is pure dispatch overhead.  The producing
+    instruction writes its destination after reading its operands, so the
+    rewrite is safe even when ``%v`` appears among them.
+    """
+
+    name = "sinkdest"
+
+    def run(self, module: IRModule) -> None:
+        for fn in module.funcs.values():
+            while self._function(module, fn):
+                pass
+
+    @staticmethod
+    def _function(module: IRModule, fn: IRFunction) -> bool:
+        use_count: Dict[int, int] = {}
+        for ins in fn.instructions():
+            for slot in instr_uses(ins):
+                use_count[slot] = use_count.get(slot, 0) + 1
+        changed = False
+        for block in fn.blocks:
+            instrs = block.instrs
+            out: List[Instr] = []
+            i = 0
+            n = len(instrs)
+            while i < n:
+                ins = instrs[i]
+                if (
+                    i + 1 < n
+                    and ins.dest is not None
+                    and instrs[i + 1].op == "mov"
+                    and instrs[i + 1].args[0] == ins.dest
+                    and instrs[i + 1].dest != ins.dest
+                    and use_count.get(ins.dest, 0) == 1
+                ):
+                    ins.dest = instrs[i + 1].dest
+                    out.append(ins)
+                    module.counters["dests_sunk"] += 1
+                    changed = True
+                    i += 2
+                    continue
+                out.append(ins)
+                i += 1
+            block.instrs = out
+        return changed
+
+
+# ---------------------------------------------------------------------------
+# Dead code elimination
+# ---------------------------------------------------------------------------
+
+_PURE_OPS = ("const", "mov", "unop", "binop", "isnone", "issome")
+
+
+class DeadCodePass(Pass):
+    """Remove pure instructions whose result is never used (global slot
+    liveness).  Loads join the pure set only in the full tier — in the
+    observable tier every load is a trace event and a heap-read counter
+    tick, so it must execute."""
+
+    name = "dce"
+
+    def run(self, module: IRModule) -> None:
+        removable = _PURE_OPS + (("load",) if module.full else ())
+        for fn in module.funcs.values():
+            while self._sweep(fn, removable):
+                pass
+
+    @staticmethod
+    def _sweep(fn: IRFunction, removable: Tuple[str, ...]) -> bool:
+        _live_in, live_out = liveness(fn)
+        changed = False
+        for block in fn.blocks:
+            live = set(live_out[block.label])
+            if block.term is not None:
+                live.update(instr_uses(block.term))
+            kept: List[Instr] = []
+            for ins in reversed(block.instrs):
+                dest = ins.dest
+                if (
+                    dest is not None
+                    and dest not in live
+                    and ins.op in removable
+                ):
+                    changed = True
+                    continue
+                if dest is not None:
+                    live.discard(dest)
+                live.update(instr_uses(ins))
+                kept.append(ins)
+            kept.reverse()
+            block.instrs = kept
+        return changed

@@ -260,10 +260,16 @@ class StructDef:
     span: SourceSpan = field(default=SYNTHETIC_SPAN, repr=False, compare=False)
 
     def field_decl(self, name: str) -> FieldDecl:
-        for f in self.fields:
-            if f.name == name:
-                return f
-        raise KeyError(f"struct {self.name} has no field {name!r}")
+        try:
+            cache = self._decl_map
+        except AttributeError:
+            cache = self._decl_map = {f.name: f for f in self.fields}
+        try:
+            return cache[name]
+        except KeyError:
+            raise KeyError(
+                f"struct {self.name} has no field {name!r}"
+            ) from None
 
     def has_field(self, name: str) -> bool:
         return any(f.name == name for f in self.fields)

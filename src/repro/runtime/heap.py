@@ -42,6 +42,41 @@ class HeapError(Exception):
     """Access to a missing location (a runtime bug, not a data race)."""
 
 
+#: Alloc-plan markers: a non-nullable same-struct field defaults to a self
+#: reference; any other struct-typed field has no default.
+_SELF_REF = object()
+_REQUIRED = object()
+
+
+def _alloc_plan(sdef: ast.StructDef):
+    """Per-struct allocation plan ``(name, default, is_iso)`` cached on the
+    struct definition, so :meth:`Heap.alloc` does not re-derive defaults
+    from the declarations on every allocation."""
+    try:
+        return sdef._alloc_plan  # type: ignore[attr-defined]
+    except AttributeError:
+        plan = []
+        for decl in sdef.fields:
+            if isinstance(decl.ty, ast.MaybeType):
+                default = NONE
+            elif decl.ty == ast.INT:
+                default = 0
+            elif decl.ty == ast.BOOL:
+                default = False
+            elif decl.ty == ast.UNIT:
+                default = UNIT
+            elif (
+                isinstance(decl.ty, ast.StructType)
+                and decl.ty.name == sdef.name
+            ):
+                default = _SELF_REF
+            else:
+                default = _REQUIRED
+            plan.append((decl.name, default, decl.is_iso))
+        sdef._alloc_plan = plan  # type: ignore[attr-defined]
+        return plan
+
+
 class Heap:
     """The shared heap of a (possibly concurrent) machine configuration.
 
@@ -83,26 +118,20 @@ class Heap:
         fields: Dict[str, RuntimeValue] = {}
         obj = HeapObject(sdef, fields)
         self._objects[loc] = obj
-        for decl in sdef.fields:
-            if decl.name in inits:
-                value: RuntimeValue = inits[decl.name]
-            elif isinstance(decl.ty, ast.MaybeType):
-                value = NONE
-            elif decl.ty == ast.INT:
-                value = 0
-            elif decl.ty == ast.BOOL:
-                value = False
-            elif decl.ty == ast.UNIT:
-                value = UNIT
-            elif isinstance(decl.ty, ast.StructType) and decl.ty.name == sdef.name:
-                value = loc  # self reference
-            else:
+        for decl_name, default, is_iso in _alloc_plan(sdef):
+            if decl_name in inits:
+                value: RuntimeValue = inits[decl_name]
+            elif default is _SELF_REF:
+                value = loc
+            elif default is _REQUIRED:
                 raise HeapError(
-                    f"field {sdef.name}.{decl.name} has no default and no "
+                    f"field {sdef.name}.{decl_name} has no default and no "
                     "initializer"
                 )
-            fields[decl.name] = value
-            if not decl.is_iso and is_loc(value):
+            else:
+                value = default
+            fields[decl_name] = value
+            if not is_iso and type(value) is Loc:
                 self.obj(value).stored_refcount += 1
         if self.tracer is not None:
             self.tracer.record(

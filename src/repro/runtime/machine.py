@@ -574,12 +574,16 @@ class Machine:
         seed: Optional[int] = None,
         scheduler: Optional[Scheduler] = None,
         tracer: Optional[Tracer] = None,
+        engine: str = "tree",
     ):
+        if engine not in ("tree", "ir"):
+            raise ValueError(f"unknown engine {engine!r}; expected 'tree' or 'ir'")
         self.program = program
         self.heap = Heap(tracer=tracer)
         self.check_reservations = check_reservations
         self.disconnect = disconnect
         self.preemptive = preemptive
+        self.engine = engine
         self.seed = seed
         self.scheduler = scheduler if scheduler is not None else RandomScheduler(seed)
         self.threads: List[Thread] = []
@@ -593,7 +597,8 @@ class Machine:
         self.starvation_max_wait = 0
 
     def spawn(self, func: str, args: Iterable[RuntimeValue] = ()) -> Thread:
-        interp = Interpreter(
+        interp = _make_engine(
+            self.engine,
             self.program,
             self.heap,
             reservation=set(),
@@ -749,8 +754,49 @@ class Machine:
 
 
 # ---------------------------------------------------------------------------
-# Single-threaded convenience
+# Engine selection and single-threaded convenience
 # ---------------------------------------------------------------------------
+
+
+def _make_engine(
+    engine: str,
+    program: ast.Program,
+    heap: Heap,
+    reservation: Set[Loc],
+    check_reservations: bool,
+    disconnect: str,
+    preemptive: bool,
+    max_steps: Optional[int] = None,
+):
+    """Construct the evaluation engine for one thread.
+
+    ``tree`` is this module's recursive-generator :class:`Interpreter`;
+    ``ir`` compiles the program to bytecode and runs it on
+    :class:`repro.ir.engine.IREngine` (same generator protocol, same
+    exceptions, same trace events).
+    """
+    if engine == "tree":
+        return Interpreter(
+            program,
+            heap,
+            reservation,
+            check_reservations=check_reservations,
+            disconnect=disconnect,
+            preemptive=preemptive,
+        )
+    if engine == "ir":
+        from ..ir.engine import IREngine
+
+        return IREngine(
+            program,
+            heap,
+            reservation,
+            check_reservations=check_reservations,
+            disconnect=disconnect,
+            preemptive=preemptive,
+            max_steps=max_steps,
+        )
+    raise ValueError(f"unknown engine {engine!r}; expected 'tree' or 'ir'")
 
 
 def run_function(
@@ -764,6 +810,7 @@ def run_function(
     sink_sends: bool = False,
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
+    engine: str = "tree",
 ) -> Tuple[RuntimeValue, Interpreter]:
     """Run a function to completion on a single thread.
 
@@ -777,22 +824,30 @@ def run_function(
     (``machine.seed``) so single- and multi-threaded reproduction
     instructions carry the same fields.
 
+    ``engine`` selects the evaluator: the tree-walking interpreter
+    (default) or the compiled bytecode engine (``"ir"``).  The IR engine
+    enforces ``max_steps`` inside its dispatch loop, so it needs no
+    preemptive yielding for budgets.
+
     Returns (result, interpreter) so callers can inspect the heap,
     reservation, and statistics.
     """
     heap = heap if heap is not None else Heap()
     if reservation is None:
         reservation = set(heap.locations())
-    # A step budget needs the interpreter to yield control per evaluation
-    # step; without one the generator only surfaces at send/recv, exactly
-    # as before (so budget-free runs are bit-for-bit unchanged).
-    interp = Interpreter(
+    # A step budget needs the tree interpreter to yield control per
+    # evaluation step; without one the generator only surfaces at
+    # send/recv, exactly as before (so budget-free runs are bit-for-bit
+    # unchanged).  The IR engine checks its budget internally instead.
+    interp = _make_engine(
+        engine,
         program,
         heap,
         reservation,
         check_reservations=check_reservations,
         disconnect=disconnect,
-        preemptive=max_steps is not None,
+        preemptive=max_steps is not None and engine == "tree",
+        max_steps=max_steps,
     )
     gen = interp.call(name, args)
     tel = _telemetry()

@@ -22,6 +22,12 @@ class Loc:
     def __str__(self) -> str:
         return f"ℓ{self.ident}"
 
+    def __hash__(self) -> int:
+        # Heap dict lookups key on Loc; hashing the ident directly is
+        # equality-compatible and much cheaper than the generated
+        # tuple-of-fields hash.
+        return self.ident
+
 
 class _Unit:
     _instance = None

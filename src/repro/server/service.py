@@ -167,6 +167,11 @@ class Service:
         ):
             raise RpcError(E_INVALID, "params.args must be a list of ints/bools")
         erased = bool(params.get("erased", False))
+        engine = params.get("engine", "tree")
+        if engine not in ("tree", "ir"):
+            raise RpcError(
+                E_INVALID, "params.engine must be 'tree' or 'ir'"
+            )
         budget = params.get("max_steps")
         if budget is not None and (not isinstance(budget, int) or budget <= 0):
             raise RpcError(E_INVALID, "params.max_steps must be a positive int")
@@ -182,6 +187,7 @@ class Service:
                     filename=filename,
                     erased=erased,
                     max_steps=max_steps,
+                    engine=engine,
                     session=session,
                 )
         else:
@@ -192,6 +198,7 @@ class Service:
                 filename=filename,
                 erased=erased,
                 max_steps=max_steps,
+                engine=engine,
             )
         return result.to_dict()
 

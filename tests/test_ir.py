@@ -1,0 +1,302 @@
+"""The bytecode engine (``--engine ir``): compile pipeline and parity.
+
+The IR engine must be observationally indistinguishable from the tree
+interpreter: identical results, byte-identical heap-event traces, and the
+same reservation-check counts in the observable tier, over the whole
+corpus and under concurrent scheduling.  The full optimization tier
+(erased, untraced) may read the heap less often but must agree on results
+and on the shape of the final heap.  Budgets (``max_steps``) are enforced
+inside the dispatch loop itself.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.bench import bench_ir
+from repro.cli import main
+from repro.corpus import corpus_names, load_source
+from repro.fuzz import FuzzConfig, run_campaign
+from repro.ir.bytecode import OP_CHECK, OP_SENDC, compile_program
+from repro.lang import ast, parse_program
+from repro.runtime.heap import Heap
+from repro.runtime.machine import (
+    Machine,
+    ScriptedScheduler,
+    StepLimitExceeded,
+    run_function,
+)
+from repro.runtime.trace import Tracer
+from repro.server import Service
+from repro.server.protocol import RpcError
+
+CORPUS = Path(__file__).parent.parent / "src" / "repro" / "corpus"
+
+PINGPONG = """
+struct data { v : int; }
+struct token { iso payload : data; }
+
+def pinger(n : int) : int {
+  let last = 0;
+  while (n > 0) {
+    let d = new data(v = n);
+    let t = new token(payload = d);
+    send(t);
+    let back = recv(data);
+    last = back.v;
+    n = n - 1
+  };
+  last
+}
+
+def ponger(n : int) : unit {
+  while (n > 0) {
+    let t = recv(token);
+    let d = t.payload;
+    d.v = d.v * 2;
+    t.payload = new data(v = 0);
+    send(d);
+    n = n - 1
+  }
+}
+"""
+
+SPIN = """
+struct counter { n : int; }
+def spin(k : int) : int {
+  let c = new counter(n = 0);
+  while (k > 0) {
+    c.n = c.n + 1;
+    k = k - 1
+  };
+  c.n
+}
+"""
+
+LOOP = """
+def forever() : int {
+  let x = 0;
+  while (x < 1) { x = 0 };
+  x
+}
+"""
+
+
+def _int_entry_points(program):
+    """Every function callable with small int arguments on one thread
+    (``recv`` needs a Machine, so receiving functions are skipped)."""
+    for name, fdef in program.funcs.items():
+        if any(isinstance(node, ast.Recv) for node in ast.walk(fdef.body)):
+            continue
+        if all(p.ty == ast.INT for p in fdef.params):
+            yield name, [4] * len(fdef.params)
+
+
+def _run(program, fname, args, *, engine, checked, traced):
+    tracer = Tracer() if traced else None
+    heap = Heap(tracer=tracer)
+    result, interp = run_function(
+        program, fname, list(args), heap=heap,
+        check_reservations=checked, sink_sends=True,
+        max_steps=200_000, engine=engine,
+    )
+    return result, interp, heap, tracer
+
+
+class TestCorpusParity:
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_traced_runs_are_byte_identical(self, name):
+        """Observable tier: same results, traces, and check counts."""
+        program = parse_program(load_source(name))
+        ran = 0
+        for fname, args in _int_entry_points(program):
+            tree = _run(program, fname, args, engine="tree", checked=True,
+                        traced=True)
+            ir = _run(program, fname, args, engine="ir", checked=True,
+                      traced=True)
+            assert repr(tree[0]) == repr(ir[0]), fname
+            assert tree[1].stats.reservation_checks == \
+                ir[1].stats.reservation_checks, fname
+            tree_bytes = json.dumps(list(tree[3].to_dicts()), sort_keys=True)
+            ir_bytes = json.dumps(list(ir[3].to_dicts()), sort_keys=True)
+            assert tree_bytes == ir_bytes, fname
+            ran += 1
+        assert ran > 0
+
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_erased_full_tier_agrees_on_results(self, name):
+        """Full tier (RLE + mem2var live): results and heap shape match."""
+        program = parse_program(load_source(name))
+        for fname, args in _int_entry_points(program):
+            tree = _run(program, fname, args, engine="tree", checked=False,
+                        traced=False)
+            ir = _run(program, fname, args, engine="ir", checked=False,
+                      traced=False)
+            assert repr(tree[0]) == repr(ir[0]), fname
+            assert len(tree[2]) == len(ir[2]), fname
+
+
+class TestBudgets:
+    def test_step_limit_inside_dispatch_loop(self):
+        program = parse_program(LOOP)
+        with pytest.raises(StepLimitExceeded, match="step budget exceeded"):
+            run_function(program, "forever", [], max_steps=1000, engine="ir")
+
+    def test_step_limit_on_finite_work(self):
+        program = parse_program(load_source("sll"))
+        with pytest.raises(StepLimitExceeded):
+            run_function(program, "make_list", [50], max_steps=10,
+                         engine="ir", check_reservations=False)
+        result, _ = run_function(program, "make_list", [50],
+                                 max_steps=1_000_000, engine="ir",
+                                 check_reservations=False)
+        assert result is not None
+
+
+class TestConcurrency:
+    def test_scripted_replay_is_deterministic(self):
+        program = parse_program(PINGPONG)
+        results = []
+        for _ in range(2):
+            machine = Machine(program, scheduler=ScriptedScheduler(),
+                              engine="ir")
+            pinger = machine.spawn("pinger", [5])
+            machine.spawn("ponger", [5])
+            machine.run()
+            results.append(pinger.result)
+        assert results[0] == results[1] == 2
+
+    def test_traced_machines_agree_across_engines(self):
+        """Heap-event traces are yield-granularity-independent, so traced
+        runs byte-match between engines under the same seed."""
+        traces = {}
+        for engine in ("tree", "ir"):
+            tracer = Tracer()
+            program = parse_program(PINGPONG)
+            machine = Machine(program, seed=3, tracer=tracer, engine=engine)
+            machine.spawn("pinger", [4])
+            machine.spawn("ponger", [4])
+            machine.run()
+            traces[engine] = json.dumps(list(tracer.to_dicts()),
+                                        sort_keys=True)
+        assert traces["tree"] == traces["ir"]
+
+
+class TestCompiler:
+    def test_erased_module_contains_no_check_opcodes(self):
+        program = parse_program(load_source("rbtree"))
+        erased = compile_program(program, checked=False, observable=False)
+        opcodes = {
+            ins[0] for fn in erased.funcs.values() for ins in fn.code
+        }
+        assert OP_CHECK not in opcodes
+        assert OP_SENDC not in opcodes
+        assert erased.counters["checks_erased"] > 0
+
+    def test_checked_module_keeps_guards(self):
+        program = parse_program(load_source("rbtree"))
+        checked = compile_program(program, checked=True, observable=True)
+        opcodes = {
+            ins[0] for fn in checked.funcs.values() for ins in fn.code
+        }
+        assert OP_CHECK in opcodes
+        assert checked.counters["checks_erased"] == 0
+
+    def test_optimizer_counters_fire_on_rbtree(self):
+        program = parse_program(load_source("rbtree"))
+        module = compile_program(program, checked=False, observable=False)
+        for counter in ("inlined_calls", "loads_eliminated",
+                        "consts_pooled", "dests_sunk",
+                        "instructions_emitted"):
+            assert module.counters[counter] > 0, counter
+
+    def test_mem2var_promotes_non_escaping_allocation(self):
+        program = parse_program(SPIN)
+        module = compile_program(program, checked=False, observable=False)
+        assert module.counters["fields_promoted"] == 1
+        assert module.counters["loads_eliminated"] > 0
+        # The allocation itself stays: object counts must not change.
+        tree = _run(program, "spin", [10], engine="tree", checked=False,
+                    traced=False)
+        ir = _run(program, "spin", [10], engine="ir", checked=False,
+                  traced=False)
+        assert tree[0] == ir[0] == 10
+        assert len(tree[2]) == len(ir[2]) == 1
+
+    def test_compile_cache_is_per_configuration(self):
+        program = parse_program(SPIN)
+        a = compile_program(program, checked=False, observable=False)
+        b = compile_program(program, checked=False, observable=False)
+        c = compile_program(program, checked=True, observable=True)
+        assert a is b
+        assert a is not c
+
+
+class TestSurfaces:
+    def test_api_run_engine_roundtrip(self):
+        result = api.run(SPIN, "spin", [7], engine="ir")
+        assert result.ok and result.value == "7"
+        assert result.engine == "ir"
+        restored = api.RunResult.from_dict(result.to_dict())
+        assert restored.engine == "ir"
+        # Documents written before the field existed default to tree.
+        legacy = dict(result.to_dict())
+        del legacy["engine"]
+        assert api.RunResult.from_dict(legacy).engine == "tree"
+
+    def test_api_rejects_unknown_engine(self):
+        result = api.run(SPIN, "spin", [7], engine="jit")
+        assert not result.ok
+        assert result.diagnostics[0].code == "MachineError"
+        assert "unknown engine" in result.diagnostics[0].message
+
+    def test_service_run_engine(self):
+        service = Service()
+        reply = service.run(
+            {"source": SPIN, "function": "spin", "args": [6], "engine": "ir"}
+        )
+        assert reply["ok"] and reply["value"] == "6"
+        assert reply["engine"] == "ir"
+        with pytest.raises(RpcError, match="params.engine"):
+            service.run(
+                {"source": SPIN, "function": "spin", "args": [6],
+                 "engine": "jit"}
+            )
+
+    def test_cli_trace_json_byte_identical_across_engines(self, tmp_path):
+        sll = str(CORPUS / "sll.fcl")
+        out = {}
+        for engine in ("tree", "ir"):
+            path = tmp_path / f"{engine}.jsonl"
+            code = main(["run", sll, "make_list", "8",
+                         "--engine", engine, "--trace-json", str(path)])
+            assert code == 0
+            out[engine] = path.read_bytes()
+        assert out["tree"] == out["ir"]
+
+    def test_cli_paranoid_ir_cross_checks_tree(self, capsys):
+        rb = str(CORPUS / "rbtree.fcl")
+        code = main(["run", rb, "build_tree", "25", "7",
+                     "--engine", "ir", "--paranoid"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "traces identical" in err
+
+    def test_fuzz_campaign_reports_engines(self):
+        report = run_campaign(FuzzConfig(seed=11, budget=8))
+        assert report["engines"] == ["tree", "ir"]
+        assert report["clean"]
+
+    def test_bench_ir_smoke(self):
+        rows = bench_ir(repeats=1, small=True)
+        assert [row["workload"] for row in rows] == [
+            "rbtree-build", "rbtree-query", "chain-traverse",
+        ]
+        for row in rows:
+            for key in ("tree_checked_ms", "tree_erased_ms",
+                        "ir_checked_ms", "ir_erased_ms", "compile_ms"):
+                assert row[key] > 0, key
+            assert row["checks_erased"] > 0
+            assert row["instructions_emitted"] > 0
