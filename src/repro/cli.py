@@ -626,6 +626,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.against and not args.compare:
         print("error: --against requires --compare OLD.json", file=sys.stderr)
         return int(ExitCode.USAGE)
+    if args.serve_load:
+        from . import bench_serve
+
+        doc = {
+            "schema": bench.SCHEMA,
+            "label": "PR8",
+            "serve_load": bench_serve.bench_serve_load(small=args.small),
+        }
+        print(bench_serve.render_serve_load(doc["serve_load"]))
+        if args.json:
+            try:
+                Path(args.json).write_text(json.dumps(doc, indent=1) + "\n")
+            except OSError as exc:
+                print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+                return 1
+            print(f"wrote bench report to {args.json}", file=sys.stderr)
+        return 0
     if args.compare:
         try:
             old = json.loads(Path(args.compare).read_text())
@@ -802,6 +819,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if args.trust_cache and not args.cache:
         raise _usage("--trust-cache requires --cache DIR")
+    if (args.cache_entries or args.cache_bytes) and not args.cache:
+        raise _usage("--cache-entries/--cache-bytes require --cache DIR")
+    if args.workers < 0:
+        raise _usage("--workers wants a non-negative count")
     host: Optional[str] = None
     port = 0
     if args.tcp:
@@ -814,6 +835,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host, port = spec
     elif not args.unix:
         host, port = "127.0.0.1", 7621  # default listen address
+    http_host: Optional[str] = None
+    http_port = 0
+    if args.http:
+        try:
+            http_spec = parse_address(args.http)
+        except ClientError as exc:
+            raise _usage(str(exc))
+        if not isinstance(http_spec, tuple):
+            raise _usage("--http wants HOST:PORT")
+        http_host, http_port = http_spec
     telemetry.enable()
     if args.trace_buffer > 0:
         # Event tracing rides in a bounded ring buffer (constant memory
@@ -841,16 +872,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_frame=(
             args.max_frame if args.max_frame is not None else MAX_FRAME_BYTES
         ),
-        workers=args.workers,
+        workers=args.threads,
+        http_host=http_host,
+        http_port=http_port,
     )
-    service = Service(
-        cache_dir=args.cache,
-        trust_cache=args.trust_cache,
-        max_steps=(
-            args.max_steps if args.max_steps is not None else DEFAULT_MAX_STEPS
-        ),
+    max_steps = (
+        args.max_steps if args.max_steps is not None else DEFAULT_MAX_STEPS
     )
-    server = Server(service=service, config=config)
+    if args.workers > 0:
+        from .server.fleet import FleetConfig, FleetServer
+
+        server: Server = FleetServer(
+            fleet_config=FleetConfig(
+                workers=args.workers,
+                cache_dir=args.cache,
+                trust_cache=args.trust_cache,
+                cache_entries=args.cache_entries,
+                cache_bytes=args.cache_bytes,
+                max_steps=max_steps,
+            ),
+            config=config,
+        )
+    else:
+        service = Service(
+            cache_dir=args.cache,
+            trust_cache=args.trust_cache,
+            max_steps=max_steps,
+            cache_entries=args.cache_entries,
+            cache_bytes=args.cache_bytes,
+        )
+        server = Server(service=service, config=config)
 
     async def _serve() -> None:
         await server.start()
@@ -859,7 +910,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
             listening.append(f"tcp {server.tcp_address[0]}:{server.tcp_address[1]}")
         if server.unix_path is not None:
             listening.append(f"unix {server.unix_path}")
-        print(f"repro serve: listening on {', '.join(listening)}", file=sys.stderr)
+        if server.http_address is not None:
+            listening.append(
+                f"http {server.http_address[0]}:{server.http_address[1]}"
+            )
+        mode = (
+            f"{args.workers} worker processes"
+            if args.workers > 0
+            else f"{args.threads} threads"
+        )
+        print(
+            f"repro serve: listening on {', '.join(listening)} ({mode})",
+            file=sys.stderr,
+        )
         sys.stderr.flush()
         await server.serve_forever(install_signals=True)
 
@@ -1324,6 +1387,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="smaller corpus/chains/widths (CI smoke mode)",
     )
     p.add_argument(
+        "--serve-load",
+        action="store_true",
+        dest="serve_load",
+        help="run the serve-fleet load harness instead (concurrent "
+        "clients vs single-process / fleet; overload, drain, shared "
+        "cache phases)",
+    )
+    p.add_argument(
         "--compare",
         metavar="OLD.json",
         default=None,
@@ -1477,9 +1548,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers",
         type=int,
+        default=0,
+        metavar="N",
+        help="pre-forked worker processes sharing one certificate "
+        "store (0 = single-process mode on a thread pool; see "
+        "--threads)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
         default=8,
         metavar="N",
-        help="worker threads executing requests (default 8)",
+        help="worker threads executing requests in single-process "
+        "mode (default 8; ignored with --workers)",
+    )
+    p.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="also serve an HTTP/JSON gateway (POST /v1/check|verify|"
+        "run) on this address; same admission limits as the socket",
+    )
+    p.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="certificate-store entry cap; least-recently-used "
+        "entries are evicted past it (default unlimited)",
+    )
+    p.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="certificate-store size cap in bytes (default unlimited)",
     )
     p.add_argument(
         "--max-frame",

@@ -53,18 +53,39 @@ class RemoteError(ClientError):
 
 
 def parse_address(spec: str) -> Address:
-    """``unix:PATH`` / ``PATH-with-slash`` / ``HOST:PORT`` / ``:PORT``."""
+    """``unix:PATH`` / ``PATH-with-slash`` / ``HOST:PORT`` / ``:PORT`` /
+    ``[IPV6]:PORT``.
+
+    Bracketed IPv6 specs (``[::1]:7621``) follow RFC 3986 host syntax:
+    the brackets delimit the host (whose colons would otherwise be
+    ambiguous with the port separator) and are stripped from the
+    returned host.  Bare IPv6 (``::1:7621``) also parses — the last
+    colon wins — but is ambiguous; prefer brackets.
+    """
     if spec.startswith("unix:"):
         return spec[len("unix:"):]
     if "/" in spec:
         return spec
+    bad = ClientError(
+        f"bad address {spec!r} (want HOST:PORT, [IPV6]:PORT, or unix:PATH)"
+    )
+    if spec.startswith("["):
+        # [IPV6]:PORT — rpartition(":") alone would keep the brackets in
+        # the host, which no resolver accepts.
+        host, bracket, port = spec.rpartition("]:")
+        if not bracket or not host.startswith("["):
+            raise bad
+        try:
+            return (host[1:], int(port))
+        except ValueError:
+            raise bad
     if ":" in spec:
         host, _, port = spec.rpartition(":")
         try:
             return (host or "127.0.0.1", int(port))
         except ValueError:
-            raise ClientError(f"bad address {spec!r} (want HOST:PORT or unix:PATH)")
-    raise ClientError(f"bad address {spec!r} (want HOST:PORT or unix:PATH)")
+            raise bad
+    raise bad
 
 
 class Client:
@@ -74,17 +95,23 @@ class Client:
         self.address = parse_address(address) if isinstance(address, str) else address
         self.timeout = timeout
         self._ids = itertools.count(1)
+        sock: Optional[socket.socket] = None
         try:
             if isinstance(self.address, str):
-                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                self._sock.settimeout(timeout)
-                self._sock.connect(self.address)
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(timeout)
+                sock.connect(self.address)
             else:
-                self._sock = socket.create_connection(
-                    self.address, timeout=timeout
-                )
+                sock = socket.create_connection(self.address, timeout=timeout)
         except OSError as exc:
+            # A failed connect must not leak the file descriptor (the
+            # AF_UNIX socket exists before connect; create_connection
+            # closes its own attempts but not on e.g. getaddrinfo
+            # KeyboardInterrupt paths).
+            if sock is not None:
+                sock.close()
             raise ClientError(f"cannot connect to {self.address}: {exc}")
+        self._sock = sock
         self._file = self._sock.makefile("rb")
 
     # ------------------------------------------------------------------

@@ -28,9 +28,33 @@ Invalidation falls out of the key recipe:
   checker are additionally ignored as stale even if a key matches
   (defense in depth against hand-edited or migrated cache directories).
 
-Entries live one-per-file under ``<root>/<key[:2]>/<key>.json`` and are
-written atomically (temp file + ``os.replace``), so concurrent pipelines
+Entries live one-per-file under ``<root>/<key[:2]>/<key>.json`` (256
+hash shards) and are written atomically (temp file + ``os.replace``), so
+concurrent pipelines — and the PR-8 serve fleet's worker processes —
 sharing a cache directory can only ever observe whole entries.
+
+**Eviction.**  With ``max_entries``/``max_bytes`` caps set, the store is
+a disk LRU: every hit touches the entry file's mtime (``os.utime`` — one
+atomic syscall, no lock needed across processes), and every ``put``
+re-scans the shards and unlinks oldest-mtime entries until the store is
+back under its caps.  Certificates are immutable and content-addressed,
+so eviction can never lose information — a re-derivation re-creates the
+identical entry — which is what makes a shared store safe to cap.
+Racing evictors are harmless: ``unlink`` of an already-evicted entry is
+ignored.
+
+**Hygiene.**  A writer killed between ``mkstemp`` and ``os.replace``
+leaves a ``.<key>.tmp`` file behind; those are swept on store open and
+during eviction scans once they are older than ``tmp_ttl_s`` (young tmp
+files may be in-flight writes of a live sibling process and are left
+alone).  ``len(cache)`` counts only entries the running checker version
+would actually serve.
+
+**Telemetry** (ambient registry, or one injected via ``registry=``):
+``cache.hits`` / ``cache.misses`` / ``cache.stale`` counters,
+``cache.evictions`` / ``cache.tmp_swept`` counters, ``cache.bytes`` /
+``cache.entries`` gauges refreshed at each eviction scan, and
+``cache.get_ms`` / ``cache.put_ms`` latency histograms.
 """
 
 from __future__ import annotations
@@ -39,10 +63,12 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry as tel
 from ..core.checker import CHECKER_VERSION, CheckProfile, DEFAULT_PROFILE
 from ..lang import ast
 from ..lang.pretty import pretty_func, pretty_func_header, pretty_struct
@@ -137,11 +163,36 @@ class CacheEntry:
     version: str = CHECKER_VERSION
 
 
-class CertCache:
-    """Directory-backed content-addressed store of derivation certificates."""
+_STATUS_COUNTERS = {
+    "hit": "cache.hits",
+    "miss": "cache.misses",
+    "stale": "cache.stale",
+}
 
-    def __init__(self, root) -> None:
+
+class CertCache:
+    """Directory-backed content-addressed store of derivation
+    certificates, optionally capped with sharded LRU eviction (see the
+    module docstring for the eviction and hygiene contracts)."""
+
+    def __init__(
+        self,
+        root,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        tmp_ttl_s: float = 300.0,
+        registry: Optional[tel.Registry] = None,
+    ) -> None:
         self.root = Path(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.tmp_ttl_s = tmp_ttl_s
+        self._registry = registry
+        if self.root.is_dir():
+            self._sweep_tmp()
+
+    def _reg(self) -> tel.Registry:
+        return self._registry if self._registry is not None else tel.registry()
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -150,7 +201,17 @@ class CertCache:
         """Look up one key.  Returns ``(status, entry)`` where status is
         ``"hit"``, ``"miss"`` (no entry), or ``"stale"`` (an entry exists
         but is unreadable, malformed, or carries a different checker
-        version tag — it is ignored and will be overwritten)."""
+        version tag — it is ignored and will be overwritten).  A hit
+        touches the entry's mtime so eviction sees it as recently used."""
+        t0 = time.perf_counter()
+        status, entry = self._get(key)
+        reg = self._reg()
+        if reg.enabled:
+            reg.inc(_STATUS_COUNTERS[status])
+            reg.observe("cache.get_ms", (time.perf_counter() - t0) * 1000.0)
+        return status, entry
+
+    def _get(self, key: str) -> Tuple[str, Optional[CacheEntry]]:
         path = self.path_for(key)
         try:
             raw = path.read_text()
@@ -172,9 +233,14 @@ class CertCache:
             )
         except (ValueError, KeyError, TypeError):
             return "stale", None
+        try:
+            os.utime(path, None)  # LRU touch; atomic, racing evictors ok
+        except OSError:
+            pass  # evicted between read and touch — the entry was served
         return "hit", entry
 
     def put(self, key: str, entry: CacheEntry) -> None:
+        t0 = time.perf_counter()
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(
@@ -200,8 +266,104 @@ class CertCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is not None or self.max_bytes is not None:
+            self._evict()
+        reg = self._reg()
+        if reg.enabled:
+            reg.observe("cache.put_ms", (time.perf_counter() - t0) * 1000.0)
+
+    # ------------------------------------------------------------------
+    # Eviction and hygiene
+    # ------------------------------------------------------------------
+
+    def _scan(self) -> List[Tuple[float, int, Path]]:
+        """``(mtime, size, path)`` of every entry, oldest first; sweeps
+        expired tmp litter as a side effect of walking the shards."""
+        entries: List[Tuple[float, int, Path]] = []
+        cutoff = time.time() - self.tmp_ttl_s
+        swept = 0
+        if not self.root.is_dir():
+            return entries
+        for shard in self.root.iterdir():
+            if not shard.is_dir():
+                continue
+            try:
+                listing = list(os.scandir(shard))
+            except OSError:
+                continue
+            for item in listing:
+                try:
+                    stat = item.stat()
+                except OSError:
+                    continue  # raced with an evictor/writer
+                if item.name.endswith(".json"):
+                    entries.append((stat.st_mtime, stat.st_size, Path(item.path)))
+                elif item.name.endswith(".tmp") and stat.st_mtime < cutoff:
+                    try:
+                        os.unlink(item.path)
+                        swept += 1
+                    except OSError:
+                        pass
+        if swept:
+            reg = self._reg()
+            if reg.enabled:
+                reg.inc("cache.tmp_swept", swept)
+        entries.sort(key=lambda e: e[0])
+        return entries
+
+    def _sweep_tmp(self) -> None:
+        """Unlink orphaned ``.tmp`` files older than ``tmp_ttl_s`` — the
+        litter of writers killed between ``mkstemp`` and ``os.replace``."""
+        self._scan()
+
+    def _evict(self) -> None:
+        entries = self._scan()
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        index = 0
+        while index < count and (
+            (self.max_entries is not None and count - evicted > self.max_entries)
+            or (self.max_bytes is not None and total > self.max_bytes)
+        ):
+            _, size, path = entries[index]
+            index += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # a racing evictor won; sizes already corrected
+            evicted += 1
+            total -= size
+        reg = self._reg()
+        if reg.enabled:
+            if evicted:
+                reg.inc("cache.evictions", evicted)
+            reg.set_gauge("cache.entries", count - evicted)
+            reg.set_gauge("cache.bytes", total)
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Current footprint: ``{"entries": n, "bytes": b}`` (all entries,
+        including stale-versioned ones still occupying space)."""
+        entries = self._scan()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+        }
 
     def __len__(self) -> int:
+        """Entries this store would actually serve: stale-versioned or
+        malformed files still on disk are excluded."""
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        count = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                data = json.loads(path.read_text())
+                if (
+                    data["schema"] == ENTRY_SCHEMA
+                    and data["version"] == CHECKER_VERSION
+                ):
+                    count += 1
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return count

@@ -156,9 +156,17 @@ class Pipeline:
         trust_cache: bool = False,
         verify: bool = True,
         profile: CheckProfile = DEFAULT_PROFILE,
+        cache_entries: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
     ):
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
-        self.cache = CertCache(cache_dir) if cache_dir else None
+        self.cache = (
+            CertCache(
+                cache_dir, max_entries=cache_entries, max_bytes=cache_bytes
+            )
+            if cache_dir
+            else None
+        )
         self.trust_cache = trust_cache
         self.verify = verify
         self.profile = profile

@@ -7,6 +7,8 @@ for the wire schema and README for the quickstart.
 """
 
 from .daemon import Server, ServerConfig, ServerThread
+from .fleet import FleetConfig, FleetServer, FleetThread
+from .gateway import GatewayConfig, HttpGateway
 from .protocol import (
     DEFAULT_MAX_QUEUE,
     DEFAULT_MAX_STEPS,
@@ -26,6 +28,11 @@ __all__ = [
     "METHODS",
     "RPC_SCHEMA",
     "RpcError",
+    "FleetConfig",
+    "FleetServer",
+    "FleetThread",
+    "GatewayConfig",
+    "HttpGateway",
     "Server",
     "ServerConfig",
     "ServerThread",

@@ -78,6 +78,8 @@ class ServerConfig:
     max_frame: int = MAX_FRAME_BYTES
     workers: int = 8
     drain_grace_s: float = 10.0
+    http_host: Optional[str] = None  # None disables the HTTP gateway
+    http_port: int = 0  # 0 = ephemeral
 
 
 class Server:
@@ -94,6 +96,7 @@ class Server:
             raise ValueError("server needs a TCP host or a unix socket path")
         self.tcp_address: Optional[Tuple[str, int]] = None
         self.unix_path: Optional[str] = None
+        self.http_address: Optional[Tuple[str, int]] = None
         # Shared with the Service: the process-global registry under
         # `repro serve`, a private always-enabled one otherwise.  The
         # registry is thread-safe, so no shadow dict is needed for stats.
@@ -131,6 +134,17 @@ class Server:
             server = await asyncio.start_unix_server(self._client_loop, path)
             self.unix_path = path
             self._servers.append(server)
+        if self.config.http_host is not None:
+            from .gateway import GatewayConfig, HttpGateway
+
+            gateway = HttpGateway(
+                self,
+                GatewayConfig(
+                    host=self.config.http_host, port=self.config.http_port
+                ),
+            )
+            self._servers.append(await gateway.start())
+            self.http_address = gateway.address
 
     def request_drain(self) -> None:
         """Begin a graceful shutdown; safe to call from signal handlers
@@ -249,10 +263,10 @@ class Server:
             return encode_response(request_id, self.service.ping())
         if method == "stats":
             self._count("server.requests.stats.ok")
-            return encode_response(request_id, self._stats())
+            return encode_response(request_id, await self.stats_doc())
         if method == "metrics":
             self._count("server.requests.metrics.ok")
-            return encode_response(request_id, tel.registry_to_doc(self.registry))
+            return encode_response(request_id, await self.metrics_doc())
         if method == "trace":
             self._count("server.requests.trace.ok")
             tr = tel.tracer()
@@ -271,16 +285,33 @@ class Server:
             self.request_drain()
             return response
 
-        # Latency is clocked from admission, so refused requests record
-        # too — `server.latency_ms` must not be survivor-biased.
+        code, payload = await self.handle_request(method, params, trace)
+        if code is None:
+            return encode_response(request_id, payload)
+        return encode_error(request_id, code, payload)
+
+    async def handle_request(
+        self,
+        method: str,
+        params: Dict[str, Any],
+        trace: Optional[Dict[str, Any]],
+    ) -> Tuple[Optional[str], Any]:
+        """Admission control + dispatch for one data-plane request —
+        shared by the ``repro-rpc/1`` framing and the HTTP gateway, so
+        both fronts get identical overload/timeout/drain semantics.
+
+        Returns ``(None, result)`` on success or ``(code, message)``
+        for a protocol-level failure.  Latency is clocked from
+        admission, so refused requests record too — ``server.latency_ms``
+        must not be survivor-biased.
+        """
         t0 = time.perf_counter()
         if self._draining:
             return self._refuse(
-                request_id, method, E_SHUTTING_DOWN, "server is draining", t0
+                method, E_SHUTTING_DOWN, "server is draining", t0
             )
         if self._inflight >= self.config.max_queue:
             return self._refuse(
-                request_id,
                 method,
                 E_OVERLOADED,
                 f"{self._inflight} requests in flight (limit "
@@ -291,9 +322,7 @@ class Server:
         self._inflight += 1
         self._gauge("server.queue_depth", self._inflight)
         self._observe("server.queue_depth.sampled", self._inflight)
-        future = self._loop.run_in_executor(
-            self._pool, self._dispatch_traced, method, params, trace
-        )
+        future = self._submit(method, params, trace)
         self._pending.add(future)
         future.add_done_callback(self._request_done)
 
@@ -303,17 +332,15 @@ class Server:
             )
         except asyncio.TimeoutError:
             return self._refuse(
-                request_id,
                 method,
                 E_TIMEOUT,
                 f"request exceeded {self.config.timeout_s}s",
                 t0,
             )
         except RpcError as exc:
-            return self._refuse(request_id, method, exc.code, exc.message, t0)
+            return self._refuse(method, exc.code, exc.message, t0)
         except Exception as exc:  # worker crash: report, keep serving
             return self._refuse(
-                request_id,
                 method,
                 E_INTERNAL,
                 f"{type(exc).__name__}: {exc}",
@@ -321,16 +348,30 @@ class Server:
             )
         self._count(f"server.requests.{method}.ok")
         self._latency(method, t0)
-        return encode_response(request_id, result)
+        return None, result
+
+    def _submit(
+        self,
+        method: str,
+        params: Dict[str, Any],
+        trace: Optional[Dict[str, Any]],
+    ):
+        """Hand one admitted request to the execution backend and return
+        an awaitable future.  The base server runs the resident Service
+        on a thread pool; :class:`~.fleet.FleetServer` overrides this to
+        fan out to a pre-forked worker process instead."""
+        return self._loop.run_in_executor(
+            self._pool, self._dispatch_traced, method, params, trace
+        )
 
     def _refuse(
-        self, request_id: Any, method: str, code: str, message: str, t0: float
-    ) -> bytes:
-        """Count + clock a failed/refused request and build its error
-        envelope.  Refusals record latency like successes do."""
+        self, method: str, code: str, message: str, t0: float
+    ) -> Tuple[str, str]:
+        """Count + clock a failed/refused request.  Refusals record
+        latency like successes do."""
         self._count(f"server.requests.{method}.{code}")
         self._latency(method, t0)
-        return encode_error(request_id, code, message)
+        return code, message
 
     def _latency(self, method: str, t0: float) -> None:
         latency_ms = (time.perf_counter() - t0) * 1000.0
@@ -369,6 +410,16 @@ class Server:
     # ------------------------------------------------------------------
     # Bookkeeping (the registry is thread-safe; loop + workers share it)
     # ------------------------------------------------------------------
+
+    async def stats_doc(self) -> Dict[str, Any]:
+        """The ``stats`` RPC payload.  Async so the fleet server can
+        gather per-worker state without blocking the loop."""
+        return self._stats()
+
+    async def metrics_doc(self) -> Dict[str, Any]:
+        """The ``metrics`` RPC payload — the acceptor's registry alone
+        here; the fleet server overrides this to merge worker exports."""
+        return tel.registry_to_doc(self.registry)
 
     def _stats(self) -> Dict[str, Any]:
         requests = {
@@ -434,8 +485,12 @@ class ServerThread:
             self._error = exc
             self._ready.set()
 
+    def _make_server(self) -> Server:
+        """Subclass hook — ``FleetThread`` builds a ``FleetServer``."""
+        return Server(service=self.service, config=self.config)
+
     async def _main(self) -> None:
-        self.server = Server(service=self.service, config=self.config)
+        self.server = self._make_server()
         await self.server.start()
         self._ready.set()
         # No signal handlers: the thread is stopped via request_drain.

@@ -57,6 +57,8 @@ class Service:
         max_memo: int = 512,
         max_steps: int = DEFAULT_MAX_STEPS,
         max_batch: int = 256,
+        cache_entries: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
     ):
         self.cache_dir = cache_dir
         self.max_steps = max_steps
@@ -87,7 +89,11 @@ class Service:
             from ..pipeline import Pipeline
 
             self._pipeline = Pipeline(
-                jobs=1, cache_dir=cache_dir, trust_cache=trust_cache
+                jobs=1,
+                cache_dir=cache_dir,
+                trust_cache=trust_cache,
+                cache_entries=cache_entries,
+                cache_bytes=cache_bytes,
             )
 
     # ------------------------------------------------------------------

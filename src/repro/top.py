@@ -111,6 +111,16 @@ def render_top(
         )
     lines.append("")
 
+    fleet = stats.get("fleet")
+    if fleet:
+        inflight = fleet.get("inflight", [])
+        lines.append(
+            f"fleet {fleet.get('alive', 0)}/{fleet.get('workers', 0)} workers "
+            f"alive   restarts {fleet.get('restarts', 0)}   "
+            f"inflight {'/'.join(str(n) for n in inflight) or '-'}   "
+            f"pids {','.join(str(p) for p in fleet.get('pids', []))}"
+        )
+
     hits = int(service.get("memo_hits", 0))
     misses = int(service.get("memo_misses", 0))
     ratio = f"{100.0 * hits / (hits + misses):.1f}%" if hits + misses else "-"
@@ -126,6 +136,20 @@ def render_top(
         cratio = f"{100.0 * cache_hit / (cache_hit + cache_miss):.1f}%"
         lines.append(
             f"cert cache {cache_hit} hits / {cache_miss} misses ({cratio} hit)"
+        )
+    store_hit = counters.get("cache.hits", 0)
+    store_miss = counters.get("cache.misses", 0)
+    if store_hit or store_miss or counters.get("cache.evictions"):
+        sratio = (
+            f"{100.0 * store_hit / (store_hit + store_miss):.1f}%"
+            if store_hit + store_miss
+            else "-"
+        )
+        lines.append(
+            f"cert store {store_hit} hits / {store_miss} misses "
+            f"({sratio} hit)   evictions {counters.get('cache.evictions', 0)}   "
+            f"entries {reg.gauge_value('cache.entries'):g}   "
+            f"bytes {reg.gauge_value('cache.bytes'):g}"
         )
     overall = reg.histograms.get("server.latency_ms")
     if overall is not None and overall.count:

@@ -1,0 +1,194 @@
+"""PR-8 certificate-store behaviors: sharded LRU eviction, orphan-tmp
+hygiene, stale-aware counting, and the multi-process atomicity claim.
+
+The eviction tests control recency explicitly with ``os.utime`` so they
+are immune to filesystem mtime granularity.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro import telemetry as tel
+from repro.pipeline.cache import CacheEntry, CertCache, ENTRY_SCHEMA
+
+
+def _entry(tag: str) -> CacheEntry:
+    return CacheEntry(func=f"f_{tag}", nodes=1, verified=2, cert="{}" * 8)
+
+
+def _key(i: int) -> str:
+    # Distinct two-char prefixes spread entries over shards like real
+    # SHA-256 keys do.
+    return f"{i:02x}" + "ab" * 31
+
+
+def _age(cache: CertCache, key: str, seconds_ago: float) -> None:
+    past = time.time() - seconds_ago
+    os.utime(cache.path_for(key), (past, past))
+
+
+class TestEviction:
+    def test_entry_cap_evicts_oldest(self, tmp_path):
+        cache = CertCache(tmp_path, max_entries=4)
+        for i in range(4):
+            cache.put(_key(i), _entry(str(i)))
+            _age(cache, _key(i), seconds_ago=100 - i)
+        cache.put(_key(99), _entry("new"))
+        assert len(cache) == 4
+        # key 0 was the oldest; it is the one gone.
+        assert cache.get(_key(0))[0] == "miss"
+        assert cache.get(_key(99))[0] == "hit"
+
+    def test_get_touch_protects_recently_used(self, tmp_path):
+        cache = CertCache(tmp_path, max_entries=4)
+        for i in range(4):
+            cache.put(_key(i), _entry(str(i)))
+            _age(cache, _key(i), seconds_ago=100 - i)
+        # Touch the oldest via a hit: now key 1 is the LRU victim.
+        assert cache.get(_key(0))[0] == "hit"
+        cache.put(_key(99), _entry("new"))
+        assert cache.get(_key(0))[0] == "hit"
+        assert cache.get(_key(1))[0] == "miss"
+
+    def test_byte_cap_evicts_until_under(self, tmp_path):
+        # Size one entry, then cap the store at ~2.5 entries' worth.
+        sizer = CertCache(tmp_path / "sizer")
+        sizer.put(_key(0), _entry("0"))
+        one = sizer.disk_stats()["bytes"]
+        cache = CertCache(tmp_path / "store", max_bytes=int(one * 2.5))
+        for i in range(5):
+            cache.put(_key(i), _entry(str(i)))
+            _age(cache, _key(i), seconds_ago=50 - i)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] <= one * 2.5
+        # The survivors are the most recently written.
+        assert cache.get(_key(4))[0] == "hit"
+        assert cache.get(_key(0))[0] == "miss"
+
+    def test_eviction_telemetry(self, tmp_path):
+        reg = tel.Registry(enabled=True)
+        cache = CertCache(tmp_path, max_entries=2, registry=reg)
+        for i in range(5):
+            cache.put(_key(i), _entry(str(i)))
+            _age(cache, _key(i), seconds_ago=50 - i)
+        assert reg.value("cache.evictions") == 3
+        assert reg.gauge_value("cache.entries") <= 2
+        assert reg.gauge_value("cache.bytes") > 0
+        cache.get(_key(4))
+        cache.get(_key(0))
+        assert reg.value("cache.hits") == 1
+        assert reg.value("cache.misses") == 1
+        assert reg.histograms["cache.get_ms"].count == 2
+        assert reg.histograms["cache.put_ms"].count == 5
+
+    def test_uncapped_store_never_evicts(self, tmp_path):
+        cache = CertCache(tmp_path)
+        for i in range(20):
+            cache.put(_key(i), _entry(str(i)))
+        assert len(cache) == 20
+
+
+class TestHygiene:
+    def test_orphan_tmp_swept_on_open(self, tmp_path):
+        cache = CertCache(tmp_path)
+        cache.put(_key(1), _entry("keep"))
+        shard = cache.path_for(_key(1)).parent
+        orphan = shard / ".deadbeef.12345.tmp"
+        orphan.write_text("half-written garbage")
+        past = time.time() - 3600
+        os.utime(orphan, (past, past))
+        reopened = CertCache(tmp_path)
+        assert not orphan.exists()
+        assert reopened.get(_key(1))[0] == "hit"
+
+    def test_young_tmp_left_alone(self, tmp_path):
+        cache = CertCache(tmp_path)
+        cache.put(_key(1), _entry("keep"))
+        shard = cache.path_for(_key(1)).parent
+        inflight = shard / ".cafecafe.999.tmp"
+        inflight.write_text("a live writer's in-flight entry")
+        CertCache(tmp_path)  # fresh open sweeps only expired litter
+        assert inflight.exists()
+
+    def test_tmp_swept_during_eviction_scan(self, tmp_path):
+        reg = tel.Registry(enabled=True)
+        cache = CertCache(tmp_path, max_entries=100, registry=reg)
+        cache.put(_key(1), _entry("a"))
+        shard = cache.path_for(_key(1)).parent
+        orphan = shard / ".feedface.1.tmp"
+        orphan.write_text("litter")
+        past = time.time() - 3600
+        os.utime(orphan, (past, past))
+        cache.put(_key(2), _entry("b"))  # triggers a scan
+        assert not orphan.exists()
+        assert reg.value("cache.tmp_swept") == 1
+
+    def test_len_ignores_stale_versions(self, tmp_path):
+        cache = CertCache(tmp_path)
+        cache.put(_key(1), _entry("current"))
+        stale_path = cache.path_for(_key(2))
+        stale_path.parent.mkdir(parents=True, exist_ok=True)
+        stale_path.write_text(
+            json.dumps(
+                {
+                    "schema": ENTRY_SCHEMA,
+                    "version": "some-ancient-checker",
+                    "func": "f",
+                    "nodes": 1,
+                    "verified": 1,
+                    "cert": "{}",
+                }
+            )
+        )
+        corrupt_path = cache.path_for(_key(3))
+        corrupt_path.parent.mkdir(parents=True, exist_ok=True)
+        corrupt_path.write_text("{truncated")
+        assert len(cache) == 1
+        assert cache.get(_key(2))[0] == "stale"
+        assert cache.get(_key(3))[0] == "stale"
+
+
+def _hammer_put(root: str, key: str, tag: str, deadline: float) -> None:
+    cache = CertCache(root)
+    i = 0
+    while time.time() < deadline:
+        cache.put(key, CacheEntry(func=f"w{tag}", nodes=i, verified=i, cert="x" * 64))
+        i += 1
+
+
+class TestConcurrentWriters:
+    def test_readers_only_see_whole_entries(self, tmp_path):
+        """Two processes put() the same key in a tight loop while the
+        parent reads: every observation must be a whole, valid entry —
+        the module docstring's atomicity claim."""
+        key = _key(7)
+        deadline = time.time() + 1.5
+        ctx = multiprocessing.get_context("spawn")
+        writers = [
+            ctx.Process(
+                target=_hammer_put, args=(str(tmp_path), key, tag, deadline)
+            )
+            for tag in ("a", "b")
+        ]
+        for w in writers:
+            w.start()
+        cache = CertCache(tmp_path)
+        observations = 0
+        statuses = set()
+        while time.time() < deadline:
+            status, entry = cache.get(key)
+            statuses.add(status)
+            if status == "hit":
+                observations += 1
+                assert entry is not None
+                assert entry.func in ("wa", "wb")
+                assert entry.cert == "x" * 64
+        for w in writers:
+            w.join(timeout=30)
+            assert w.exitcode == 0
+        # "stale" would mean a torn/partial read; atomic replace forbids it.
+        assert "stale" not in statuses
+        assert observations > 0

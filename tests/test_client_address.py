@@ -1,0 +1,107 @@
+"""Address parsing and connect-failure hygiene for :mod:`repro.client`.
+
+The parse matrix covers every documented spelling — ``:PORT``,
+``HOST:PORT``, ``[IPV6]:PORT``, bare IPv6, ``unix:PATH``, and plain
+paths — and the connect test pins the PR-8 bugfix: a failed connect
+must close the socket it created before raising :class:`ClientError`.
+"""
+
+import os
+import socket
+import tempfile
+
+import pytest
+
+from repro.client import Client, ClientError, parse_address
+
+
+class TestParseAddress:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            (":7621", ("127.0.0.1", 7621)),
+            ("localhost:7621", ("localhost", 7621)),
+            ("10.0.0.8:80", ("10.0.0.8", 80)),
+            ("[::1]:7621", ("::1", 7621)),
+            ("[fe80::2%eth0]:9", ("fe80::2%eth0", 9)),
+            ("[2001:db8::1]:443", ("2001:db8::1", 443)),
+            # Bare IPv6: ambiguous but parseable — last colon wins.
+            ("::1:7621", ("::1", 7621)),
+            ("unix:/run/repro.sock", "/run/repro.sock"),
+            ("unix:relative.sock", "relative.sock"),
+            ("/run/repro.sock", "/run/repro.sock"),
+            ("./repro.sock", "./repro.sock"),
+        ],
+    )
+    def test_matrix(self, spec, expected):
+        assert parse_address(spec) == expected
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "localhost",
+            "host:",
+            "host:http",
+            "[::1]",  # bracketed host but no port
+            "[::1]:",  # empty port
+            "[::1:7621",  # unbalanced bracket
+        ],
+    )
+    def test_rejects(self, spec):
+        with pytest.raises(ClientError):
+            parse_address(spec)
+
+    def test_brackets_never_leak_into_host(self):
+        host, _port = parse_address("[::1]:7621")
+        assert "[" not in host and "]" not in host
+
+
+class _TrackingSocket(socket.socket):
+    """Real socket that records whether close() ran."""
+
+    instances = []
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.closed_by_client = False
+        _TrackingSocket.instances.append(self)
+
+    def close(self):
+        self.closed_by_client = True
+        super().close()
+
+
+class TestConnectFailure:
+    def test_unix_connect_failure_closes_socket(self, monkeypatch):
+        _TrackingSocket.instances = []
+        monkeypatch.setattr(socket, "socket", _TrackingSocket)
+        missing = os.path.join(tempfile.mkdtemp(), "nobody-listens.sock")
+        with pytest.raises(ClientError):
+            Client("unix:" + missing, timeout=0.5)
+        assert len(_TrackingSocket.instances) == 1
+        assert _TrackingSocket.instances[0].closed_by_client
+
+    def test_unix_refused_closes_socket(self, monkeypatch):
+        # A socket file that exists but has no listener: connect raises
+        # ECONNREFUSED rather than ENOENT — same hygiene required.
+        _TrackingSocket.instances = []
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "stale.sock")
+            stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            stale.bind(path)
+            stale.close()  # bound but never listening
+            monkeypatch.setattr(socket, "socket", _TrackingSocket)
+            with pytest.raises(ClientError):
+                Client(path, timeout=0.5)
+        assert len(_TrackingSocket.instances) == 1
+        assert _TrackingSocket.instances[0].closed_by_client
+
+    def test_tcp_connect_failure_raises_client_error(self):
+        # An unused ephemeral port: bind+close to find one, then connect.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ClientError):
+            Client(("127.0.0.1", port), timeout=0.5)

@@ -1,0 +1,242 @@
+"""The pre-forked worker fleet (``repro serve --workers N``).
+
+The properties under test are the module contract of
+:mod:`repro.server.fleet`:
+
+* the wire behavior is indistinguishable from the single-process daemon
+  (same results, same error envelopes, same admission semantics);
+* the ``metrics`` RPC merges worker-process registries, so fleet-wide
+  checker/cache counters survive the process boundary;
+* a killed worker fails only its in-flight requests and is respawned —
+  the fleet keeps serving;
+* drain answers everything admitted before exiting.
+
+Slow-request tests use a ``while`` spin and poll the control-plane
+``stats`` RPC (answered inline on the loop) for ``inflight == 1``, so
+the overload/drain assertions are ordered by observed server state, not
+sleeps.
+"""
+
+import os
+import signal
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.client import Client, RemoteError
+from repro.server import ServerConfig
+from repro.server.fleet import FleetConfig, FleetThread
+
+GOOD = """
+struct data { v : int; }
+def add(a : int, b : int) : int { a + b }
+"""
+
+SPIN = """
+def spin(n : int) : int {
+  let x = 0;
+  while (n > 0) {
+    x = x + 1;
+    n = n - 1
+  };
+  x
+}
+"""
+
+BAD = """
+struct data { v : int; }
+def leak(d : data) : int { consumed }
+"""
+
+
+def _fleet(workers=2, cache_dir=None, **server_kwargs):
+    config = ServerConfig(
+        host=None, unix_path=tempfile.mktemp(suffix=".sock"), **server_kwargs
+    )
+    return FleetThread(
+        config=config,
+        fleet_config=FleetConfig(workers=workers, cache_dir=cache_dir),
+    )
+
+
+def _wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture(scope="module")
+def fleet_pair():
+    """One two-worker fleet shared by the read-only tests (forking
+    processes per test would dominate the suite's runtime)."""
+    with _fleet(workers=2, cache_dir=tempfile.mkdtemp()) as handle:
+        with Client(handle.address) as client:
+            yield handle, client
+
+
+class TestFleetParity:
+    def test_ping(self, fleet_pair):
+        _, client = fleet_pair
+        assert client.ping()["pong"] is True
+
+    def test_check_matches_api(self, fleet_pair):
+        _, client = fleet_pair
+        assert client.check(GOOD).to_dict() == api.check(GOOD).to_dict()
+
+    def test_verify_matches_api(self, fleet_pair):
+        _, client = fleet_pair
+        remote = client.verify(GOOD)
+        local = api.verify(GOOD)
+        assert remote.ok and remote.verified == local.verified
+
+    def test_run(self, fleet_pair):
+        _, client = fleet_pair
+        assert client.run(GOOD, "add", [20, 22]).value == "42"
+
+    def test_rejection_matches_api(self, fleet_pair):
+        _, client = fleet_pair
+        remote = client.check(BAD)
+        assert not remote.ok
+        assert remote.to_dict() == api.check(BAD, filename="<rpc>").to_dict()
+
+    def test_invalid_params_error_envelope(self, fleet_pair):
+        _, client = fleet_pair
+        with pytest.raises(RemoteError) as excinfo:
+            client.call("check", {"source": 17})
+        assert excinfo.value.code == "invalid-request"
+
+    def test_concurrent_load_spreads(self, fleet_pair):
+        _, client = fleet_pair
+        address = fleet_pair[0].address
+        results = []
+
+        def one(i):
+            # Distinct sources defeat both memo layers, forcing real work.
+            src = GOOD.replace("add", f"add_{i}")
+            with Client(address) as c:
+                results.append(c.verify(src).ok)
+
+        threads = [threading.Thread(target=one, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert results == [True] * 8
+
+
+class TestFleetIntrospection:
+    def test_stats_has_fleet_shape(self, fleet_pair):
+        _, client = fleet_pair
+        stats = client.stats()
+        fleet = stats["fleet"]
+        assert fleet["workers"] == 2
+        assert fleet["alive"] == 2
+        assert len(fleet["pids"]) == 2
+        assert all(isinstance(p, int) for p in fleet["pids"])
+        # Aggregated worker service stats keep the single-process shape
+        # (repro top renders this block unchanged).
+        service = stats["service"]
+        for key in ("sessions", "memo_entries", "memo_hits", "memo_misses"):
+            assert isinstance(service[key], int)
+
+    def test_metrics_merge_worker_registries(self, fleet_pair):
+        _, client = fleet_pair
+        client.verify(GOOD.replace("add", "add_metrics"))
+        doc = client.metrics()
+        counters = doc["counters"]
+        # checker.* counters only ever increment inside worker processes;
+        # seeing them proves the merge crossed the boundary.
+        assert counters.get("checker.functions", 0) > 0
+        assert counters.get("fleet.dispatched", 0) > 0
+        assert doc["gauges"]["fleet.workers"] == 2
+
+    def test_shared_store_hits_across_workers(self, tmp_path):
+        # Worker A verifies and stores a certificate; worker B (the only
+        # other worker) must replay it from the shared store.
+        with _fleet(workers=2, cache_dir=str(tmp_path)) as handle:
+            with Client(handle.address) as client:
+                for i in range(6):
+                    # Same source, fresh filename: busts the per-worker
+                    # result memo (keyed on filename) but not the cert
+                    # store (keyed on content alone).
+                    assert client.verify(GOOD, filename=f"v{i}.fcl").ok
+                counters = client.metrics()["counters"]
+                assert counters.get("cache.hits", 0) >= 1
+                assert counters.get("cache.misses", 0) >= 1
+
+
+class TestFleetRobustness:
+    def test_overload_refused_cleanly(self):
+        with _fleet(workers=1, max_queue=1) as handle:
+            with Client(handle.address, timeout=60) as blocker_conn:
+                background = threading.Thread(
+                    target=lambda: blocker_conn.run(SPIN, "spin", [300_000])
+                )
+                with Client(handle.address) as client:
+                    background.start()
+                    assert _wait_for(
+                        lambda: client.stats()["inflight"] >= 1
+                    ), "slow request never admitted"
+                    with pytest.raises(RemoteError) as excinfo:
+                        client.verify(GOOD)
+                    assert excinfo.value.code == "overloaded"
+                background.join(timeout=120)
+
+    def test_worker_killed_midrequest_respawns(self):
+        with _fleet(workers=1) as handle:
+            with Client(handle.address) as probe:
+                victim_pid = probe.stats()["fleet"]["pids"][0]
+                failure = {}
+
+                def slow():
+                    try:
+                        Client(handle.address, timeout=60).run(
+                            SPIN, "spin", [300_000]
+                        )
+                    except RemoteError as exc:
+                        failure["code"] = exc.code
+
+                background = threading.Thread(target=slow)
+                background.start()
+                assert _wait_for(lambda: probe.stats()["inflight"] >= 1)
+                os.kill(victim_pid, signal.SIGKILL)
+                background.join(timeout=60)
+                # The in-flight request failed loudly, not silently.
+                assert failure.get("code") == "internal"
+                # ... and the fleet healed: a respawned worker serves.
+                assert _wait_for(
+                    lambda: probe.stats()["fleet"]["alive"] >= 1
+                ), "no respawn"
+                assert probe.stats()["fleet"]["restarts"] >= 1
+                assert probe.run(GOOD, "add", [1, 2]).value == "3"
+                counters = probe.stats()["requests"]
+                assert counters.get("server.worker.crashes", 0) >= 1
+
+    def test_drain_completes_inflight_work(self):
+        with _fleet(workers=1) as handle:
+            address = handle.address
+            outcome = {}
+
+            def slow():
+                try:
+                    result = Client(address, timeout=60).run(
+                        SPIN, "spin", [300_000]
+                    )
+                    outcome["value"] = result.value
+                except Exception as exc:  # noqa: BLE001
+                    outcome["error"] = repr(exc)
+
+            with Client(address) as control:
+                background = threading.Thread(target=slow)
+                background.start()
+                assert _wait_for(lambda: control.stats()["inflight"] >= 1)
+                control.shutdown()
+            background.join(timeout=120)
+            handle.stop()
+            assert outcome == {"value": "300000"}

@@ -1,0 +1,193 @@
+"""The HTTP/JSON gateway (``repro serve --http PORT``).
+
+The contract: ``POST /v1/<method>`` is the same request the socket
+protocol carries, through the same admission path, with error codes
+mapped onto retryable HTTP statuses.  Tests drive it with raw
+``http.client`` so no request-shaping library hides framing mistakes.
+"""
+
+import http.client
+import json
+import tempfile
+import threading
+
+import pytest
+
+from repro import api
+from repro.server import Server, ServerConfig, ServerThread, Service
+from repro.server.fleet import FleetConfig, FleetThread
+
+GOOD = """
+struct data { v : int; }
+def add(a : int, b : int) : int { a + b }
+"""
+
+BAD = """
+struct data { v : int; }
+def leak(d : data) : int { consumed }
+"""
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    config = ServerConfig(
+        host=None,
+        unix_path=tempfile.mktemp(suffix=".sock"),
+        http_host="127.0.0.1",
+        http_port=0,
+    )
+    with ServerThread(config) as handle:
+        yield handle.server.http_address
+
+
+def _request(address, verb, path, body=None, raw=None):
+    conn = http.client.HTTPConnection(*address, timeout=30)
+    try:
+        payload = raw if raw is not None else (
+            json.dumps(body).encode() if body is not None else None
+        )
+        conn.request(
+            verb,
+            path,
+            body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = conn.getresponse()
+        data = response.read()
+        return response, json.loads(data) if data else None
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_ping(self, gateway):
+        response, doc = _request(gateway, "GET", "/v1/ping")
+        assert response.status == 200
+        assert doc["pong"] is True
+
+    def test_check_matches_api(self, gateway):
+        response, doc = _request(
+            gateway, "POST", "/v1/check", {"source": GOOD}
+        )
+        assert response.status == 200
+        assert doc == api.check(GOOD, filename="<rpc>").to_dict()
+
+    def test_verify(self, gateway):
+        response, doc = _request(
+            gateway, "POST", "/v1/verify", {"source": GOOD}
+        )
+        assert response.status == 200
+        assert doc["ok"] and doc["verified"] > 0
+
+    def test_run(self, gateway):
+        response, doc = _request(
+            gateway,
+            "POST",
+            "/v1/run",
+            {"source": GOOD, "function": "add", "args": [40, 2]},
+        )
+        assert response.status == 200
+        assert doc["value"] == "42"
+
+    def test_rejected_program_is_200(self, gateway):
+        # A type error is a *successful* check whose verdict is no —
+        # only protocol-level failures map onto HTTP error statuses.
+        response, doc = _request(gateway, "POST", "/v1/check", {"source": BAD})
+        assert response.status == 200
+        assert doc["ok"] is False
+
+    def test_stats_and_metrics(self, gateway):
+        response, doc = _request(gateway, "GET", "/v1/stats")
+        assert response.status == 200
+        assert "requests" in doc
+        response, doc = _request(gateway, "GET", "/v1/metrics")
+        assert response.status == 200
+        assert doc["schema"].startswith("repro-telemetry/")
+
+
+class TestErrorMapping:
+    def test_unknown_route_404(self, gateway):
+        response, doc = _request(gateway, "POST", "/v1/nope", {})
+        assert response.status == 404
+        assert doc["error"]["code"] == "unknown-method"
+
+    def test_non_v1_path_404(self, gateway):
+        response, doc = _request(gateway, "GET", "/healthz")
+        assert response.status == 404
+
+    def test_invalid_params_400(self, gateway):
+        response, doc = _request(gateway, "POST", "/v1/check", {"source": 9})
+        assert response.status == 400
+        assert doc["error"]["code"] == "invalid-request"
+
+    def test_non_json_body_400(self, gateway):
+        response, doc = _request(
+            gateway, "POST", "/v1/check", raw=b"not json at all"
+        )
+        assert response.status == 400
+
+    def test_non_object_body_400(self, gateway):
+        response, doc = _request(gateway, "POST", "/v1/check", raw=b'[1,2]')
+        assert response.status == 400
+
+    def test_get_on_data_plane_404(self, gateway):
+        response, _ = _request(gateway, "GET", "/v1/check")
+        assert response.status == 404
+
+    def test_delete_405(self, gateway):
+        response, _ = _request(gateway, "DELETE", "/v1/check")
+        assert response.status == 405
+
+    def test_overload_503_with_retry_after(self):
+        # Same BlockingService trick the socket tests use: park the only
+        # queue slot, then watch HTTP callers bounce with 503.
+        from tests.test_server import BlockingService
+
+        service = BlockingService()
+        config = ServerConfig(
+            host=None,
+            unix_path=tempfile.mktemp(suffix=".sock"),
+            http_host="127.0.0.1",
+            http_port=0,
+            max_queue=1,
+        )
+        with ServerThread(config, service=service) as handle:
+            address = handle.server.http_address
+            blocker = threading.Thread(
+                target=lambda: _request(
+                    address, "POST", "/v1/check", {"source": GOOD}
+                )
+            )
+            blocker.start()
+            assert service.entered.wait(timeout=30)
+            response, doc = _request(
+                address, "POST", "/v1/check", {"source": GOOD}
+            )
+            assert response.status == 503
+            assert doc["error"]["code"] == "overloaded"
+            assert response.getheader("Retry-After") == "1"
+            service.release.set()
+            blocker.join(timeout=30)
+
+
+class TestGatewayOnFleet:
+    def test_http_and_socket_share_admission(self):
+        """The gateway rides the fleet server unchanged: same results,
+        same shared worker pool."""
+        config = ServerConfig(
+            host=None,
+            unix_path=tempfile.mktemp(suffix=".sock"),
+            http_host="127.0.0.1",
+            http_port=0,
+        )
+        with FleetThread(
+            config=config, fleet_config=FleetConfig(workers=2)
+        ) as handle:
+            address = handle.server.http_address
+            response, doc = _request(
+                address, "POST", "/v1/verify", {"source": GOOD}
+            )
+            assert response.status == 200
+            assert doc["ok"] is True
+            response, stats = _request(address, "GET", "/v1/stats")
+            assert stats["fleet"]["workers"] == 2

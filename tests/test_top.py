@@ -75,3 +75,32 @@ class TestRenderTop:
         text = render_top(_stats(), _doc(), None, 2.0)
         assert "requests 0" in text
         assert "memo 0 hits / 0 misses (- hit)" in text
+
+    def test_fleet_line_renders_for_fleet_stats(self):
+        stats = _stats()
+        stats["fleet"] = {
+            "workers": 2, "alive": 2, "restarts": 1,
+            "pids": [11, 22], "inflight": [1, 0],
+        }
+        text = render_top(stats, _doc(), None, 2.0)
+        assert "fleet 2/2 workers alive   restarts 1" in text
+        assert "inflight 1/0" in text
+        assert "pids 11,22" in text
+        # Non-fleet stats: no fleet line at all.
+        assert "fleet" not in render_top(_stats(), _doc(), None, 2.0)
+
+    def test_cert_store_line_from_cache_counters(self):
+        reg = Registry()
+        reg.inc("cache.hits", 9)
+        reg.inc("cache.misses", 1)
+        reg.inc("cache.evictions", 4)
+        reg.set_gauge("cache.entries", 5.0)
+        reg.set_gauge("cache.bytes", 2048.0)
+        doc = registry_to_doc(reg)
+        text = render_top(_stats(), doc, None, 2.0)
+        assert "cert store 9 hits / 1 misses (90.0% hit)" in text
+        assert "evictions 4" in text
+        assert "entries 5" in text
+        assert "bytes 2048" in text
+        # No cache traffic: line absent.
+        assert "cert store" not in render_top(_stats(), _doc(), None, 2.0)
