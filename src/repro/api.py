@@ -454,8 +454,11 @@ def run(
     budget); exceeding it is a ``StepLimitExceeded`` diagnostic.
     ``erased=True`` uses the §3.2 verified-erasure fast path and is only
     honored when the program was checked.  ``engine`` selects the tree
-    interpreter (``"tree"``, the default) or the compiled bytecode engine
-    (``"ir"``, see :mod:`repro.ir`).
+    interpreter (``"tree"``, the local default) or the compiled bytecode
+    engine (``"ir"``, see :mod:`repro.ir`).  Note the ``run`` RPC differs:
+    a request without an ``engine`` key defaults to ``"ir"`` — warm
+    daemons serve from the shared compile cache, and
+    :attr:`RunResult.engine` always reports the effective choice.
     """
     from .runtime.heap import Heap
     from .runtime.machine import run_function

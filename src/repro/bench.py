@@ -468,6 +468,9 @@ def bench_ir(repeats: int = 5, small: bool = False) -> List[Dict]:
                 "checks_erased": counters.get("checks_erased", 0),
                 "consts_pooled": counters.get("consts_pooled", 0),
                 "dests_sunk": counters.get("dests_sunk", 0),
+                "licm_hoisted": counters.get("licm_hoisted", 0),
+                "tail_calls_looped": counters.get("tail_calls_looped", 0),
+                "slots_coalesced": counters.get("slots_coalesced", 0),
                 "instructions_emitted": counters.get(
                     "instructions_emitted", 0
                 ),
@@ -490,7 +493,7 @@ def collect(small: bool = False) -> Dict:
         repeats = 5
     return {
         "schema": SCHEMA,
-        "label": "PR8",
+        "label": "PR9",
         "corpus": bench_corpus(corpus_names),
         "generated": bench_generated(chains),
         "search": bench_search(widths),
@@ -561,7 +564,7 @@ def render_table(doc: Dict) -> str:
             f"{'workload':>15s} {'tree chk':>9s} {'ir chk':>8s} "
             f"{'tree ers':>9s} {'ir ers':>8s} {'compile':>8s} "
             f"{'chk x':>6s} {'ers x':>6s} {'inl':>4s} {'rle':>4s} "
-            f"{'erased':>7s}"
+            f"{'licm':>5s} {'tco':>4s} {'erased':>7s}"
         )
         for row in doc["ir"]:
             lines.append(
@@ -570,6 +573,8 @@ def render_table(doc: Dict) -> str:
                 f"{row['ir_erased_ms']:8.1f} {row['compile_ms']:8.1f} "
                 f"{row['speedup_checked']:6.2f} {row['speedup_erased']:6.2f} "
                 f"{row['inlined_calls']:4d} {row['loads_eliminated']:4d} "
+                f"{row.get('licm_hoisted', 0):5d} "
+                f"{row.get('tail_calls_looped', 0):4d} "
                 f"{row['checks_erased']:7d}"
             )
     if doc.get("pipeline"):

@@ -408,6 +408,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_disasm(args: argparse.Namespace) -> int:
+    """Dump the linear bytecode (and the optimizer's per-pass counter
+    deltas) for one program, optionally restricted to one function."""
+    from .ir.disasm import disassemble
+
+    program = _load(args.file)
+    source = _SOURCES[args.file]
+    result = api.check(source, filename=args.file, program=program)
+    if not result.ok:
+        for diag in result.diagnostics:
+            _fail(diag, source)
+        return int(result.exit_code)
+    try:
+        text = disassemble(
+            program,
+            checked=not args.erased,
+            observable=args.traced,
+            optimize=not args.no_opt,
+            function=args.function,
+        )
+    except KeyError:
+        print(f"error: no function {args.function!r}", file=sys.stderr)
+        return 1
+    sys.stdout.write(text)
+    return 0
+
+
 def cmd_derivation(args: argparse.Namespace) -> int:
     program = _load(args.file)
     try:
@@ -631,7 +658,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         doc = {
             "schema": bench.SCHEMA,
-            "label": "PR8",
+            "label": "PR9",
             "serve_load": bench_serve.bench_serve_load(small=args.small),
         }
         print(bench_serve.render_serve_load(doc["serve_load"]))
@@ -966,6 +993,10 @@ def _client_run(client, args: argparse.Namespace) -> int:
         max_steps=args.max_steps,
         engine=args.engine,
     )
+    if args.engine is None:
+        # The server chose: say what actually ran (stdout stays parity-
+        # clean with a local `repro run`).
+        print(f"engine: {result.engine} (server default)", file=sys.stderr)
     if not result.ok:
         for diag in result.diagnostics:
             _fail(diag, source)
@@ -1272,6 +1303,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics_flag(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "disasm",
+        help="dump the compiled bytecode and per-pass optimizer deltas",
+    )
+    p.add_argument("file")
+    p.add_argument("function", nargs="?", default=None)
+    p.add_argument(
+        "--erased",
+        action="store_true",
+        help="compile the erased full tier (default: the checked tier)",
+    )
+    p.add_argument(
+        "--traced",
+        action="store_true",
+        help="compile the observable forms a tracer-attached run uses",
+    )
+    p.add_argument(
+        "--no-opt",
+        action="store_true",
+        help="stop after lowering: the unoptimized baseline to diff against",
+    )
+    p.set_defaults(func=cmd_disasm)
 
     p = sub.add_parser("derivation", help="print a typing derivation")
     p.add_argument("file")
@@ -1636,8 +1690,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine",
         choices=("tree", "ir"),
-        default="tree",
-        help="execution engine to request for `client run`",
+        default=None,
+        help="execution engine to request for `client run` (omitted: the "
+        "server picks — warm daemons default to ir; the effective engine "
+        "is reported on stderr)",
     )
     p.add_argument(
         "--prom",

@@ -215,16 +215,21 @@ class Client:
         filename: str = "<rpc>",
         max_steps: Optional[int] = None,
         erased: bool = False,
-        engine: str = "tree",
+        engine: Optional[str] = None,
     ) -> RunResult:
+        """``engine=None`` (the default) lets the server choose — warm
+        daemons default to the compiled bytecode engine (``"ir"``); the
+        effective choice comes back in :attr:`RunResult.engine`.  Pass
+        ``"tree"`` or ``"ir"`` to pin it."""
         params: Dict[str, Any] = {
             "source": source,
             "function": function,
             "args": list(args),
             "filename": filename,
             "erased": erased,
-            "engine": engine,
         }
+        if engine is not None:
+            params["engine"] = engine
         if max_steps is not None:
             params["max_steps"] = max_steps
         return RunResult.from_dict(self.call("run", params))

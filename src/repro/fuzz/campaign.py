@@ -186,8 +186,12 @@ def run_campaign(config: FuzzConfig = FuzzConfig()) -> Dict[str, Any]:
                 "random": reg.value("fuzz.schedules.random"),
                 "enumerated": reg.value("fuzz.schedules.enumerated"),
             },
-            # Execution engines the differential oracles cross-checked.
+            # Execution engines the differential oracles cross-checked,
+            # and the optimization tiers the ir legs exercised: checked
+            # (guarded, traced) and full (erased, traced — the PR-9
+            # event-preserving rewrites under a tracer).
             "engines": ["tree", "ir"],
+            "tiers": ["checked", "full+traced"],
             "coverage": {
                 rule: reg.value(f"checker.vt.{rule}")
                 for rule in (

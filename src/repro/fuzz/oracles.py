@@ -412,9 +412,12 @@ def _engine_oracle(
     Both engines run guarded with a fresh first-option scheduler (the
     canonical schedule is yield-granularity-independent, so the decision
     lists need not match) and must produce byte-identical heap traces and
-    equal results.  A final erased-ir run — the full optimization tier,
-    where redundant loads are actually eliminated — must agree on the
-    result map."""
+    equal results.  The erased-ir leg runs **traced** — since PR 9 a
+    tracer no longer disables the full optimization tier, so this is the
+    full tier (mem2var, LICM, global RLE, tail-call loops) under
+    observation: its trace must stay byte-identical to the guarded tree
+    trace (erasure oracle 3 already pins guarded ≡ erased for the tree
+    engine) and its results equal."""
     tree_tracer = Tracer()
     violation, tree = _run_once(
         program, spawns, ScriptedScheduler(), tracer=tree_tracer
@@ -443,15 +446,24 @@ def _engine_oracle(
             f"result divergence: tree {tree!r} vs ir {ir_results!r}",
             schedule,
         )
+    erased_tracer = Tracer()
     violation, ir_erased = _run_once(
         program, spawns, ScriptedScheduler(),
-        check_reservations=False, engine="ir",
+        check_reservations=False, tracer=erased_tracer, engine="ir",
     )
     if violation is not None:
         violation.oracle = "engine"
-        violation.detail = f"erased ir run failed: {violation.detail}"
+        violation.detail = f"traced full-tier ir run failed: {violation.detail}"
         violation.schedule = schedule
         return violation
+    erased_bytes = json.dumps(list(erased_tracer.to_dicts()), sort_keys=True)
+    if tree_bytes != erased_bytes:
+        detail = _first_divergence(
+            tree_tracer, erased_tracer, ("tree", "full-tier ir")
+        )
+        return Violation(
+            "engine", f"full-tier trace divergence: {detail}", schedule
+        )
     if ir_erased != tree:
         return Violation(
             "engine",

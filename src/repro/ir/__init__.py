@@ -2,17 +2,26 @@
 
 Pipeline: ``lang/ast.py`` → :mod:`repro.ir.lower` (lowering with
 lowering-time guard erasure) → :mod:`repro.ir.passes` (PassManager:
-inlining, simplification, redundant-load elimination, mem2var, DCE) →
-:mod:`repro.ir.bytecode` (flat linear bytecode) →
-:mod:`repro.ir.engine` (the dispatch loop, protocol-compatible with the
-tree interpreter).
+inlining, simplification, mem2var, loop optimization, global
+redundant-load elimination, DCE, register allocation) →
+:mod:`repro.ir.bytecode` (flat linear bytecode, cached per program and
+in a shared cross-program LRU) → :mod:`repro.ir.engine` (the dispatch
+loop, protocol-compatible with the tree interpreter).
 
 Select it at the surface with ``repro run --engine ir`` (or
-``engine="ir"`` through :func:`repro.api.run`, the ``run`` RPC, and
-``runtime.machine.run_function``/``Machine``).
+``engine="ir"`` through :func:`repro.api.run`, the ``run`` RPC — where
+it is the default — and ``runtime.machine.run_function``/``Machine``).
+``repro disasm FILE`` dumps the bytecode with per-pass attribution.
 """
 
-from .bytecode import CompiledModule, compile_program
+from .bytecode import (
+    CompiledModule,
+    build_module,
+    clear_compile_cache,
+    compile_cache_entries,
+    compile_program,
+    set_compile_cache_limit,
+)
 from .engine import IREngine
 from .lower import lower_function
 from .nodes import BasicBlock, Instr, IRFunction, render_function
@@ -26,8 +35,12 @@ __all__ = [
     "IRModule",
     "Instr",
     "PassManager",
+    "build_module",
+    "clear_compile_cache",
+    "compile_cache_entries",
     "compile_program",
     "default_pipeline",
     "lower_function",
     "render_function",
+    "set_compile_cache_limit",
 ]

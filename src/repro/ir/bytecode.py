@@ -16,11 +16,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import hashlib
+import threading
+from collections import OrderedDict
+
 from ..lang import ast
+from ..lang.pretty import pretty_program
 from ..runtime.machine import MachineError
 from ..telemetry import registry as _telemetry
+from .cfg import liveness
 from .lower import lower_function
-from .nodes import IRFunction, instr_uses
+from .nodes import Instr, IRFunction
 from .passes import IRModule, default_pipeline
 
 # Opcodes, roughly ordered by expected dynamic frequency.
@@ -56,18 +62,33 @@ OP_SEND = 28
 OP_SENDC = 29
 OP_RECV = 30
 OP_DISC = 31
+# Observable full-tier ops: emit the trace event of an optimized-away heap
+# access at its original position (tload/tstore), or read the heap without
+# any event (sload, the preheader priming read).  These must stay below
+# OP_BRLT — the dispatch loop routes every opcode >= OP_BRLT into the
+# fused-branch family.
+OP_TLOAD = 32
+OP_TSTORE = 33
+OP_SLOAD = 34
+# Checked heap access: an ``asloc`` fused into the load/store it guards
+# (flatten-time peephole).  One dispatch, identical check, identical
+# error.  Must also stay below OP_BRLT.
+OP_LOADV = 35
+OP_STOREV = 36
 # Fused compare-and-branch superinstructions (flatten-time fusion of a
-# single-use comparison feeding the block's br terminator).
-OP_BRLT = 32
-OP_BRGT = 33
-OP_BRLE = 34
-OP_BRGE = 35
-OP_BREQ = 36
-OP_BRNE = 37
-OP_BRNONE = 38
-OP_BRSOME = 39
-# Call with exactly one argument: skips the generic argument-copy loop.
-OP_CALL1 = 40
+# comparison feeding the block's br terminator whose result is dead at
+# both targets).
+OP_BRLT = 37
+OP_BRGT = 38
+OP_BRLE = 39
+OP_BRGE = 40
+OP_BREQ = 41
+OP_BRNE = 42
+OP_BRNONE = 43
+OP_BRSOME = 44
+# Calls with exactly one / two arguments: skip the generic copy loop.
+OP_CALL1 = 45
+OP_CALL2 = 46
 
 _BINOPS = {
     "+": OP_ADD, "-": OP_SUB, "*": OP_MUL, "/": OP_DIV, "%": OP_MOD,
@@ -121,10 +142,12 @@ def flatten(fn: IRFunction, program: ast.Program, checked: bool) -> BytecodeFunc
         out.blank[slot] = value
     code = out.code
     blocks = fn.block_map()
-    use_count: Dict[int, int] = {}
-    for ins in fn.instructions():
-        for slot in instr_uses(ins):
-            use_count[slot] = use_count.get(slot, 0) + 1
+    # Fusion legality: the comparison's destination must be dead at both
+    # branch targets, because the fused opcode never writes it.  (A plain
+    # use count is not enough after register allocation — unrelated values
+    # may share the slot, but sharing is only legal when this value is
+    # dead, which is exactly what liveness reports.)
+    live_in, _live_out = liveness(fn)
 
     # Planning pass: per block, decide whether the final comparison fuses
     # into the br (skipping the compare), whether a jmp to an instruction-
@@ -142,7 +165,11 @@ def flatten(fn: IRFunction, program: ast.Program, checked: bool) -> BytecodeFunc
         if term.op == "br" and block.instrs:
             last = block.instrs[-1]
             cond = term.args[0]
-            if last.dest == cond and use_count.get(cond, 0) == 1:
+            if (
+                last.dest == cond
+                and cond not in live_in.get(term.args[1], ())
+                and cond not in live_in.get(term.args[2], ())
+            ):
                 if last.op == "binop" and last.args[0] in _CMP_FUSE:
                     fused[block.label] = (
                         _CMP_FUSE[last.args[0]], last.args[1], last.args[2]
@@ -171,30 +198,35 @@ def flatten(fn: IRFunction, program: ast.Program, checked: bool) -> BytecodeFunc
                     and fn.blocks[idx + 1].label == term.args[0]
                 )
 
+    # Peephole: fuse each ``asloc`` into the load/store of the same base
+    # immediately following it.  Done before the offsets pass so branch
+    # targets account for the shorter blocks.
+    emits: Dict[int, List] = {}
+    for block in fn.blocks:
+        instrs = block.instrs
+        if block.label in fused:
+            instrs = instrs[:-1]
+        emits[block.label] = _peephole(instrs)
+
     # First pass: block label → starting pc.
     offsets: Dict[int, int] = {}
     pc = 0
     for block in fn.blocks:
         offsets[block.label] = pc
-        pc += len(block.instrs)
-        if block.label in fused:
-            pc -= 1
+        pc += len(emits[block.label])
         dup = ret_dup.get(block.label)
         if dup is not None:
-            pc += len(dup.instrs)
+            pc += len(emits[dup.label])
         if not elided[block.label] and block.term is not None:
             pc += 1
     # Second pass: emit.
     for block in fn.blocks:
-        instrs = block.instrs
-        fuse = fused.get(block.label)
-        if fuse is not None:
-            instrs = instrs[:-1]
-        for ins in instrs:
+        for ins in emits[block.label]:
             code.append(_encode(ins, program, checked))
         term = block.term
         if term is None or elided[block.label]:
             continue
+        fuse = fused.get(block.label)
         if fuse is not None:
             t, f = offsets[term.args[1]], offsets[term.args[2]]
             if fuse[0] == _BR_SWAPPED:
@@ -204,7 +236,7 @@ def flatten(fn: IRFunction, program: ast.Program, checked: bool) -> BytecodeFunc
         elif term.op == "jmp":
             dup = ret_dup.get(block.label)
             if dup is not None:
-                for ins in dup.instrs:
+                for ins in emits[dup.label]:
                     code.append(_encode(ins, program, checked))
                 code.append((OP_RET, dup.term.args[0]))
             else:
@@ -219,6 +251,30 @@ def flatten(fn: IRFunction, program: ast.Program, checked: bool) -> BytecodeFunc
     return out
 
 
+def _peephole(instrs: List[Instr]) -> List[Instr]:
+    """Fuse ``asloc s`` into an immediately following load/store based on
+    ``s``.  The fused opcode performs the identical reference check before
+    touching the heap, so errors and their messages are unchanged."""
+    out: List[Instr] = []
+    i = 0
+    n = len(instrs)
+    while i < n:
+        ins = instrs[i]
+        if ins.op == "asloc" and i + 1 < n:
+            nxt = instrs[i + 1]
+            if nxt.op == "load" and nxt.args[0] == ins.args[0]:
+                out.append(Instr("loadv", nxt.dest, nxt.args[0], nxt.args[1]))
+                i += 2
+                continue
+            if nxt.op == "store" and nxt.args[0] == ins.args[0]:
+                out.append(Instr("storev", None, *nxt.args))
+                i += 2
+                continue
+        out.append(ins)
+        i += 1
+    return out
+
+
 def _encode(ins, program: ast.Program, checked: bool) -> Tuple:
     op = ins.op
     if op == "mov":
@@ -227,6 +283,16 @@ def _encode(ins, program: ast.Program, checked: bool) -> Tuple:
         return (OP_CONST, ins.dest, ins.args[0])
     if op == "load":
         return (OP_LOAD, ins.dest, ins.args[0], ins.args[1])
+    if op == "loadv":
+        return (OP_LOADV, ins.dest, ins.args[0], ins.args[1])
+    if op == "storev":
+        return (OP_STOREV, ins.args[0], ins.args[1], ins.args[2])
+    if op == "tload":
+        return (OP_TLOAD, ins.dest, ins.args[0], ins.args[1], ins.args[2])
+    if op == "tstore":
+        return (OP_TSTORE, ins.dest, ins.args[0], ins.args[1], ins.args[2])
+    if op == "sload":
+        return (OP_SLOAD, ins.dest, ins.args[0], ins.args[1])
     if op == "binop":
         bop, l, r = ins.args
         return (_BINOPS[bop], ins.dest, l, r)
@@ -250,6 +316,9 @@ def _encode(ins, program: ast.Program, checked: bool) -> Tuple:
         # The callee name is patched to the BytecodeFunc object in _link.
         if len(ins.args[1]) == 1:
             return (OP_CALL1, ins.dest, ins.args[0], ins.args[1][0])
+        if len(ins.args[1]) == 2:
+            return (OP_CALL2, ins.dest, ins.args[0],
+                    ins.args[1][0], ins.args[1][1])
         return (OP_CALL, ins.dest, ins.args[0], ins.args[1])
     if op == "send":
         return (OP_SENDC if checked else OP_SEND, ins.dest, ins.args[0])
@@ -263,20 +332,102 @@ def _encode(ins, program: ast.Program, checked: bool) -> Tuple:
 def _link(module: CompiledModule) -> None:
     for func in module.funcs.values():
         for idx, ins in enumerate(func.code):
-            if ins[0] == OP_CALL or ins[0] == OP_CALL1:
+            if ins[0] in (OP_CALL, OP_CALL1, OP_CALL2):
                 func.code[idx] = (
-                    ins[0], ins[1], module.funcs[ins[2]], ins[3]
+                    ins[:2] + (module.funcs[ins[2]],) + ins[3:]
                 )
+
+
+def build_module(
+    program: ast.Program, checked: bool, observable: bool,
+    optimize: bool = True,
+) -> IRModule:
+    """Lower every function and run the pass pipeline, bypassing caches.
+
+    The block-IR entry point ``repro disasm`` and the tests use directly;
+    :func:`compile_program` builds on it.  ``optimize=False`` stops after
+    lowering (the ``--no-opt`` baseline).
+    """
+    full = not checked
+    funcs: Dict[str, IRFunction] = {}
+    checks_erased = 0
+    for name, fdef in program.funcs.items():
+        fn, erased = lower_function(program, fdef, checked)
+        funcs[name] = fn
+        checks_erased += erased
+    module = IRModule(program, funcs, full, observable)
+    module.counters["checks_erased"] = checks_erased
+    if optimize:
+        default_pipeline(full, observable).run(module)
+    return module
+
+
+# Compiled modules shared across Program objects (and therefore across
+# server sessions): two programs with the same canonical source produce
+# byte-equal bytecode, so fleet workers stop recompiling per request.
+# Keyed like the Service memo — a source fingerprint — plus the compile
+# configuration.  Bounded LRU, guarded for the daemon's worker threads.
+_SHARED_CACHE: "OrderedDict[Tuple[str, bool, bool], CompiledModule]" = (
+    OrderedDict()
+)
+_SHARED_LOCK = threading.Lock()
+_SHARED_LIMIT = 64
+
+
+def set_compile_cache_limit(limit: int) -> None:
+    """Resize the shared compile cache (evicting oldest entries first).
+    ``0`` disables cross-program sharing entirely."""
+    global _SHARED_LIMIT
+    tel = _telemetry()
+    with _SHARED_LOCK:
+        _SHARED_LIMIT = max(0, limit)
+        while len(_SHARED_CACHE) > _SHARED_LIMIT:
+            _SHARED_CACHE.popitem(last=False)
+            if tel.enabled:
+                tel.inc("machine.engine.compile_cache.evictions")
+        if tel.enabled:
+            tel.set_gauge(
+                "machine.engine.compile_cache.entries", len(_SHARED_CACHE)
+            )
+
+
+def clear_compile_cache() -> None:
+    with _SHARED_LOCK:
+        _SHARED_CACHE.clear()
+        tel = _telemetry()
+        if tel.enabled:
+            tel.set_gauge("machine.engine.compile_cache.entries", 0)
+
+
+def compile_cache_entries() -> int:
+    with _SHARED_LOCK:
+        return len(_SHARED_CACHE)
+
+
+def _fingerprint(program: ast.Program) -> str:
+    """Canonical source hash, cached on the program object.  Pretty-printed
+    rather than raw source so structurally identical programs share."""
+    fp = getattr(program, "_ir_fingerprint", None)
+    if fp is None:
+        fp = hashlib.sha256(
+            pretty_program(program).encode("utf-8")
+        ).hexdigest()
+        program._ir_fingerprint = fp  # type: ignore[attr-defined]
+    return fp
 
 
 def compile_program(
     program: ast.Program, checked: bool, observable: bool
 ) -> CompiledModule:
-    """Compile (or fetch from the per-program cache) every function.
+    """Compile (or fetch from the caches) every function.
 
-    ``observable`` means a tracer is attached: only heap-event-preserving
-    passes run, so traces stay byte-comparable with the tree interpreter.
-    The full optimization tier requires ``not checked and not observable``.
+    ``observable`` means a tracer is attached: the full tier still runs
+    (when ``checked`` is off) but heap-eliminating rewrites take their
+    event-preserving forms, so traces stay byte-comparable with the tree
+    interpreter.  Two cache layers: a per-program dict (same Program
+    object re-run, e.g. fuzz oracles) and a shared fingerprint-keyed LRU
+    (distinct Program objects from the same source, e.g. serve-fleet
+    requests without a session).
     """
     try:
         cache = program._ir_cache  # type: ignore[attr-defined]
@@ -287,19 +438,21 @@ def compile_program(
     if cached is not None:
         return cached
 
-    full = not checked and not observable
-    funcs: Dict[str, IRFunction] = {}
-    checks_erased = 0
-    for name, fdef in program.funcs.items():
-        fn, erased = lower_function(program, fdef, checked)
-        funcs[name] = fn
-        checks_erased += erased
-    module = IRModule(program, funcs, full)
-    module.counters["checks_erased"] = checks_erased
-    default_pipeline(full).run(module)
+    tel = _telemetry()
+    shared_key = (_fingerprint(program), checked, observable)
+    with _SHARED_LOCK:
+        hit = _SHARED_CACHE.get(shared_key)
+        if hit is not None:
+            _SHARED_CACHE.move_to_end(shared_key)
+    if hit is not None:
+        if tel.enabled:
+            tel.inc("machine.engine.compile_cache.hits")
+        cache[key] = hit
+        return hit
 
+    module = build_module(program, checked, observable)
     compiled = CompiledModule(checked, observable)
-    for name, fn in funcs.items():
+    for name, fn in module.funcs.items():
         compiled.funcs[name] = flatten(fn, program, checked)
     _link(compiled)
     compiled.counters = dict(module.counters)
@@ -307,9 +460,9 @@ def compile_program(
         len(f.code) for f in compiled.funcs.values()
     )
 
-    tel = _telemetry()
     if tel.enabled:
         tel.inc("machine.engine.compiles")
+        tel.inc("machine.engine.compile_cache.misses")
         tel.inc("machine.engine.inlined_calls",
                 compiled.counters["inlined_calls"])
         tel.inc("machine.engine.loads_eliminated",
@@ -318,5 +471,22 @@ def compile_program(
                 compiled.counters["checks_erased"])
         tel.inc("machine.engine.fields_promoted",
                 compiled.counters["fields_promoted"])
+        tel.inc("machine.engine.licm_hoisted",
+                compiled.counters["licm_hoisted"])
+        tel.inc("machine.engine.tail_calls_looped",
+                compiled.counters["tail_calls_looped"])
+        tel.inc("machine.engine.slots_coalesced",
+                compiled.counters["slots_coalesced"])
+    with _SHARED_LOCK:
+        if _SHARED_LIMIT > 0:
+            while len(_SHARED_CACHE) >= _SHARED_LIMIT:
+                _SHARED_CACHE.popitem(last=False)
+                if tel.enabled:
+                    tel.inc("machine.engine.compile_cache.evictions")
+            _SHARED_CACHE[shared_key] = compiled
+        if tel.enabled:
+            tel.set_gauge(
+                "machine.engine.compile_cache.entries", len(_SHARED_CACHE)
+            )
     cache[key] = compiled
     return compiled

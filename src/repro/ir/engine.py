@@ -44,11 +44,12 @@ from ..runtime.values import NONE, UNIT, Loc, RuntimeValue
 from ..telemetry import registry as _telemetry
 from .bytecode import (
     OP_ADD, OP_AND, OP_ASLOC, OP_BR, OP_BREQ, OP_BRGE, OP_BRGT, OP_BRLE,
-    OP_BRLT, OP_BRNE, OP_BRNONE, OP_BRSOME, OP_CALL, OP_CALL1, OP_CHECK,
-    OP_CONST,
+    OP_BRLT, OP_BRNE, OP_BRNONE, OP_BRSOME, OP_CALL, OP_CALL1, OP_CALL2,
+    OP_CHECK, OP_CONST,
     OP_DISC, OP_DIV, OP_EQ, OP_GE, OP_GT, OP_ISNONE, OP_ISSOME, OP_JMP,
-    OP_LE, OP_LOAD, OP_LT, OP_MOD, OP_MOV, OP_MUL, OP_NE, OP_NEG, OP_NEW,
-    OP_NOT, OP_OR, OP_RECV, OP_RET, OP_SEND, OP_SENDC, OP_STORE, OP_SUB,
+    OP_LE, OP_LOAD, OP_LOADV, OP_LT, OP_MOD, OP_MOV, OP_MUL, OP_NE, OP_NEG,
+    OP_NEW, OP_NOT, OP_OR, OP_RECV, OP_RET, OP_SEND, OP_SENDC, OP_SLOAD,
+    OP_STORE, OP_STOREV, OP_SUB, OP_TLOAD, OP_TSTORE,
     compile_program,
 )
 
@@ -120,6 +121,9 @@ class IREngine:
         preemptive = self.preemptive
         max_steps = self.max_steps
         disconnected = self._disconnected
+        # One flag check per control-flow instruction on the fast path:
+        # budget enforcement and preemption points share the slow branch.
+        slow = preemptive or max_steps is not None
 
         base_steps = stats.steps
         base_checks = stats.reservation_checks
@@ -155,19 +159,52 @@ class IREngine:
                         frame[ins[1]] = o.fields[ins[3]]
                     else:
                         frame[ins[1]] = read_field(base, ins[3])
-                elif op == OP_CALL1:
-                    if max_steps is not None and base_steps + steps > max_steps:
-                        raise StepLimitExceeded(
-                            f"step budget exceeded ({max_steps} steps)"
+                elif op == OP_LOADV:
+                    # asloc fused into the load it guards: identical check,
+                    # identical error, one dispatch.
+                    base = frame[ins[2]]
+                    if type(base) is not Loc:
+                        raise MachineError(
+                            f"expected an object reference, got {base!r} "
+                            f"(did a none reach a non-nullable position?)"
                         )
-                    if preemptive:
-                        stats.steps = base_steps + steps
-                        stats.reservation_checks = base_checks + checks
-                        stats.reservation_cost = base_cost + cost
-                        if hreads:
-                            heap.reads += hreads
-                            hreads = 0
-                        yield _STEP_EVENT
+                    if tracer is None:
+                        o = objects.get(base)
+                        if o is None:
+                            raise HeapError(f"dangling location {base}")
+                        hreads += 1
+                        frame[ins[1]] = o.fields[ins[3]]
+                    else:
+                        frame[ins[1]] = read_field(base, ins[3])
+                elif op == OP_RET:
+                    value = frame[ins[1]]
+                    if not stack:
+                        # Straight-line functions never reach a control op,
+                        # so the budget must also bind at the top-level
+                        # return (once per run — off the hot path).
+                        if (max_steps is not None
+                                and base_steps + steps > max_steps):
+                            raise StepLimitExceeded(
+                                f"step budget exceeded ({max_steps} steps)"
+                            )
+                        return value
+                    code, frame, pc, dest = stack.pop()
+                    frame[dest] = value
+                elif op == OP_CALL1:
+                    if slow:
+                        if (max_steps is not None
+                                and base_steps + steps > max_steps):
+                            raise StepLimitExceeded(
+                                f"step budget exceeded ({max_steps} steps)"
+                            )
+                        if preemptive:
+                            stats.steps = base_steps + steps
+                            stats.reservation_checks = base_checks + checks
+                            stats.reservation_cost = base_cost + cost
+                            if hreads:
+                                heap.reads += hreads
+                                hreads = 0
+                            yield _STEP_EVENT
                     callee = ins[2]
                     new_frame = callee.blank[:]
                     new_frame[0] = frame[ins[3]]
@@ -175,19 +212,44 @@ class IREngine:
                     code = callee.code
                     frame = new_frame
                     pc = 0
+                elif op == OP_CALL2:
+                    if slow:
+                        if (max_steps is not None
+                                and base_steps + steps > max_steps):
+                            raise StepLimitExceeded(
+                                f"step budget exceeded ({max_steps} steps)"
+                            )
+                        if preemptive:
+                            stats.steps = base_steps + steps
+                            stats.reservation_checks = base_checks + checks
+                            stats.reservation_cost = base_cost + cost
+                            if hreads:
+                                heap.reads += hreads
+                                hreads = 0
+                            yield _STEP_EVENT
+                    callee = ins[2]
+                    new_frame = callee.blank[:]
+                    new_frame[0] = frame[ins[3]]
+                    new_frame[1] = frame[ins[4]]
+                    stack.append((code, frame, pc, ins[1]))
+                    code = callee.code
+                    frame = new_frame
+                    pc = 0
                 elif op >= OP_BRLT:  # fused compare-and-branch family
-                    if max_steps is not None and base_steps + steps > max_steps:
-                        raise StepLimitExceeded(
-                            f"step budget exceeded ({max_steps} steps)"
-                        )
-                    if preemptive:
-                        stats.steps = base_steps + steps
-                        stats.reservation_checks = base_checks + checks
-                        stats.reservation_cost = base_cost + cost
-                        if hreads:
-                            heap.reads += hreads
-                            hreads = 0
-                        yield _STEP_EVENT
+                    if slow:
+                        if (max_steps is not None
+                                and base_steps + steps > max_steps):
+                            raise StepLimitExceeded(
+                                f"step budget exceeded ({max_steps} steps)"
+                            )
+                        if preemptive:
+                            stats.steps = base_steps + steps
+                            stats.reservation_checks = base_checks + checks
+                            stats.reservation_cost = base_cost + cost
+                            if hreads:
+                                heap.reads += hreads
+                                hreads = 0
+                            yield _STEP_EVENT
                     if op == OP_BRLT:
                         pc = ins[3] if frame[ins[1]] < frame[ins[2]] else ins[4]
                     elif op == OP_BRGT:
@@ -205,32 +267,36 @@ class IREngine:
                     else:  # OP_BRNE
                         pc = ins[3] if frame[ins[1]] != frame[ins[2]] else ins[4]
                 elif op == OP_BR:
-                    if max_steps is not None and base_steps + steps > max_steps:
-                        raise StepLimitExceeded(
-                            f"step budget exceeded ({max_steps} steps)"
-                        )
-                    if preemptive:
-                        stats.steps = base_steps + steps
-                        stats.reservation_checks = base_checks + checks
-                        stats.reservation_cost = base_cost + cost
-                        if hreads:
-                            heap.reads += hreads
-                            hreads = 0
-                        yield _STEP_EVENT
+                    if slow:
+                        if (max_steps is not None
+                                and base_steps + steps > max_steps):
+                            raise StepLimitExceeded(
+                                f"step budget exceeded ({max_steps} steps)"
+                            )
+                        if preemptive:
+                            stats.steps = base_steps + steps
+                            stats.reservation_checks = base_checks + checks
+                            stats.reservation_cost = base_cost + cost
+                            if hreads:
+                                heap.reads += hreads
+                                hreads = 0
+                            yield _STEP_EVENT
                     pc = ins[2] if frame[ins[1]] else ins[3]
                 elif op == OP_JMP:
-                    if max_steps is not None and base_steps + steps > max_steps:
-                        raise StepLimitExceeded(
-                            f"step budget exceeded ({max_steps} steps)"
-                        )
-                    if preemptive:
-                        stats.steps = base_steps + steps
-                        stats.reservation_checks = base_checks + checks
-                        stats.reservation_cost = base_cost + cost
-                        if hreads:
-                            heap.reads += hreads
-                            hreads = 0
-                        yield _STEP_EVENT
+                    if slow:
+                        if (max_steps is not None
+                                and base_steps + steps > max_steps):
+                            raise StepLimitExceeded(
+                                f"step budget exceeded ({max_steps} steps)"
+                            )
+                        if preemptive:
+                            stats.steps = base_steps + steps
+                            stats.reservation_checks = base_checks + checks
+                            stats.reservation_cost = base_cost + cost
+                            if hreads:
+                                heap.reads += hreads
+                                hreads = 0
+                            yield _STEP_EVENT
                     pc = ins[1]
                 elif op == OP_ADD:
                     frame[ins[1]] = frame[ins[2]] + frame[ins[3]]
@@ -291,6 +357,15 @@ class IREngine:
                         )
                 elif op == OP_STORE:
                     write_field(frame[ins[1]], ins[2], frame[ins[3]])
+                elif op == OP_STOREV:
+                    # asloc fused into the store it guards.
+                    base = frame[ins[1]]
+                    if type(base) is not Loc:
+                        raise MachineError(
+                            f"expected an object reference, got {base!r} "
+                            f"(did a none reach a non-nullable position?)"
+                        )
+                    write_field(base, ins[2], frame[ins[3]])
                 elif op == OP_NEW:
                     names = ins[3]
                     slots = ins[4]
@@ -303,18 +378,20 @@ class IREngine:
                     reservation.add(loc)
                     frame[ins[1]] = loc
                 elif op == OP_CALL:
-                    if max_steps is not None and base_steps + steps > max_steps:
-                        raise StepLimitExceeded(
-                            f"step budget exceeded ({max_steps} steps)"
-                        )
-                    if preemptive:
-                        stats.steps = base_steps + steps
-                        stats.reservation_checks = base_checks + checks
-                        stats.reservation_cost = base_cost + cost
-                        if hreads:
-                            heap.reads += hreads
-                            hreads = 0
-                        yield _STEP_EVENT
+                    if slow:
+                        if (max_steps is not None
+                                and base_steps + steps > max_steps):
+                            raise StepLimitExceeded(
+                                f"step budget exceeded ({max_steps} steps)"
+                            )
+                        if preemptive:
+                            stats.steps = base_steps + steps
+                            stats.reservation_checks = base_checks + checks
+                            stats.reservation_cost = base_cost + cost
+                            if hreads:
+                                heap.reads += hreads
+                                hreads = 0
+                            yield _STEP_EVENT
                     callee = ins[2]
                     argslots = ins[3]
                     new_frame = callee.blank[:]
@@ -326,12 +403,6 @@ class IREngine:
                     code = callee.code
                     frame = new_frame
                     pc = 0
-                elif op == OP_RET:
-                    value = frame[ins[1]]
-                    if not stack:
-                        return value
-                    code, frame, pc, dest = stack.pop()
-                    frame[dest] = value
                 elif op == OP_SEND or op == OP_SENDC:
                     root = frame[ins[2]]
                     live = heap.live_set(root)
@@ -368,6 +439,34 @@ class IREngine:
                     )
                     stats.disconnect_checks.append(dstats)
                     frame[ins[1]] = result
+                elif op == OP_TLOAD:
+                    # An optimized-away load: the value lives in a slot,
+                    # but the read event (and the logical read) happens
+                    # here, exactly where the original load sat.
+                    value = frame[ins[4]]
+                    hreads += 1
+                    tracer.record(
+                        "read", frame[ins[2]], fieldname=ins[3], value=value
+                    )
+                    frame[ins[1]] = value
+                elif op == OP_TSTORE:
+                    # A promoted store: dest is the register that carries
+                    # the field; its current value is the event's `old`.
+                    value = frame[ins[4]]
+                    heap.writes += 1
+                    tracer.record(
+                        "write", frame[ins[2]], fieldname=ins[3],
+                        value=value, old=frame[ins[1]],
+                    )
+                    frame[ins[1]] = value
+                elif op == OP_SLOAD:
+                    # Silent preheader read: no trace event, no read count
+                    # (the in-loop tload it feeds does the counting).
+                    base = frame[ins[2]]
+                    o = objects.get(base)
+                    if o is None:
+                        raise HeapError(f"dangling location {base}")
+                    frame[ins[1]] = o.fields[ins[3]]
                 else:
                     raise MachineError(f"unknown opcode {op}")
         finally:

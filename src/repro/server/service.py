@@ -173,7 +173,14 @@ class Service:
         ):
             raise RpcError(E_INVALID, "params.args must be a list of ints/bools")
         erased = bool(params.get("erased", False))
-        engine = params.get("engine", "tree")
+        # Warm serving defaults to the compiled bytecode engine: the
+        # session LRU plus the shared compile cache make repeat runs hit
+        # precompiled modules, and RunResult.engine reports what ran so
+        # clients always see the effective choice.  Explicit "tree" still
+        # selects the reference interpreter.
+        engine = params.get("engine")
+        if engine is None:
+            engine = "ir"
         if engine not in ("tree", "ir"):
             raise RpcError(
                 E_INVALID, "params.engine must be 'tree' or 'ir'"

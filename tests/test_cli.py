@@ -131,6 +131,24 @@ class TestOther:
         out = capsys.readouterr().out
         assert "rbtree" in out and "verified" in out
 
+    def test_disasm(self, capsys):
+        rb = str(CORPUS / "rbtree.fcl")
+        assert main(["disasm", rb, "contains_opt", "--erased"]) == 0
+        out = capsys.readouterr().out
+        assert "func contains_opt" in out
+        assert "; pass tailcall: tail_calls_looped+2" in out
+        assert main(["disasm", rb, "contains_opt", "--erased",
+                     "--no-opt"]) == 0
+        baseline = capsys.readouterr().out
+        assert "; pass" not in baseline
+        assert len(baseline.splitlines()) > len(out.splitlines())
+
+    def test_disasm_whole_program_and_errors(self, fcl_file, capsys):
+        assert main(["disasm", fcl_file(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert "func add" in out
+        assert main(["disasm", fcl_file(GOOD), "nosuch"]) == 1
+
 
 class TestTraceFlag:
     def test_run_with_trace(self, capsys):

@@ -240,3 +240,25 @@ class TestFleetRobustness:
             background.join(timeout=120)
             handle.stop()
             assert outcome == {"value": "300000"}
+
+
+class TestFleetCompileCache:
+    def test_warm_repeats_stop_compiling(self):
+        """Once every worker has compiled a source, further run requests
+        (engine omitted — the warm-serving default is ir) hit the
+        per-worker compile caches: the merged ``machine.engine.compiles``
+        counter stays flat."""
+        with _fleet(workers=2) as handle:
+            with Client(handle.address) as client:
+                for _ in range(6):
+                    result = client.run(GOOD, "add", [20, 22])
+                    assert result.ok and result.engine == "ir"
+                warmed = client.metrics()["counters"]
+                compiles = warmed.get("machine.engine.compiles", 0)
+                # At most one compile per worker process, at least one
+                # somewhere.
+                assert 1 <= compiles <= 2
+                for _ in range(6):
+                    assert client.run(GOOD, "add", [1, 2]).ok
+                again = client.metrics()["counters"]
+                assert again.get("machine.engine.compiles", 0) == compiles

@@ -19,7 +19,20 @@ from repro.bench import bench_ir
 from repro.cli import main
 from repro.corpus import corpus_names, load_source
 from repro.fuzz import FuzzConfig, run_campaign
-from repro.ir.bytecode import OP_CHECK, OP_SENDC, compile_program
+from repro import telemetry as tel
+from repro.ir.bytecode import (
+    OP_CALL,
+    OP_CALL1,
+    OP_CALL2,
+    OP_CHECK,
+    OP_LOADV,
+    OP_SENDC,
+    clear_compile_cache,
+    compile_cache_entries,
+    compile_program,
+    set_compile_cache_limit,
+)
+from repro.ir.disasm import disassemble
 from repro.lang import ast, parse_program
 from repro.runtime.heap import Heap
 from repro.runtime.machine import (
@@ -300,3 +313,121 @@ class TestSurfaces:
                 assert row[key] > 0, key
             assert row["checks_erased"] > 0
             assert row["instructions_emitted"] > 0
+
+
+class TestSecondGen:
+    """PR 9: register allocation, LICM, tail-call loops, fused opcodes,
+    the shared compile cache, and the disassembler."""
+
+    def test_optimizer_second_gen_counters_fire(self):
+        program = parse_program(load_source("rbtree"))
+        module = compile_program(program, checked=False, observable=False)
+        for counter in ("loops_found", "licm_hoisted",
+                        "slots_coalesced", "tail_calls_looped"):
+            assert module.counters[counter] > 0, counter
+
+    def test_tail_recursion_becomes_loop_in_full_tier_only(self):
+        program = parse_program(load_source("rbtree"))
+        erased = compile_program(program, checked=False, observable=False)
+        assert erased.counters["tail_calls_looped"] >= 2
+        # The looped function must not call itself anymore.
+        fn = erased.funcs["contains_opt"]
+        for ins in fn.code:
+            assert not (
+                ins[0] in (OP_CALL, OP_CALL1, OP_CALL2)
+                and ins[2].name == "contains_opt"
+            )
+        # The checked tier keeps the calls (its step/check accounting is
+        # part of the observable contract).
+        checked = compile_program(program, checked=True, observable=False)
+        assert checked.counters["tail_calls_looped"] == 0
+
+    def test_fused_opcodes_present_and_results_agree(self):
+        program = parse_program(load_source("rbtree"))
+        module = compile_program(program, checked=False, observable=False)
+        opcodes = {
+            ins[0] for fn in module.funcs.values() for ins in fn.code
+        }
+        assert OP_LOADV in opcodes
+        assert OP_CALL2 in opcodes
+        tree = _run(program, "build_tree", [30, 7], engine="tree",
+                    checked=False, traced=False)
+        ir = _run(program, "build_tree", [30, 7], engine="ir",
+                  checked=False, traced=False)
+        assert repr(tree[0]) == repr(ir[0])
+        assert len(tree[2]) == len(ir[2])
+
+    def test_budget_binds_on_straight_line_functions(self):
+        program = parse_program(
+            "def add(a : int, b : int) : int { a + b }"
+        )
+        with pytest.raises(StepLimitExceeded):
+            run_function(program, "add", [1, 2], max_steps=1, engine="ir")
+        result, _ = run_function(program, "add", [1, 2], max_steps=100,
+                                 engine="ir")
+        assert result == 3
+
+    def test_disasm_reports_passes_and_baseline(self):
+        program = parse_program(load_source("rbtree"))
+        optimized = disassemble(
+            program, checked=False, optimize=True, function="contains_opt"
+        )
+        assert "func contains_opt" in optimized
+        assert "; pass tailcall: tail_calls_looped+2" in optimized
+        assert "; pass regalloc:" in optimized
+        baseline = disassemble(
+            program, checked=False, optimize=False, function="contains_opt"
+        )
+        assert "; pass" not in baseline
+        assert len(baseline.splitlines()) > len(optimized.splitlines())
+        with pytest.raises(KeyError):
+            disassemble(program, function="no_such_function")
+
+    def test_shared_cache_eviction_telemetry(self):
+        clear_compile_cache()
+        set_compile_cache_limit(2)
+        reg = tel.enable()
+        try:
+            programs = [
+                parse_program(SPIN.replace("spin", f"spin{i}"))
+                for i in range(3)
+            ]
+            for program in programs:
+                compile_program(program, checked=False, observable=False)
+            assert compile_cache_entries() == 2
+            assert reg.value("machine.engine.compile_cache.evictions") >= 1
+            assert reg.value("machine.engine.compile_cache.misses") == 3
+            # A fresh Program object for a cached source must hit the
+            # shared cache instead of recompiling.
+            fresh = parse_program(SPIN.replace("spin", "spin2"))
+            before = reg.value("machine.engine.compile_cache.hits")
+            compile_program(fresh, checked=False, observable=False)
+            assert reg.value("machine.engine.compile_cache.hits") == before + 1
+        finally:
+            tel.disable()
+            set_compile_cache_limit(64)
+            clear_compile_cache()
+
+    def test_session_eviction_survived_by_shared_cache(self):
+        """Evicting a ProgramSession from the service LRU must not force a
+        recompile: the next run builds a fresh Program whose fingerprint
+        hits the shared compile cache."""
+        clear_compile_cache()
+        reg = tel.enable()
+        try:
+            service = Service(max_sessions=1)
+            first = SPIN
+            second = SPIN.replace("spin", "spun")
+            reply = service.run(
+                {"source": first, "function": "spin", "args": [5]}
+            )
+            # Warm serving defaults to the compiled engine.
+            assert reply["engine"] == "ir"
+            service.run({"source": second, "function": "spun", "args": [5]})
+            before = reg.value("machine.engine.compile_cache.hits")
+            service.run({"source": first, "function": "spin", "args": [5]})
+            assert reg.value("machine.engine.compile_cache.hits") == before + 1
+            assert reg.value("machine.engine.compiles") == 2
+        finally:
+            tel.disable()
+            clear_compile_cache()

@@ -127,11 +127,21 @@ class TestParity:
                     "run",
                     {"source": GOOD, "function": "add", "args": [20, 22]},
                 )
+                # Omitting `engine` selects the warm-serving default: the
+                # compiled bytecode engine.  Replay locally on the same
+                # engine so the step budget is meaningful.
+                assert remote["engine"] == "ir"
                 local = api.run(
-                    GOOD, "add", [20, 22], max_steps=remote["steps"] + 1
+                    GOOD,
+                    "add",
+                    [20, 22],
+                    max_steps=remote["steps"] + 1,
+                    engine="ir",
                 )
                 assert remote["ok"] and remote["value"] == "42"
                 assert local.ok and local.value == "42"
+                pinned = client.run(GOOD, "add", [20, 22], engine="tree")
+                assert pinned.ok and pinned.engine == "tree"
                 tight = client.run(GOOD, "add", [1, 2], max_steps=1)
                 assert not tight.ok
                 assert tight.diagnostics[0].code == "StepLimitExceeded"
