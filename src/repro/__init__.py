@@ -16,11 +16,15 @@ Quickstart (the stable facade — see docs/API.md)::
     if result.ok:
         print(api.run(src, "main").value)
 
-``check_source``/``verify_source`` are the legacy exception-raising entry
-points; they still work but are deprecated in favor of :mod:`repro.api`.
-"""
+For warm reuse (many calls against one program) hold an
+:class:`api.Session <repro.api.Session>`; for per-function parallelism
+pass ``jobs=``/``mode=`` to ``api.check``/``api.verify``.
 
-import warnings as _warnings
+The legacy exception-raising ``*_source`` entry points at the package
+root were removed after their deprecation period; use
+:func:`repro.api.check` / :func:`repro.api.verify` (see the deprecation
+table in docs/API.md).
+"""
 
 from . import api
 from .api import (
@@ -28,10 +32,10 @@ from .api import (
     Diagnostic,
     ExitCode,
     RunResult,
+    Session,
     VerifyResult,
 )
 from .core.checker import CheckProfile, Checker
-from .core.checker import check_source as _check_source_impl
 from .core.errors import TypeError_
 from .lang import ParseError, parse_program, pretty_program
 from .runtime.machine import (
@@ -41,31 +45,8 @@ from .runtime.machine import (
     run_function,
 )
 from .verifier.verifier import VerificationError, Verifier
-from .verifier.verifier import verify_source as _verify_source_impl
 
-__version__ = "1.1.0"
-
-
-def check_source(*args, **kwargs):
-    """Deprecated: use :func:`repro.api.check` (typed result, no raise)."""
-    _warnings.warn(
-        "repro.check_source is deprecated; use repro.api.check(), which "
-        "returns a CheckResult instead of raising",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _check_source_impl(*args, **kwargs)
-
-
-def verify_source(*args, **kwargs):
-    """Deprecated: use :func:`repro.api.verify` (typed result, no raise)."""
-    _warnings.warn(
-        "repro.verify_source is deprecated; use repro.api.verify(), which "
-        "returns a VerifyResult instead of raising",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _verify_source_impl(*args, **kwargs)
+__version__ = "1.2.0"
 
 
 __all__ = [
@@ -76,8 +57,8 @@ __all__ = [
     "Diagnostic",
     "ExitCode",
     "RunResult",
+    "Session",
     "VerifyResult",
-    "check_source",
     "TypeError_",
     "ParseError",
     "parse_program",
@@ -88,6 +69,5 @@ __all__ = [
     "DeadlockError",
     "Verifier",
     "VerificationError",
-    "verify_source",
     "__version__",
 ]

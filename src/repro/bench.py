@@ -14,19 +14,27 @@ pytest-benchmark needed) and reports a document in schema ``repro-bench/1``
   (``--engine ir``) in both guard modes, with compile wall-clock and the
   optimizer's pass counters (calls inlined, loads eliminated, checks
   erased at lowering);
-* **pipeline** — §5 at batch scale: serial vs process-pool fan-out vs
-  warm certificate cache (replayed and trusted) on the corpus and on a
-  generated many-function workload.  Rows record the host's ``cpu_count``
-  because fan-out speedups are meaningless without it.
+* **pipeline** — §5 at batch scale: serial vs thread- and process-pool
+  fan-out vs warm certificate cache (replayed and trusted) on the corpus
+  and on a generated many-function workload.  Rows record the host's
+  ``cpu_count`` because fan-out speedups are meaningless without it;
+* **modes** — cold (pool start-up included) vs warm (pool alive) batch
+  wall-clock for the thread pool at jobs 1/2/4 against the process pool,
+  on the embarrassingly-parallel many-function workload.  Thread mode
+  runs against the shared in-process session — no pickling, no worker
+  re-elaboration — which is the ``pipeline.worker_ms`` serialization tax
+  the persistent checker core eliminates.
 
 ``compare_docs`` diffs two such documents (same schema, any two runs) and
 flags wall-clock regressions — the CI bench-smoke job compares a fresh
-``--small`` run against the committed baseline report.
+``--small`` run against the committed baseline report.  Rows and metrics
+present in only one report are skipped, so reports from before and after
+a rename (e.g. ``cow_*`` -> ``persist_*``) stay comparable.
 
-The clone counters quantify the copy-on-write win directly:
-``clone_dicts_cow`` is what ``StaticContext.clone`` plus later CoW faults
-actually allocated, ``clone_dicts_eager`` is what the pre-CoW eager deep
-clone would have allocated for the same workload.
+The clone counters quantify the persistent-sharing win directly:
+``clone_dicts_persist`` is what ``StaticContext.clone`` plus later
+handle-side copies actually allocated, ``clone_dicts_eager`` is what the
+old eager deep clone would have allocated for the same workload.
 """
 
 from __future__ import annotations
@@ -93,19 +101,21 @@ def branch_pair(width: int):
 
 def _clone_counters(reg: telemetry.Registry) -> Dict[str, int]:
     counters = {name: c.value for name, c in reg.counters.items()}
-    cow = (
-        counters.get("contexts.cow.heap_faults", 0)
-        + counters.get("contexts.cow.gamma_faults", 0)
-        + counters.get("contexts.cow.tc_faults", 0)
-        + counters.get("contexts.cow.tv_faults", 0)
+    copies = (
+        counters.get("contexts.persist.heap_copies", 0)
+        + counters.get("contexts.persist.gamma_copies", 0)
+        + counters.get("contexts.persist.tc_copies", 0)
+        + counters.get("contexts.persist.tv_copies", 0)
     )
     return {
         "clones": counters.get("contexts.clones", 0),
-        "cow_heap_faults": counters.get("contexts.cow.heap_faults", 0),
-        "cow_gamma_faults": counters.get("contexts.cow.gamma_faults", 0),
-        "cow_tc_faults": counters.get("contexts.cow.tc_faults", 0),
-        "cow_tv_faults": counters.get("contexts.cow.tv_faults", 0),
-        "clone_dicts_cow": cow,
+        "persist_heap_copies": counters.get("contexts.persist.heap_copies", 0),
+        "persist_gamma_copies": counters.get(
+            "contexts.persist.gamma_copies", 0
+        ),
+        "persist_tc_copies": counters.get("contexts.persist.tc_copies", 0),
+        "persist_tv_copies": counters.get("contexts.persist.tv_copies", 0),
+        "clone_dicts_persist": copies,
         "clone_dicts_eager": counters.get("contexts.clone.dicts_eager", 0),
         "snapshot_hits": counters.get("contexts.snapshot.hits", 0),
         "snapshot_misses": counters.get("contexts.snapshot.misses", 0),
@@ -201,9 +211,10 @@ def many_functions_program(count: int) -> str:
 def bench_pipeline(small: bool = False, jobs: int = 4) -> List[Dict]:
     """Serial vs fan-out vs warm-cache batch throughput.
 
-    Five timings per workload, all over the same program set:
+    Six timings per workload, all over the same program set:
 
     * ``serial_ms``  — ``jobs=1``, no cache (today's path);
+    * ``thread_ms``  — ``jobs=N`` in-process thread pool, no cache;
     * ``parallel_ms`` — ``jobs=N`` process pool, no cache (includes pool
       start-up: that cost is real for a one-shot batch);
     * ``cold_ms``    — ``jobs=1`` populating a fresh cache;
@@ -237,7 +248,9 @@ def bench_pipeline(small: bool = False, jobs: int = 4) -> List[Dict]:
     for label, programs in workloads:
         with Pipeline(jobs=1) as p:
             serial_ms, functions = timed(p, programs)
-        with Pipeline(jobs=jobs) as p:
+        with Pipeline(jobs=jobs, mode="thread") as p:
+            thread_ms, _ = timed(p, programs)
+        with Pipeline(jobs=jobs, mode="process") as p:
             parallel_ms, _ = timed(p, programs)
         with tempfile.TemporaryDirectory() as cache_dir:
             with Pipeline(jobs=1, cache_dir=cache_dir) as p:
@@ -253,6 +266,7 @@ def bench_pipeline(small: bool = False, jobs: int = 4) -> List[Dict]:
                 "jobs": jobs,
                 "cpu_count": os.cpu_count() or 1,
                 "serial_ms": round(serial_ms, 3),
+                "thread_ms": round(thread_ms, 3),
                 "parallel_ms": round(parallel_ms, 3),
                 "cold_ms": round(cold_ms, 3),
                 "warm_ms": round(warm_ms, 3),
@@ -261,6 +275,51 @@ def bench_pipeline(small: bool = False, jobs: int = 4) -> List[Dict]:
                 "speedup_trusted": round(serial_ms / trusted_ms, 2)
                 if trusted_ms
                 else 0.0,
+            }
+        )
+    return rows
+
+
+def bench_modes(small: bool = False) -> List[Dict]:
+    """Thread pool vs process pool, cold and warm, per job count.
+
+    One row per pool configuration over the many-function workload:
+
+    * ``cold_ms`` — first batch on a fresh :class:`Pipeline` (includes
+      pool start-up and, for the process pool, worker spawn);
+    * ``warm_ms`` — second batch on the same pipeline (pool alive; the
+      steady state of an embedded server or a long batch session).
+
+    Thread workers check the shared warm session in-process, so warm
+    thread rows carry none of the process pool's task pickling or
+    per-worker session re-elaboration (``pipeline.worker_ms``).
+    """
+    from .pipeline import Pipeline
+
+    count = 40 if small else 120
+    source = many_functions_program(count)
+    label = f"many-fns-{count}"
+
+    def timed(pipeline: "Pipeline"):
+        t0 = time.perf_counter()
+        result = pipeline.run(label, source)
+        assert result.ok, "bench workload rejected"
+        return (time.perf_counter() - t0) * 1000
+
+    configs = [("thread", j) for j in (1, 2, 4)] + [("process", 4)]
+    rows = []
+    for mode, jobs in configs:
+        with Pipeline(jobs=jobs, mode=mode) as p:
+            cold_ms = timed(p)
+            warm_ms = timed(p)
+        rows.append(
+            {
+                "config": f"{mode}-j{jobs}",
+                "mode": mode,
+                "jobs": jobs,
+                "functions": count,
+                "cold_ms": round(cold_ms, 3),
+                "warm_ms": round(warm_ms, 3),
             }
         )
     return rows
@@ -493,46 +552,47 @@ def collect(small: bool = False) -> Dict:
         repeats = 5
     return {
         "schema": SCHEMA,
-        "label": "PR9",
+        "label": "PR10",
         "corpus": bench_corpus(corpus_names),
         "generated": bench_generated(chains),
         "search": bench_search(widths),
         "erasure": bench_erasure(repeats),
         "ir": bench_ir(repeats, small),
         "pipeline": bench_pipeline(small),
+        "modes": bench_modes(small),
         "server": bench_server(small),
     }
 
 
 def render_table(doc: Dict) -> str:
     lines = []
-    lines.append("E2 — corpus check + verify (copy-on-write contexts)")
+    lines.append("E2 — corpus check + verify (persistent contexts)")
     lines.append(
         f"{'program':>8s} {'fns':>4s} {'check(ms)':>10s} {'verify(ms)':>11s} "
-        f"{'clones':>7s} {'dicts(cow)':>11s} {'dicts(eager)':>13s}"
+        f"{'clones':>7s} {'dicts(pers)':>11s} {'dicts(eager)':>13s}"
     )
     for row in doc["corpus"]:
         lines.append(
             f"{row['name']:>8s} {row['functions']:4d} {row['check_ms']:10.1f} "
             f"{row['verify_ms']:11.1f} {row['clones']:7d} "
-            f"{row['clone_dicts_cow']:11d} {row['clone_dicts_eager']:13d}"
+            f"{row['clone_dicts_persist']:11d} {row['clone_dicts_eager']:13d}"
         )
     lines.append("")
     lines.append("E2 — generated-program scaling")
     lines.append(
-        f"{'chain':>6s} {'check(ms)':>10s} {'clones':>7s} {'faults':>7s} "
-        f"{'dicts(cow)':>11s} {'dicts(eager)':>13s} {'snap hit/miss':>14s}"
+        f"{'chain':>6s} {'check(ms)':>10s} {'clones':>7s} {'copies':>7s} "
+        f"{'dicts(pers)':>11s} {'dicts(eager)':>13s} {'snap hit/miss':>14s}"
     )
     for row in doc["generated"]:
-        faults = (
-            row["cow_heap_faults"]
-            + row["cow_gamma_faults"]
-            + row["cow_tc_faults"]
-            + row["cow_tv_faults"]
+        copies = (
+            row["persist_heap_copies"]
+            + row["persist_gamma_copies"]
+            + row["persist_tc_copies"]
+            + row["persist_tv_copies"]
         )
         lines.append(
             f"{row['chain']:6d} {row['check_ms']:10.1f} {row['clones']:7d} "
-            f"{faults:7d} {row['clone_dicts_cow']:11d} "
+            f"{copies:7d} {row['clone_dicts_persist']:11d} "
             f"{row['clone_dicts_eager']:13d} "
             f"{row['snapshot_hits']:6d}/{row['snapshot_misses']:<6d}"
         )
@@ -582,17 +642,31 @@ def render_table(doc: Dict) -> str:
         lines.append("§5 — batch pipeline: serial vs fan-out vs warm cache")
         lines.append(
             f"{'workload':>14s} {'fns':>4s} {'jobs':>5s} {'serial(ms)':>11s} "
-            f"{'par(ms)':>9s} {'cold(ms)':>9s} {'warm(ms)':>9s} "
-            f"{'trust(ms)':>10s} {'warm x':>7s} {'trust x':>8s}"
+            f"{'thr(ms)':>9s} {'par(ms)':>9s} {'cold(ms)':>9s} "
+            f"{'warm(ms)':>9s} {'trust(ms)':>10s} {'warm x':>7s} "
+            f"{'trust x':>8s}"
         )
         for row in doc["pipeline"]:
             lines.append(
                 f"{row['workload']:>14s} {row['functions']:4d} "
                 f"{row['jobs']:3d}/{row['cpu_count']:<1d} "
-                f"{row['serial_ms']:11.1f} {row['parallel_ms']:9.1f} "
+                f"{row['serial_ms']:11.1f} "
+                f"{row.get('thread_ms', 0.0):9.1f} "
+                f"{row['parallel_ms']:9.1f} "
                 f"{row['cold_ms']:9.1f} {row['warm_ms']:9.1f} "
                 f"{row['trusted_ms']:10.1f} {row['speedup_warm']:7.1f} "
                 f"{row['speedup_trusted']:8.1f}"
+            )
+    if doc.get("modes"):
+        lines.append("")
+        lines.append("execution modes — thread pool vs process pool")
+        lines.append(
+            f"{'config':>12s} {'fns':>4s} {'cold(ms)':>9s} {'warm(ms)':>9s}"
+        )
+        for row in doc["modes"]:
+            lines.append(
+                f"{row['config']:>12s} {row['functions']:4d} "
+                f"{row['cold_ms']:9.1f} {row['warm_ms']:9.1f}"
             )
     if doc.get("server"):
         lines.append("")
@@ -626,6 +700,7 @@ SECTION_KEYS = {
     "erasure": "workload",
     "ir": "workload",
     "pipeline": "workload",
+    "modes": "config",
     "server": "workload",
 }
 

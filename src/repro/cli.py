@@ -46,10 +46,13 @@ program in a module-level ``SOURCE = \"\"\"...\"\"\"`` literal (the style of
 ``examples/``), so ``repro stats examples/quickstart.py`` just works.
 
 ``check``/``verify``/``corpus``/``batch`` accept the pipeline flags
-``--jobs N`` (process-pool fan-out; ``--jobs 1`` is today's serial path),
-``--cache DIR`` (persistent content-addressed certificate cache), and
-``--trust-cache`` (skip re-verifying cached certificates; integrity comes
-from the content hash).  See docs/PERFORMANCE.md.
+``--jobs N`` (per-function fan-out; ``--jobs 1`` is today's serial path),
+``--mode thread|process`` (threads share the warm session in-process —
+the default for ``--jobs > 1`` — while processes pay a serialization tax
+but sidestep the GIL), ``--cache DIR`` (persistent content-addressed
+certificate cache), and ``--trust-cache`` (skip re-verifying cached
+certificates; integrity comes from the content hash).  See
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -155,6 +158,7 @@ def _wants_pipeline(args: argparse.Namespace) -> bool:
     previous releases."""
     return bool(
         getattr(args, "jobs", None) is not None
+        or getattr(args, "mode", None)
         or getattr(args, "cache", None)
         or getattr(args, "trust_cache", False)
     )
@@ -170,6 +174,7 @@ def _make_pipeline(args: argparse.Namespace, verify: bool = True):
         cache_dir=args.cache,
         trust_cache=args.trust_cache,
         verify=verify,
+        mode=getattr(args, "mode", None),
     )
 
 
@@ -658,7 +663,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         doc = {
             "schema": bench.SCHEMA,
-            "label": "PR9",
+            "label": "PR10",
             "serve_load": bench_serve.bench_serve_load(small=args.small),
         }
         print(bench_serve.render_serve_load(doc["serve_load"]))
@@ -917,6 +922,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 cache_entries=args.cache_entries,
                 cache_bytes=args.cache_bytes,
                 max_steps=max_steps,
+                jobs=args.check_jobs,
             ),
             config=config,
         )
@@ -927,6 +933,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_steps=max_steps,
             cache_entries=args.cache_entries,
             cache_bytes=args.cache_bytes,
+            jobs=args.check_jobs,
         )
         server = Server(service=service, config=config)
 
@@ -1207,8 +1214,17 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             metavar="N",
-            help="worker processes for per-function fan-out "
+            help="workers for per-function fan-out "
             "(default: all CPUs; 1 = in-process serial path)",
+        )
+        p.add_argument(
+            "--mode",
+            choices=("auto", "serial", "thread", "process"),
+            default=None,
+            help="fan-out execution mode: threads share the warm session "
+            "in-process (default for --jobs > 1), processes pay a "
+            "serialization tax but sidestep the GIL for large cold "
+            "batches",
         )
         p.add_argument(
             "--cache",
@@ -1615,6 +1631,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker threads executing requests in single-process "
         "mode (default 8; ignored with --workers)",
+    )
+    p.add_argument(
+        "--check-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="per-request function fan-out: check a request's functions "
+        "on N threads sharing the warm session (default 1)",
     )
     p.add_argument(
         "--http",

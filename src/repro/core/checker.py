@@ -36,7 +36,7 @@ from .errors import (
     UnknownName,
 )
 from .functypes import FuncType, elaborate
-from .liveness import Liveness, uses
+from .analysis import ProgramAnalysis
 from .regions import Region, RegionSupply
 from .unify import Step, apply_step, match_contexts, prune, search_unify
 from .validate import validate_program
@@ -104,6 +104,7 @@ class Checker:
         profile: CheckProfile = DEFAULT_PROFILE,
         record: bool = True,
         functypes: Optional[Dict[str, FuncType]] = None,
+        analysis: Optional[ProgramAnalysis] = None,
     ):
         self.program = program
         self.profile = profile
@@ -118,6 +119,11 @@ class Checker:
                 name: elaborate(fdef, program)
                 for name, fdef in program.funcs.items()
             }
+        )
+        # Per-function liveness/CFG facts, built once and shared across
+        # repeated checks (and checker threads) of a warm session.
+        self.analysis = (
+            analysis if analysis is not None else ProgramAnalysis(program)
         )
 
     def check_program(self) -> ProgramDerivation:
@@ -179,7 +185,8 @@ class _FuncChecker:
         self.record = checker.record
         self.fdef = fdef
         self.ftype = checker.functypes[fdef.name]
-        self.liveness = Liveness(fdef)
+        self.analysis = checker.analysis.for_function(fdef)
+        self.liveness = self.analysis.liveness
         self.supply = RegionSupply()
         self._ghost_counter = 0
         self._tel = _telemetry()
@@ -729,7 +736,9 @@ class _FuncChecker:
 
     def _check_while(self, node: ast.While, ctx, expected):
         live_loop = frozenset(
-            self.liveness.live_after(node) | uses(node.cond) | uses(node.body)
+            self.liveness.live_after(node)
+            | self.analysis.uses(node.cond)
+            | self.analysis.uses(node.body)
         ) & set(ctx.gamma)
         steps = prune(ctx, live_loop)
 
@@ -1021,7 +1030,7 @@ class _FuncChecker:
                 "variable; bind the base with let first",
                 node.span,
             )
-        live = self.liveness.live_after(node) | uses(node)
+        live = self.liveness.live_after(node) | self.analysis.uses(node)
         target, steps = self._ensure_tracked(
             ctx, node.base.name, node.fieldname, node, frozenset(live)
         )
@@ -1120,7 +1129,7 @@ class _FuncChecker:
                 node.span,
             )
         name = target.base.name
-        live = self.liveness.live_after(node) | uses(node)
+        live = self.liveness.live_after(node) | self.analysis.uses(node)
         _old_target, track_steps = self._ensure_tracked_for_write(
             ctx, name, target.fieldname, node, frozenset(live)
         )

@@ -26,23 +26,39 @@ splits (``if disconnected``) and consumed frame targets; it must be
 reassigned before its owner can be unfocused — exactly the "l.hd invalid at
 branch start" behaviour of fig 5.
 
-Copy-on-write
--------------
+Persistent structure sharing
+----------------------------
 
-``clone()`` is O(entries of H and Γ), not O(total context size): the clone
-shares the inner :class:`TrackingContext`/:class:`TrackedVar` objects with
-its parent, marking them ``shared``.  The first mutation of a shared object
-*faults* a private copy via :meth:`StaticContext.own_tracking` /
-:meth:`StaticContext.own_tracked`, so siblings never observe each other's
-writes.  Every mutating path also bumps a generation counter
-(:meth:`mark_dirty`), which invalidates the cached :meth:`snapshot` and
-:meth:`canonical_key` — those make the search loop of ``unify.search_unify``
-and the per-node derivation snapshots of the checker cheap.
+The inner :class:`TrackingContext`/:class:`TrackedVar` objects are treated
+as *persistent*: once published to a sibling by :meth:`StaticContext.clone`,
+an object is never written again — updates *path-copy* a private replacement
+and splice it into the owner's heap.  :class:`StaticContext` itself is a
+mutable, thread-confined **handle** over that shared structure (a transient,
+in persistent-data-structure terms).  Which inner objects the handle may
+still write in place is tracked *in the handle* (``_owned_tc``/``_owned_tv``
+identity maps), never on the shared objects, so:
+
+* ``clone()`` performs no writes to any shared object — it only clears the
+  parent handle's ownership.  Two threads may therefore hold sibling clones
+  (or check different functions against the same warm program session)
+  without any synchronisation: everything reachable from both is immutable.
+* The first write after a clone *path-copies* exactly the touched spine
+  (outer dict, tracking context, tracked var) via
+  :meth:`StaticContext.own_heap` / :meth:`own_gamma` / :meth:`own_tracking`
+  / :meth:`own_tracked`.
+
+Every mutating path also bumps a generation counter (:meth:`mark_dirty`),
+which invalidates the cached :meth:`snapshot` and :meth:`canonical_key` —
+those make the search loop of ``unify.search_unify`` and the per-node
+derivation snapshots of the checker cheap.
 
 The discipline for code that reaches inside the heap structure (framing,
 derivation replay): obtain the inner object through ``own_tracking`` /
 ``own_tracked`` *before* mutating it, and call ``mark_dirty()`` afterwards.
-Reading through ``heap``/``gamma``/``tracking`` directly stays fine.
+Reading through ``heap``/``gamma``/``tracking`` directly stays fine.  Code
+that assembles a context graph from raw parts it exclusively owns (e.g. the
+verifier's snapshot reconstruction) should finish with
+:meth:`claim_ownership` so later in-place edits need not path-copy.
 """
 
 from __future__ import annotations
@@ -74,12 +90,14 @@ class TrackedVar:
 
     A field mapped to ``None`` is invalidated (⊥): the static target is
     unknown, so the field must be reassigned before use or unfocus.
+
+    Instances are immutable once published to a sibling context; only the
+    handle that privately owns one (see ``StaticContext._owned_tv``) may
+    write it in place.
     """
 
     pinned: bool = False
     fields: Dict[str, Optional[Region]] = field(default_factory=dict)
-    #: True when another context may alias this object (copy-on-write).
-    shared: bool = field(default=False, compare=False, repr=False)
 
     def clone(self) -> "TrackedVar":
         return TrackedVar(self.pinned, dict(self.fields))
@@ -95,12 +113,13 @@ class TrackedVar:
 
 @dataclass
 class TrackingContext:
-    """``r°⟨X⟩`` — the set of variables currently focused in region r."""
+    """``r°⟨X⟩`` — the set of variables currently focused in region r.
+
+    Immutable once published to a sibling context (see :class:`TrackedVar`).
+    """
 
     pinned: bool = False
     vars: Dict[str, TrackedVar] = field(default_factory=dict)
-    #: True when another context may alias this object (copy-on-write).
-    shared: bool = field(default=False, compare=False, repr=False)
 
     def clone(self) -> "TrackingContext":
         return TrackingContext(
@@ -137,10 +156,11 @@ class Binding:
 class StaticContext:
     """The pair (H; Γ) plus the fresh-region supply.
 
-    All mutating operations work in place; use :meth:`clone` before
-    branching (cheap: copy-on-write).  Operations raise
-    :class:`ContextError` when a virtual transformation's side conditions
-    fail.
+    All mutating operations work in place on the handle; use :meth:`clone`
+    before branching (cheap: persistent structure sharing).  A handle is
+    thread-confined — share the *structure* by cloning, never the handle.
+    Operations raise :class:`ContextError` when a virtual transformation's
+    side conditions fail.
     """
 
     def __init__(self, supply: Optional[RegionSupply] = None):
@@ -154,8 +174,16 @@ class StaticContext:
         # Whether the outer heap/Γ dicts may be aliased by a sibling clone.
         self._heap_shared: bool = False
         self._gamma_shared: bool = False
+        # Inner objects this handle may still write in place, keyed by
+        # id() with an identity check on lookup (the stored strong
+        # reference keeps the id from being recycled).  Everything *not*
+        # in here is treated as published/immutable and path-copied on
+        # first write.  Cleared by clone(): afterwards both handles see
+        # only shared, frozen structure.
+        self._owned_tc: Dict[int, TrackingContext] = {}
+        self._owned_tv: Dict[int, TrackedVar] = {}
 
-    # -- copy-on-write machinery ---------------------------------------------
+    # -- persistence machinery ----------------------------------------------
 
     def mark_dirty(self) -> None:
         """Invalidate cached snapshots after a mutation."""
@@ -170,73 +198,101 @@ class StaticContext:
         return self._generation
 
     def own_heap(self) -> Dict[Region, TrackingContext]:
-        """The heap dict, faulted to a private copy if a sibling aliases it.
+        """The heap dict, path-copied if a sibling aliases it.
         Obtain it through here before any structural write."""
         if self._heap_shared:
             self.heap = dict(self.heap)
             self._heap_shared = False
             tel = _telemetry()
             if tel.enabled:
-                tel.inc("contexts.cow.heap_faults")
+                tel.inc("contexts.persist.heap_copies")
         return self.heap
 
     def own_gamma(self) -> Dict[str, Binding]:
-        """The Γ dict, faulted to a private copy if a sibling aliases it."""
+        """The Γ dict, path-copied if a sibling aliases it."""
         if self._gamma_shared:
             self.gamma = dict(self.gamma)
             self._gamma_shared = False
             tel = _telemetry()
             if tel.enabled:
-                tel.inc("contexts.cow.gamma_faults")
+                tel.inc("contexts.persist.gamma_copies")
         return self.gamma
 
     def own_tracking(self, region: Region) -> TrackingContext:
-        """The tracking context of ``region``, faulted to a private copy if
-        shared with a sibling.  Callers may mutate ``pinned``/``vars`` on the
-        result but must ``mark_dirty()`` afterwards."""
+        """The tracking context of ``region``, path-copied to a private
+        replacement unless this handle already owns it.  Callers may mutate
+        ``pinned``/``vars`` on the result but must ``mark_dirty()``
+        afterwards."""
         tc = self.tracking(region)
-        if tc.shared:
-            owned = TrackingContext(tc.pinned, dict(tc.vars))
-            for tv in owned.vars.values():
-                tv.shared = True
-            self.own_heap()[region] = owned
-            tel = _telemetry()
-            if tel.enabled:
-                tel.inc("contexts.cow.tc_faults")
-            return owned
-        return tc
+        if self._owned_tc.get(id(tc)) is tc:
+            return tc
+        owned = TrackingContext(tc.pinned, dict(tc.vars))
+        self._owned_tc[id(owned)] = owned
+        self.own_heap()[region] = owned
+        tel = _telemetry()
+        if tel.enabled:
+            tel.inc("contexts.persist.tc_copies")
+        return owned
 
     def own_tracked(self, region: Region, name: str) -> TrackedVar:
-        """The tracked-var entry for ``name`` in ``region``, faulted (along
-        with its tracking context) to a private copy if shared."""
+        """The tracked-var entry for ``name`` in ``region``, path-copied
+        (along with its tracking context) unless already owned."""
         tc = self.own_tracking(region)
         tv = tc.vars[name]
-        if tv.shared:
-            owned = TrackedVar(tv.pinned, dict(tv.fields))
-            tc.vars[name] = owned
-            tel = _telemetry()
-            if tel.enabled:
-                tel.inc("contexts.cow.tv_faults")
-            return owned
+        if self._owned_tv.get(id(tv)) is tv:
+            return tv
+        owned = TrackedVar(tv.pinned, dict(tv.fields))
+        self._owned_tv[id(owned)] = owned
+        tc.vars[name] = owned
+        tel = _telemetry()
+        if tel.enabled:
+            tel.inc("contexts.persist.tv_copies")
+        return owned
+
+    def _adopt_tc(self, tc: TrackingContext) -> TrackingContext:
+        """Register a freshly built tracking context as privately owned."""
+        self._owned_tc[id(tc)] = tc
+        return tc
+
+    def _adopt_tv(self, tv: TrackedVar) -> TrackedVar:
+        """Register a freshly built tracked var as privately owned."""
+        self._owned_tv[id(tv)] = tv
         return tv
+
+    def claim_ownership(self) -> None:
+        """Declare every inner object privately owned.
+
+        Only sound when the caller just assembled the whole graph from
+        parts nothing else references (e.g. rebuilding a context from a
+        snapshot); afterwards in-place edits skip path-copying."""
+        self._heap_shared = False
+        self._gamma_shared = False
+        for tc in self.heap.values():
+            self._owned_tc[id(tc)] = tc
+            for tv in tc.vars.values():
+                self._owned_tv[id(tv)] = tv
 
     # -- basics ------------------------------------------------------------
 
     def clone(self) -> "StaticContext":
-        """An independent copy.  O(|H|) to flag the shared tracking contexts
-        and allocation-free: both the outer dicts and the inner tracking
-        structure are shared copy-on-write with the sibling."""
+        """An independent copy, O(1): both the outer dicts and the inner
+        tracking structure are shared persistently with the sibling.  No
+        shared object is written — the parent handle merely relinquishes
+        in-place ownership, so cloning is safe even when the source is
+        concurrently cloned by another thread."""
         other = StaticContext(self.supply)  # supply is shared: freshness is global
-        for tc in self.heap.values():
-            tc.shared = True
-        self._heap_shared = True
-        self._gamma_shared = True
         other.heap = self.heap
         other.gamma = self.gamma
         other._heap_shared = True
         other._gamma_shared = True
         other._snap = self._snap
         other._canon = self._canon
+        # Everything reachable is now aliased by the sibling: future writes
+        # on either handle must path-copy.
+        self._heap_shared = True
+        self._gamma_shared = True
+        self._owned_tc.clear()
+        self._owned_tv.clear()
         tel = _telemetry()
         if tel.enabled:
             tel.inc("contexts.clones")
@@ -255,6 +311,14 @@ class StaticContext:
         self.gamma = other.gamma
         self._heap_shared = other._heap_shared
         self._gamma_shared = other._gamma_shared
+        # Adopt the donor's in-place ownership, and strip it from the donor
+        # so a stale reference cannot write structure we now hold.
+        self._owned_tc = other._owned_tc
+        self._owned_tv = other._owned_tv
+        other._owned_tc = {}
+        other._owned_tv = {}
+        other._heap_shared = True
+        other._gamma_shared = True
         self._generation += 1
         self._snap = other._snap
         self._canon = other._canon
@@ -352,14 +416,14 @@ class StaticContext:
     def fresh_region(self) -> Region:
         """Create a fresh, empty, unpinned region and add it to H."""
         region = self.supply.fresh()
-        self.own_heap()[region] = TrackingContext()
+        self.own_heap()[region] = self._adopt_tc(TrackingContext())
         self._dirty()
         return region
 
     def add_region(self, region: Region, pinned: bool = False) -> None:
         if region in self.heap:
             raise ContextError(f"region {region} already present")
-        self.own_heap()[region] = TrackingContext(pinned=pinned)
+        self.own_heap()[region] = self._adopt_tc(TrackingContext(pinned=pinned))
         self._dirty()
 
     def has_region(self, region: Region) -> bool:
@@ -456,7 +520,7 @@ class StaticContext:
                 f"cannot focus {name!r}: region {binding.region} tracking context "
                 f"is not empty (tracked: {sorted(tc.vars)})"
             )
-        self.own_tracking(binding.region).vars[name] = TrackedVar()
+        self.own_tracking(binding.region).vars[name] = self._adopt_tv(TrackedVar())
         self._dirty()
         return binding.region
 
@@ -566,12 +630,9 @@ class StaticContext:
             raise ContextError(
                 f"cannot attach {source} to {dest}: duplicate tracked vars {sorted(overlap)}"
             )
-        if source_tc.shared:
-            # The sibling still reaches these tracked vars through its own
-            # heap entry for ``source``; moving them into ``dest`` makes
-            # them aliased from two contexts.
-            for tv in source_tc.vars.values():
-                tv.shared = True
+        # The moved tracked vars keep whatever ownership state they had: a
+        # var owned inside an owned source stays in-place-writable, one
+        # aliased by a sibling stays frozen and path-copies on first write.
         self.own_tracking(dest).vars.update(source_tc.vars)
         del self.own_heap()[source]
         self._substitute_region(source, dest)

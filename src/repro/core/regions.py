@@ -7,6 +7,7 @@ retract, attach) invalidates every reference into it.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator
 
 
@@ -17,19 +18,29 @@ class Region:
     the checker (snapshot keys, renaming lookups, heap-dict probes) get
     pointer-identity comparisons and trivially cheap hashing.  Instances are
     immutable; copying (shallow or deep) returns the same object, which keeps
-    copy-on-write sharing of contexts sound.
+    persistent sharing of contexts sound.
+
+    The intern table is process-wide and consulted from every checker
+    thread, so insertion is serialised under a lock (double-checked: the
+    fast path stays a single lock-free dict probe).  Without it, two
+    threads racing on a first-seen ident could each get a distinct object
+    for the same region and break ``is``-identity.
     """
 
     __slots__ = ("ident",)
 
     _interned: Dict[int, "Region"] = {}
+    _intern_lock = threading.Lock()
 
     def __new__(cls, ident: int) -> "Region":
         region = cls._interned.get(ident)
         if region is None:
-            region = super().__new__(cls)
-            object.__setattr__(region, "ident", ident)
-            cls._interned[ident] = region
+            with cls._intern_lock:
+                region = cls._interned.get(ident)
+                if region is None:
+                    region = super().__new__(cls)
+                    object.__setattr__(region, "ident", ident)
+                    cls._interned[ident] = region
         return region
 
     def __setattr__(self, name: str, value) -> None:

@@ -4,8 +4,16 @@ A :class:`Pipeline` takes programs and produces :class:`ProgramResult`\\ s
 through three cooperating mechanisms:
 
 * **per-function fan-out** — each function of a program is an independent
-  job (check + verify, or certificate replay), executed in-process for
-  ``jobs=1`` or over a ``ProcessPoolExecutor`` for ``jobs>1``;
+  job (check + verify, or certificate replay).  ``jobs=1`` runs them
+  in-process and phase-faithful to the serial entry points; ``jobs>1``
+  fans out in one of two execution modes.  ``mode="thread"`` (the
+  default for ``jobs>1``) runs tasks on a ``ThreadPoolExecutor``
+  against the **shared warm session** — the persistent checker core
+  makes concurrent checks safe with zero copies, and nothing is pickled
+  or re-elaborated.  ``mode="process"`` keeps the older
+  ``ProcessPoolExecutor`` fan-out, worth its serialization tax only for
+  large CPU-bound cold batches where the GIL would serialise the
+  thread pool;
 * **the certificate cache** (:mod:`repro.pipeline.cache`) — a content
   hash decides per function whether the prover runs at all.  A hit
   replays the stored certificate through the verifier (soundness
@@ -17,18 +25,19 @@ through three cooperating mechanisms:
   documents and are folded into the parent registry, so ``--metrics-json``
   reports the same checker/verifier counters a serial run would.
 
-Determinism contract, relied on by tests and CI: for any program and any
-cache state, ``jobs=1`` and ``jobs=N`` produce identical accept/reject
-decisions, identical first-error diagnostics (first in sorted function
-order, exactly like ``Checker.check_program``), and identical merged
-counters (modulo the ``pipeline.*`` family itself).
+Determinism contract, relied on by tests and CI: for any program, any
+cache state, and **any execution mode**, ``jobs=1`` and ``jobs=N``
+produce identical accept/reject decisions, identical first-error
+diagnostics (first in sorted function order, exactly like
+``Checker.check_program``), and identical merged counters (modulo the
+``pipeline.*`` family itself).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -146,6 +155,11 @@ class ProgramResult:
         return out
 
 
+#: Execution modes accepted by :class:`Pipeline` (``None`` means auto:
+#: serial for one job, thread otherwise).
+PIPELINE_MODES = ("serial", "thread", "process")
+
+
 class Pipeline:
     """Reusable batch check/verify engine (one per CLI invocation)."""
 
@@ -158,8 +172,17 @@ class Pipeline:
         profile: CheckProfile = DEFAULT_PROFILE,
         cache_entries: Optional[int] = None,
         cache_bytes: Optional[int] = None,
+        mode: Optional[str] = None,
     ):
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        if mode in (None, "auto"):
+            mode = None
+        elif mode not in PIPELINE_MODES:
+            raise ValueError(
+                f"unknown pipeline mode {mode!r}; "
+                f"expected one of {', '.join(PIPELINE_MODES)}"
+            )
+        self._requested_mode = mode
         self.cache = (
             CertCache(
                 cache_dir, max_entries=cache_entries, max_bytes=cache_bytes
@@ -171,9 +194,19 @@ class Pipeline:
         self.verify = verify
         self.profile = profile
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._thread_executor: Optional[ThreadPoolExecutor] = None
         reg = tel.registry()
         if reg.enabled:
             reg.inc("pipeline.jobs", self.jobs)
+
+    @property
+    def mode(self) -> str:
+        """The resolved execution mode: an explicit request wins; auto
+        picks serial for one job and thread otherwise (shared warm
+        session, no pickling — process fan-out is opt-in)."""
+        if self._requested_mode is not None:
+            return self._requested_mode
+        return "serial" if self.jobs <= 1 else "thread"
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -186,10 +219,20 @@ class Pipeline:
             )
         return self._executor
 
+    def _thread_executor_handle(self) -> ThreadPoolExecutor:
+        if self._thread_executor is None:
+            self._thread_executor = ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="repro-pipeline"
+            )
+        return self._thread_executor
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        if self._thread_executor is not None:
+            self._thread_executor.shutdown()
+            self._thread_executor = None
 
     def __enter__(self) -> "Pipeline":
         return self
@@ -263,8 +306,13 @@ class Pipeline:
                 # evicts the unusable entry.
                 tasks.append(self._task(session, name, "check", None))
 
-        if self.jobs > 1 and tasks:
+        mode = self.mode
+        if reg.enabled:
+            reg.inc(f"pipeline.mode.{mode if tasks else 'serial'}")
+        if tasks and mode == "process":
             outcomes = self._run_parallel(session, tasks, reg)
+        elif tasks and mode == "thread":
+            outcomes = self._run_threaded(session, tasks, reg)
         else:
             outcomes = self._run_serial(session, tasks, reg)
 
@@ -409,6 +457,33 @@ class Pipeline:
         executor = self._executor_handle()
         with _maybe_span(reg, "check.program"):
             raw = list(executor.map(run_function_task, tasks))
+        return self._ingest(raw, reg)
+
+    def _run_threaded(
+        self,
+        session: ProgramSession,
+        tasks: List[Dict[str, Any]],
+        reg: tel.Registry,
+    ) -> Dict[str, Dict[str, Any]]:
+        """In-process fan-out over a thread pool.
+
+        Every task runs :func:`run_function_task` against the **same**
+        warm session object: the persistent contexts core guarantees a
+        check never mutates shared state, region interning is locked,
+        and the per-task telemetry/tracer swaps in the worker are
+        thread-scoped.  Compared to process mode nothing is pickled and
+        the program is parsed/elaborated exactly once — the serialization
+        tax visible in ``pipeline.worker_ms`` disappears."""
+        executor = self._thread_executor_handle()
+        with _maybe_span(reg, "check.program"):
+            raw = list(
+                executor.map(lambda task: run_function_task(task, session), tasks)
+            )
+        return self._ingest(raw, reg)
+
+    def _ingest(
+        self, raw: List[Dict[str, Any]], reg: tel.Registry
+    ) -> Dict[str, Dict[str, Any]]:
         outcomes: Dict[str, Dict[str, Any]] = {}
         tr = tel.tracer()
         for record in raw:

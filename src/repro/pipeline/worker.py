@@ -84,7 +84,9 @@ def _error_record(stage: str, exc: BaseException, crash: bool = False):
     }
 
 
-def run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
+def run_function_task(
+    task: Dict[str, Any], session: Optional[ProgramSession] = None
+) -> Dict[str, Any]:
     """Check (or replay) + verify one function; the parallel pipeline's
     unit of work.
 
@@ -96,21 +98,30 @@ def run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
     (gather telemetry documents), ``trace`` (optional trace-context wire
     dict: run under a worker-local tracer and ship the events back as
     ``trace_doc`` for the parent to stitch into its ring buffer).
+
+    Process pools call this with ``session=None`` and fall back to the
+    per-process session table; the in-process thread mode passes the
+    parent's warm session directly — no pickling, no re-elaboration.
+    Telemetry/tracer swaps below are per-thread scoped, so concurrent
+    thread-mode tasks collect into private registries without touching
+    each other or the caller's ambient registry.
     """
     parent_ctx = tel.TraceContext.from_wire(task.get("trace"))
     if parent_ctx is None:
-        return _run_function_task(task)
+        return _run_function_task(task, session)
     local = tel.Tracer(capacity=4096)
-    with tel.use_tracer(local):
+    with tel.use_tracer_local(local):
         with local.span(
             f"pipeline.func.{task['func']}", cat="pipeline", parent=parent_ctx
         ):
-            result = _run_function_task(task)
+            result = _run_function_task(task, session)
     result["trace_doc"] = local.events()
     return result
 
 
-def _run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
+def _run_function_task(
+    task: Dict[str, Any], session: Optional[ProgramSession] = None
+) -> Dict[str, Any]:
     t0 = time.perf_counter()
     collect = task["collect"]
     check_reg = tel.Registry(enabled=True) if collect else None
@@ -128,7 +139,8 @@ def _run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
     name = task["func"]
     fd = None
     try:
-        session = _session_for(task["source"], task["profile"])
+        if session is None:
+            session = _session_for(task["source"], task["profile"])
     except TypeError_ as exc:
         # Program-level validation failure — the parent normally catches
         # this before fanning out, but a worker must never crash the pool.
@@ -141,7 +153,7 @@ def _run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
 
     if task["kind"] == "replay":
         result["cached"] = "hit"
-        with tel.use(verify_reg) if collect else _noop():
+        with tel.use_local(verify_reg) if collect else _noop():
             try:
                 fd = func_derivation_from_json(name, task["cert"])
                 result["verified"] = session.verify_function(fd)
@@ -156,7 +168,7 @@ def _run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
             result["nodes"] = fd.body.node_count()
 
     if fd is None:
-        with tel.use(check_reg) if collect else _noop():
+        with tel.use_local(check_reg) if collect else _noop():
             try:
                 fd = session.check_function(name)
             except TypeError_ as exc:
@@ -166,7 +178,7 @@ def _run_function_task(task: Dict[str, Any]) -> Dict[str, Any]:
         if fd is not None:
             result["nodes"] = fd.body.node_count()
             if task["verify"]:
-                with tel.use(verify_reg) if collect else _noop():
+                with tel.use_local(verify_reg) if collect else _noop():
                     try:
                         result["verified"] = session.verify_function(fd)
                     except VerificationError as exc:
@@ -199,7 +211,7 @@ def check_verify_program_task(task: Dict[str, Any]) -> Dict[str, Any]:
     collect = task["collect"]
     reg = tel.Registry(enabled=True) if collect else None
     verdict: Dict[str, Any] = {"status": "ok", "cls": None, "message": None, "span": None}
-    with tel.use(reg) if collect else _noop():
+    with tel.use_local(reg) if collect else _noop():
         try:
             program = parse_program(task["source"])
         except ParseError as exc:

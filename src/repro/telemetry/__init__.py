@@ -49,6 +49,7 @@ from .registry import (
     registry,
     set_registry,
     use,
+    use_local,
 )
 from .schema import SchemaError, validate
 from .tracer import (
@@ -64,6 +65,7 @@ from .tracer import (
     to_chrome,
     tracer,
     use_tracer,
+    use_tracer_local,
 )
 
 __all__ = [
@@ -99,6 +101,8 @@ __all__ = [
     "to_chrome",
     "tracer",
     "use",
+    "use_local",
     "use_tracer",
+    "use_tracer_local",
     "validate",
 ]

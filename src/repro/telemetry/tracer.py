@@ -282,11 +282,18 @@ def to_chrome(tracer: Tracer) -> Dict[str, Any]:
 #: ``tracer().enabled == False`` and skips all event work.
 _NULL = Tracer(capacity=0, enabled=False)
 _active = _NULL
+#: Per-thread override installed by :func:`use_tracer_local` (mirrors
+#: ``registry.use_local``): thread-mode pipeline tasks trace into
+#: private buffers without touching the process-global tracer.
+_override = threading.local()
 
 
 def tracer() -> Tracer:
-    """The currently active process-global tracer."""
-    return _active
+    """The currently active tracer: this thread's
+    :func:`use_tracer_local` override when one is installed, the
+    process-global tracer otherwise."""
+    tr = getattr(_override, "tracer", None)
+    return _active if tr is None else tr
 
 
 def set_tracer(tr: Tracer) -> Tracer:
@@ -311,9 +318,29 @@ def disable_tracing() -> None:
 
 @contextmanager
 def use_tracer(tr: Tracer) -> Iterator[Tracer]:
-    """Temporarily install ``tr`` as the global tracer."""
+    """Temporarily make ``tr`` the **process-global** tracer.
+
+    Scoped and reentrant; visible from every thread.  For a swap
+    private to the calling thread — concurrent pipeline tasks tracing
+    into separate ring buffers — use :func:`use_tracer_local`."""
     old = set_tracer(tr)
     try:
         yield tr
     finally:
         set_tracer(old)
+
+
+@contextmanager
+def use_tracer_local(tr: Tracer) -> Iterator[Tracer]:
+    """Temporarily make ``tr`` the active tracer **for this thread
+    only**.
+
+    Scoped and reentrant; other threads (and the process-global tracer
+    installed via :func:`set_tracer`/:func:`use_tracer`) are
+    unaffected."""
+    old = getattr(_override, "tracer", None)
+    _override.tracer = tr
+    try:
+        yield tr
+    finally:
+        _override.tracer = old

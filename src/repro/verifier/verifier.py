@@ -79,6 +79,9 @@ def context_from_snapshot(snap: ContextSnap) -> StaticContext:
         max_id = max(max_id, rid)
         ctx.gamma[name] = Binding(_parse_type(ty_text), region)
     ctx.supply = RegionSupply(max_id + 1)
+    # The graph was assembled from scratch above; claiming ownership lets
+    # derivation replay mutate it in place without path-copying.
+    ctx.claim_ownership()
     ctx.mark_dirty()
     return ctx
 

@@ -1,0 +1,195 @@
+"""Tests for the cached control-/data-flow analysis layer
+(``repro.core.analysis``): CFG shapes, memoized ``uses`` with telemetry,
+reaching definitions, the program call graph, and the ``for_function``
+escape hatch for synthetic (REPL) definitions.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.core.analysis import CFG, FunctionAnalysis, ProgramAnalysis
+from repro.lang import ast, parse_program
+
+STRAIGHT = """
+def f(x : int) : int { x + 1 }
+"""
+
+BRANCHY = """
+def f(x : int) : int {
+  let y = 0;
+  if (x > 0) { y = x } else { y = 0 - x };
+  y
+}
+"""
+
+LOOPY = """
+def f(n : int) : int {
+  let acc = 0;
+  while (n > 0) {
+    acc = acc + n;
+    n = n - 1
+  };
+  acc
+}
+"""
+
+CALLS = """
+def leaf(x : int) : int { x }
+def mid(x : int) : int { leaf(x) + leaf(x) }
+def top(x : int) : int { mid(leaf(x)) }
+def lone(x : int) : int { x * x }
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    telemetry.disable()
+
+
+def analysis_for(source, name="f"):
+    program = parse_program(source)
+    return ProgramAnalysis(program).function(name), program
+
+
+class TestCFG:
+    def test_straight_line_has_linear_edges(self):
+        analysis, _ = analysis_for(STRAIGHT)
+        cfg = analysis.cfg
+        assert len(cfg.nodes) >= 1
+        # Entry is the body; every node has at most one successor.
+        assert all(len(node.succs) <= 1 for node in cfg.nodes)
+        assert cfg.exits, "straight-line code must have an exit"
+
+    def test_branch_has_two_successors_and_joined_exits(self):
+        analysis, _ = analysis_for(BRANCHY)
+        cfg = analysis.cfg
+        forks = [node for node in cfg.nodes if len(node.succs) == 2]
+        assert forks, "if/else should fork control flow"
+
+    def test_while_has_back_edge(self):
+        analysis, _ = analysis_for(LOOPY)
+        cfg = analysis.cfg
+        back_edges = [
+            (node.index, succ)
+            for node in cfg.nodes
+            for succ in node.succs
+            if succ < node.index
+        ]
+        assert back_edges, "while loop must produce a back-edge"
+
+    def test_node_index_is_identity_keyed(self):
+        analysis, program = analysis_for(STRAIGHT)
+        body = program.func("f").body
+        assert analysis.cfg.node_index(body) == 0
+        # A structurally equal but distinct node is not a control point.
+        other = parse_program(STRAIGHT).func("f").body
+        assert analysis.cfg.node_index(other) is None
+
+
+class TestUsesMemo:
+    def test_memoized_and_counted(self):
+        analysis, program = analysis_for(BRANCHY)
+        body = program.func("f").body
+        reg = telemetry.enable()
+        first = analysis.uses(body)
+        second = analysis.uses(body)
+        telemetry.disable()
+        assert first == second
+        assert reg.counters["analysis.uses.misses"].value == 1
+        assert reg.counters["analysis.uses.hits"].value == 1
+
+    def test_matches_uncached_oracle(self):
+        from repro.core.liveness import uses as raw_uses
+
+        analysis, program = analysis_for(LOOPY)
+        for node in ast.walk(program.func("f").body):
+            assert analysis.uses(node) == frozenset(raw_uses(node))
+
+
+class TestReachingDefs:
+    def test_params_reach_entry_as_minus_one(self):
+        analysis, program = analysis_for(STRAIGHT)
+        body = program.func("f").body
+        facts = analysis.reaching_defs(body)
+        assert ("x", -1) in facts
+
+    def test_assignment_kills_param_definition(self):
+        analysis, program = analysis_for(LOOPY)
+        fdef = program.func("f")
+        # The final expression of the body: after the loop, `n` may come
+        # from the parameter (zero iterations) or the loop assignment.
+        last = fdef.body.body[-1]
+        facts = analysis.reaching_defs(last)
+        n_sites = {site for name, site in facts if name == "n"}
+        assert len(n_sites) >= 2, "param def and loop redef should both reach"
+
+    def test_non_control_point_is_empty(self):
+        analysis, _ = analysis_for(STRAIGHT)
+        stray = parse_program(STRAIGHT).func("f").body
+        assert analysis.reaching_defs(stray) == frozenset()
+
+    def test_computed_once(self):
+        analysis, program = analysis_for(BRANCHY)
+        body = program.func("f").body
+        reg = telemetry.enable()
+        analysis.reaching_defs(body)
+        analysis.reaching_defs(body)
+        telemetry.disable()
+        assert reg.counters["analysis.reaching.computed"].value == 1
+
+
+class TestCallGraph:
+    def test_edges_and_inverse(self):
+        program = parse_program(CALLS)
+        analysis = ProgramAnalysis(program)
+        graph = analysis.call_graph()
+        assert graph["top"] == frozenset({"mid", "leaf"})
+        assert graph["mid"] == frozenset({"leaf"})
+        assert graph["lone"] == frozenset()
+        assert analysis.callees("mid") == frozenset({"leaf"})
+        assert analysis.callers("leaf") == frozenset({"mid", "top"})
+        assert analysis.callers("top") == frozenset()
+
+    def test_built_once(self):
+        program = parse_program(CALLS)
+        analysis = ProgramAnalysis(program)
+        reg = telemetry.enable()
+        analysis.call_graph()
+        analysis.call_graph()
+        telemetry.disable()
+        assert reg.counters["analysis.callgraph.built"].value == 1
+
+
+class TestProgramAnalysisCache:
+    def test_function_is_memoized(self):
+        program = parse_program(CALLS)
+        analysis = ProgramAnalysis(program)
+        assert analysis.function("mid") is analysis.function("mid")
+
+    def test_for_function_returns_cached_for_program_defs(self):
+        program = parse_program(CALLS)
+        analysis = ProgramAnalysis(program)
+        fdef = program.funcs["mid"]
+        assert analysis.for_function(fdef) is analysis.function("mid")
+
+    def test_for_function_synthetic_def_is_fresh_and_uncached(self):
+        program = parse_program(CALLS)
+        analysis = ProgramAnalysis(program)
+        synthetic = parse_program("def mid(x : int) : int { x }").funcs["mid"]
+        fresh = analysis.for_function(synthetic)
+        assert isinstance(fresh, FunctionAnalysis)
+        assert fresh is not analysis.function("mid")
+        assert fresh.fdef is synthetic
+        # And it did not pollute the program cache.
+        assert analysis.function("mid").fdef is program.funcs["mid"]
+
+    def test_functions_counter(self):
+        program = parse_program(CALLS)
+        reg = telemetry.enable()
+        analysis = ProgramAnalysis(program)
+        for name in program.funcs:
+            analysis.function(name)
+        telemetry.disable()
+        assert reg.counters["analysis.functions"].value == len(program.funcs)
+        assert reg.counters["analysis.cfg.nodes"].value > 0

@@ -1,7 +1,6 @@
 """Tests for the stable programmatic facade (`repro.api`)."""
 
 import json
-import warnings
 
 import pytest
 
@@ -181,27 +180,23 @@ class TestExitCode:
         assert ExitCode.USAGE == 64
 
 
-class TestDeprecatedShims:
-    def test_check_source_warns_once_and_still_works(self):
+class TestRetiredShims:
+    def test_check_source_shim_is_gone(self):
         import repro
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            derivation = repro.check_source(GOOD)
-        assert derivation.node_count() > 0
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
+        assert not hasattr(repro, "check_source")
+        assert "check_source" not in repro.__all__
 
-    def test_verify_source_warns(self):
+    def test_verify_source_shim_is_gone(self):
         import repro
 
-        with pytest.warns(DeprecationWarning):
-            repro.verify_source(GOOD)
+        assert not hasattr(repro, "verify_source")
+        assert "verify_source" not in repro.__all__
 
     def test_package_reexports_facade(self):
         import repro
 
         assert repro.CheckResult is CheckResult
         assert repro.ExitCode is ExitCode
+        assert repro.Session is api.Session
         assert repro.api is api

@@ -1,13 +1,18 @@
-"""Copy-on-write structural sharing must be observationally invisible.
+"""Persistent structural sharing must be observationally invisible.
 
 ``StaticContext.clone`` shares the heap/Γ dicts and their inner
-``TrackingContext``/``TrackedVar`` objects, faulting them on first write.
-These tests sweep *every* mutating method over a cloned context and check,
-against a ``copy.deepcopy`` oracle, that
+``TrackingContext``/``TrackedVar`` objects; published objects are
+immutable, and a handle path-copies an inner object the first time *it*
+writes (ownership is tracked handle-side, never on the shared objects —
+which is what makes two threads checking against the same warm session
+safe).  These tests sweep *every* mutating method over a cloned context
+and check, against a ``copy.deepcopy`` oracle, that
 
 * the mutation lands exactly as it would on an eager deep copy, and
 * the sibling context never observes it — in either direction (mutate the
-  clone, the original is untouched; mutate the original, the clone is).
+  clone, the original is untouched; mutate the original, the clone is),
+* and the sibling's published object graph stays **identical**: the very
+  same inner objects, with byte-for-byte unchanged contents.
 
 A failure here means a mutation path bypassed ``own_heap``/``own_gamma``/
 ``own_tracking``/``own_tracked`` and scribbled on shared structure.
@@ -145,6 +150,63 @@ def test_original_mutation_never_leaks_into_clone(name, mutate):
 
     assert state(clone) == before, f"{name} leaked from original into clone"
     assert state(base) == state(oracle), f"{name} diverged from eager-copy oracle"
+
+
+def object_graph(ctx):
+    """Identity + content snapshot of every inner object reachable from
+    ``ctx``: (dict objects, TrackingContexts, TrackedVars) with the exact
+    object references and their current contents."""
+    tcs = {}
+    tvs = {}
+    for region, tc in ctx.heap.items():
+        tcs[region.ident] = (tc, tc.pinned, dict(tc.vars))
+        for name, tv in tc.vars.items():
+            tvs[(region.ident, name)] = (tv, tv.pinned, dict(tv.fields))
+    return (ctx.heap, ctx.gamma, tcs, tvs)
+
+
+def assert_graph_byte_stable(before, ctx, label):
+    """The context still holds the *same* objects with unchanged
+    contents — structural equality is not enough; persistence promises
+    the published graph is never written."""
+    heap, gamma, tcs, tvs = before
+    assert ctx.heap is heap, f"{label}: heap dict was replaced"
+    assert ctx.gamma is gamma, f"{label}: gamma dict was replaced"
+    now_heap, now_gamma, now_tcs, now_tvs = object_graph(ctx)
+    assert set(now_tcs) == set(tcs), f"{label}: region set changed"
+    for key, (tc, pinned, var_map) in tcs.items():
+        tc_now = now_tcs[key][0]
+        assert tc_now is tc, f"{label}: TrackingContext {key} replaced"
+        assert tc.pinned == pinned, f"{label}: TC {key} pinned flag mutated"
+        assert tc.vars == var_map, f"{label}: TC {key} vars mutated"
+    for key, (tv, pinned, field_map) in tvs.items():
+        tv_now = now_tvs[key][0]
+        assert tv_now is tv, f"{label}: TrackedVar {key} replaced"
+        assert tv.pinned == pinned, f"{label}: TV {key} pinned flag mutated"
+        assert tv.fields == field_map, f"{label}: TV {key} fields mutated"
+
+
+@pytest.mark.parametrize("name,mutate", MUTATORS, ids=[m[0] for m in MUTATORS])
+def test_clone_mutation_leaves_original_graph_byte_stable(name, mutate):
+    base, regions = make_ctx()
+    clone = base.clone()
+    graph = object_graph(base)
+    mutate(clone, regions)
+    assert_graph_byte_stable(graph, base, name)
+
+
+def test_checking_leaves_shared_contexts_byte_stable():
+    """End-to-end: cloning a context into branch arms and mutating each
+    arm (the checker's branch pattern) never writes the parent graph."""
+    base, regions = make_ctx()
+    graph = object_graph(base)
+    for _ in range(3):
+        arm = base.clone()
+        arm.focus("b")
+        arm.explore("c", "g")
+        arm.invalidate_field("a", "f")
+        arm.drop_var("b")
+        assert_graph_byte_stable(graph, base, "branch-arm")
 
 
 def test_clone_of_clone_chain_isolated():

@@ -312,7 +312,7 @@ def z_ok(x : int) : int { x + 2 }
 
         tr = telemetry.Tracer(capacity=4096)
         with telemetry.use_tracer(tr):
-            with Pipeline(jobs=2) as pipeline:
+            with Pipeline(jobs=2, mode="process") as pipeline:
                 result = pipeline.run("bad-mid", self.BAD_MID)
         assert not result.ok
         events = tr.events()
